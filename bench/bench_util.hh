@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table benchmark harnesses.
+ *
+ * Every harness prints the paper-style rows/series as an aligned
+ * text table followed by a CSV block ("== csv ==") for scripting.
+ * Common flags: --workloads=a,b,c  --scale=N  --quick.
+ */
+
+#ifndef MBAVF_BENCH_BENCH_UTIL_HH
+#define MBAVF_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/args.hh"
+#include "common/table.hh"
+#include "workloads/workload.hh"
+
+namespace mbavf
+{
+
+/** Split a comma-separated list. */
+inline std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+/** Workload selection from --workloads, default = all. */
+inline std::vector<std::string>
+selectedWorkloads(const Args &args)
+{
+    std::string list = args.getString("workloads", "");
+    if (!list.empty())
+        return splitList(list);
+    if (args.getBool("quick"))
+        return {"minife", "comd", "srad", "histogram"};
+    return workloadNames();
+}
+
+/** Print the table as text plus a CSV block. */
+inline void
+emit(const Table &table)
+{
+    table.printText(std::cout);
+    std::cout << "\n== csv ==\n";
+    table.printCsv(std::cout);
+    std::cout.flush();
+}
+
+/** Progress note to stderr (keeps stdout machine-readable). */
+inline void
+note(const std::string &message)
+{
+    std::cerr << "[bench] " << message << "\n";
+}
+
+} // namespace mbavf
+
+#endif // MBAVF_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Extension: L2 AVF measurement. The paper measures AVF "in the GPU
+ * L1 and L2 caches" but reports L1 figures; this harness produces the
+ * L2 view: single-bit and 2x1/4x1 DUE MB-AVF of the shared 256 KB L2
+ * under parity with x2 logical vs way-physical interleaving, next to
+ * the L1 numbers for the same run.
+ *
+ * Expected shape: L2 AVF is far below L1 AVF (most L2 lines sit cold
+ * or hold dead copies), and the same interleaving ordering holds.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "core/mbavf.hh"
+#include "core/protection.hh"
+#include "workloads/ace_runner.hh"
+
+using namespace mbavf;
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv);
+    const unsigned scale =
+        static_cast<unsigned>(args.getInt("scale", 1));
+
+    std::cout << "Extension: L1 vs L2 DUE AVF (parity, x2)\n\n";
+
+    Table table({"workload", "L1 SB", "L1 2x1 way", "L2 SB",
+                 "L2 2x1 way", "L2 2x1 logical", "L2/L1 SB"});
+    RunningStats ratio_stats;
+    ParityScheme parity;
+
+    for (const std::string &name : selectedWorkloads(args)) {
+        note("running " + name);
+        AceRun run = runAceAnalysis(name, scale, GpuConfig{}, true);
+        MbAvfOptions opt;
+        opt.horizon = run.horizon;
+
+        CacheGeometry l1_geom{run.config.l1.sets, run.config.l1.ways,
+                              run.config.l1.lineBytes};
+        CacheGeometry l2_geom{run.config.l2.sets, run.config.l2.ways,
+                              run.config.l2.lineBytes};
+
+        auto l1_way =
+            makeCacheArray(l1_geom, CacheInterleave::WayPhysical, 2);
+        auto l2_way =
+            makeCacheArray(l2_geom, CacheInterleave::WayPhysical, 2);
+        auto l2_log =
+            makeCacheArray(l2_geom, CacheInterleave::Logical, 2);
+
+        double l1_sb =
+            computeSbAvf(*l1_way, run.l1, parity, opt).avf.due();
+        double l1_mb = computeMbAvf(*l1_way, run.l1, parity,
+                                    FaultMode::mx1(2), opt)
+                           .avf.due();
+        double l2_sb =
+            computeSbAvf(*l2_way, run.l2, parity, opt).avf.due();
+        double l2_mb_way = computeMbAvf(*l2_way, run.l2, parity,
+                                        FaultMode::mx1(2), opt)
+                               .avf.due();
+        double l2_mb_log = computeMbAvf(*l2_log, run.l2, parity,
+                                        FaultMode::mx1(2), opt)
+                               .avf.due();
+
+        double ratio = l1_sb > 0 ? l2_sb / l1_sb : 0.0;
+        ratio_stats.add(ratio);
+        table.beginRow()
+            .cell(name)
+            .cell(l1_sb, 4)
+            .cell(l1_mb, 4)
+            .cell(l2_sb, 4)
+            .cell(l2_mb_way, 4)
+            .cell(l2_mb_log, 4)
+            .cell(ratio, 3);
+    }
+    emit(table);
+
+    std::cout << "\nMean L2/L1 single-bit AVF ratio: "
+              << formatFixed(ratio_stats.mean(), 3)
+              << ". The L2 is large relative to these working sets, "
+                 "so most of its bits\nare unACE; per-bit "
+                 "vulnerability is much lower than the L1's.\n";
+    return 0;
+}

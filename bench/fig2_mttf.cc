@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Paper Figure 2: MTTF of a 32 MB cache from temporal vs spatial
+ * multi-bit faults across raw fault rates, for infinite and 100-year
+ * data lifetimes and spatial-MBF fractions of 0.1% and 5%.
+ *
+ * The paper's conclusion this must reproduce: realistic spatial-MBF
+ * rates give MTTFs 6-8 orders of magnitude *lower* than temporal
+ * MBFs, and a 5% sMBF rate costs another two orders of magnitude
+ * versus 0.1%.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "mttf/mttf.hh"
+
+using namespace mbavf;
+
+int
+main()
+{
+    std::cout << "Figure 2: 32MB-cache MTTF, temporal vs spatial "
+                 "multi-bit faults\n\n";
+
+    Table table({"FIT/bit", "tMBF (inf life)", "tMBF (100y life)",
+                 "sMBF p=0.1%", "sMBF p=5%", "ratio t(100y)/s(0.1%)"});
+
+    for (double fit : {1e-8, 1e-7, 1e-6, 1e-5, 1e-4}) {
+        MttfParams p;
+        p.fitPerBit = fit;
+
+        double t_inf = tmbfMttfInfiniteHours(p);
+        p.lifetimeHours = 100.0 * 24 * 365;
+        double t_100 = tmbfMttfHours(p);
+
+        p.smbfFraction = 0.001;
+        double s_01 = smbfMttfHours(p);
+        p.smbfFraction = 0.05;
+        double s_5 = smbfMttfHours(p);
+
+        auto sci = [](double v) {
+            std::ostringstream os;
+            os.precision(2);
+            os << std::scientific << v;
+            return os.str();
+        };
+        table.beginRow()
+            .cell(sci(fit))
+            .cell(sci(t_inf))
+            .cell(sci(t_100))
+            .cell(sci(s_01))
+            .cell(sci(s_5))
+            .cell(formatFixed(std::log10(t_100 / s_01), 1) +
+                  " orders");
+    }
+    emit(table);
+
+    std::cout << "\nSpatial MBF MTTFs sit many orders of magnitude "
+                 "below temporal MBF MTTFs\n(6-8 orders at realistic "
+                 "rates), and limiting data lifetime to 100 years\n"
+                 "raises tMBF MTTFs further - the paper's "
+                 "justification for modeling sMBFs.\n";
+    return 0;
+}

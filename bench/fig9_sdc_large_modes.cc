@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Paper Figure 9: SDC MB-AVF for 5x1 through 8x1 faults with SEC-DED
+ * ECC and x2 way-physical interleaving, normalized to the single-bit
+ * DUE AVF.
+ *
+ * Expected shapes: a jump from 5x1 to 6x1 (a 5x1 over x2 splits 3+2
+ * — the 2-bit region still detects; a 6x1 splits 3+3 — nothing
+ * detects), then a plateau from 6x1 to 8x1 (high ACE locality within
+ * a line: the same two lines are affected). Some 5x1 bars fall below
+ * 1.0 because the SB-AVF denominator includes false DUE.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "core/mbavf.hh"
+#include "core/protection.hh"
+#include "workloads/ace_runner.hh"
+
+using namespace mbavf;
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv);
+    const unsigned scale =
+        static_cast<unsigned>(args.getInt("scale", 1));
+    const std::vector<unsigned> modes = {5, 6, 7, 8};
+
+    std::cout << "Figure 9: SDC MB-AVF for large fault modes, L1, "
+                 "SEC-DED, x2 way-physical\n\n";
+
+    std::vector<std::string> header = {"workload"};
+    for (unsigned m : modes)
+        header.push_back(std::to_string(m) + "x1 SDC/SB");
+    header.push_back("5x1 DUE/SB");
+    Table table(header);
+
+    ParityScheme parity;
+    SecDedScheme secded;
+    std::vector<RunningStats> geo(modes.size());
+
+    for (const std::string &name : selectedWorkloads(args)) {
+        note("running " + name);
+        AceRun run = runAceAnalysis(name, scale);
+        CacheGeometry geom{run.config.l1.sets, run.config.l1.ways,
+                           run.config.l1.lineBytes};
+        auto array =
+            makeCacheArray(geom, CacheInterleave::WayPhysical, 2);
+        MbAvfOptions opt;
+        opt.horizon = run.horizon;
+
+        double sb =
+            computeSbAvf(*array, run.l1, parity, opt).avf.due();
+
+        table.beginRow().cell(name);
+        double due5 = 0;
+        for (std::size_t i = 0; i < modes.size(); ++i) {
+            MbAvfResult mb = computeMbAvf(*array, run.l1, secded,
+                                          FaultMode::mx1(modes[i]),
+                                          opt);
+            double ratio = sb > 0 ? mb.avf.sdc / sb : 0.0;
+            geo[i].add(ratio);
+            table.cell(ratio, 3);
+            if (modes[i] == 5)
+                due5 = sb > 0 ? mb.avf.due() / sb : 0.0;
+        }
+        table.cell(due5, 3);
+    }
+    table.beginRow().cell("geomean");
+    for (std::size_t i = 0; i < modes.size(); ++i)
+        table.cell(geo[i].geomean(), 3);
+    table.cell("");
+    emit(table);
+
+    std::cout << "\nSDC jumps from 5x1 to 6x1 (the 5x1's 2-bit "
+                 "region still detects) and\nplateaus 6x1..8x1 (same "
+                 "two lines affected; high intra-line ACE locality).\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Paper Table II: ACE interference in multi-bit faults (Section
+ * VII-A). Random single-bit injections into the VGPR identify SDC
+ * ACE bits; multi-bit groups built from each SDC bit plus adjacent
+ * bits are then injected, and groups whose outcome is not SDC count
+ * as ACE interference.
+ *
+ * Expected result: interference is extremely rare (the paper finds
+ * 2 groups out of 1730 ACE bits, ~0.1%), validating the use of ACE
+ * analysis to estimate SDC MB-AVF.
+ *
+ * Flags: --n=<single-bit injections per workload> (default 400;
+ * paper uses 5000), --scale, --workloads, --seed.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "inject/interference.hh"
+
+using namespace mbavf;
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv);
+    const unsigned n =
+        static_cast<unsigned>(args.getInt("n", 2000));
+    const unsigned scale =
+        static_cast<unsigned>(args.getInt("scale", 1));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 0x7ab1e2));
+
+    std::cout << "Table II: ACE interference in multi-bit faults "
+                 "(VGPR, " << n << " single-bit injections per "
+                 "workload)\n\n";
+
+    std::vector<std::string> names;
+    std::string list = args.getString("workloads", "");
+    if (!list.empty())
+        names = splitList(list);
+    else if (args.getBool("quick"))
+        names = {"prefix_sum", "histogram", "dct"};
+    else
+        names = appSdkWorkloadNames();
+
+    Table table({"workload", "SDC ACE bits", "2x1 interf",
+                 "3x1 interf", "4x1 interf"});
+    unsigned total_bits = 0, total_interf = 0, total_groups = 0;
+
+    GpuConfig config;
+    for (const std::string &name : names) {
+        note("injecting " + name);
+        InterferenceStats s =
+            runInterferenceStudy(name, scale, config, n, seed);
+        table.beginRow()
+            .cell(name)
+            .cell(std::uint64_t(s.sdcAceBits))
+            .cell(std::uint64_t(s.interference[0]))
+            .cell(std::uint64_t(s.interference[1]))
+            .cell(std::uint64_t(s.interference[2]));
+        total_bits += s.sdcAceBits;
+        for (unsigned i = 0; i < 3; ++i) {
+            total_interf += s.interference[i];
+            total_groups += s.groupsTested[i];
+        }
+    }
+    table.beginRow()
+        .cell("total")
+        .cell(std::uint64_t(total_bits))
+        .cell("")
+        .cell("")
+        .cell(std::uint64_t(total_interf));
+    emit(table);
+
+    double pct = total_groups
+        ? 100.0 * total_interf / total_groups : 0.0;
+    std::cout << "\n" << total_interf << " of " << total_groups
+              << " multi-bit groups (" << formatFixed(pct, 2)
+              << "%) exhibited ACE interference.\nThe paper reports "
+                 "0.1%: single-bit ACE behaviour describes multi-bit "
+                 "faults\nwith negligible error.\n";
+    return 0;
+}

@@ -1,0 +1,70 @@
+#include "common/args.hh"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "common/logging.hh"
+
+namespace mbavf
+{
+
+Args::Args(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg(argv[i]);
+        if (arg.substr(0, 2) != "--") {
+            warn("ignoring positional argument '", std::string(arg), "'");
+            continue;
+        }
+        arg.remove_prefix(2);
+        auto eq = arg.find('=');
+        if (eq == std::string_view::npos) {
+            values_[std::string(arg)] = "1";
+        } else {
+            values_[std::string(arg.substr(0, eq))] =
+                std::string(arg.substr(eq + 1));
+        }
+    }
+}
+
+bool
+Args::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Args::getString(const std::string &key, const std::string &fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t
+Args::getInt(const std::string &key, std::int64_t fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end()
+        ? fallback
+        : std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double
+Args::getDouble(const std::string &key, double fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end()
+        ? fallback
+        : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+Args::getBool(const std::string &key, bool fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    return it->second != "0" && it->second != "false";
+}
+
+} // namespace mbavf

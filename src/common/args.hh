@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal --key=value command-line parser for benches and examples.
+ */
+
+#ifndef MBAVF_COMMON_ARGS_HH
+#define MBAVF_COMMON_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mbavf
+{
+
+/**
+ * Parses arguments of the form --key=value or bare --flag.
+ * Unknown keys are retained; callers query with typed accessors.
+ */
+class Args
+{
+  public:
+    Args(int argc, char **argv);
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+
+    std::int64_t getInt(const std::string &key,
+                        std::int64_t fallback) const;
+
+    double getDouble(const std::string &key, double fallback) const;
+
+    bool getBool(const std::string &key, bool fallback = false) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace mbavf
+
+#endif // MBAVF_COMMON_ARGS_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout mbavf.
+ */
+
+#ifndef MBAVF_COMMON_BITS_HH
+#define MBAVF_COMMON_BITS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace mbavf
+{
+
+/** Number of set bits. */
+inline int
+popCount(std::uint64_t value)
+{
+    return std::popcount(value);
+}
+
+/** True when @p value is a power of two (and nonzero). */
+inline bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Floor of log2; @p value must be nonzero. */
+inline unsigned
+floorLog2(std::uint64_t value)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(value));
+}
+
+/** Extract bit @p pos of @p value. */
+inline bool
+bitAt(std::uint64_t value, unsigned pos)
+{
+    return (value >> pos) & 1u;
+}
+
+/** Mask with the low @p n bits set (n in [0, 64]). */
+inline std::uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t(0) : ((std::uint64_t(1) << n) - 1);
+}
+
+} // namespace mbavf
+
+#endif // MBAVF_COMMON_BITS_HH

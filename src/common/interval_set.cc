@@ -1,0 +1,173 @@
+#include "common/interval_set.hh"
+
+#include <algorithm>
+
+namespace mbavf
+{
+
+IntervalSet::IntervalSet(std::vector<Interval> intervals)
+{
+    std::erase_if(intervals, [](const Interval &i) { return i.empty(); });
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.begin < b.begin;
+              });
+    for (const Interval &i : intervals) {
+        if (!ivals_.empty() && i.begin <= ivals_.back().end) {
+            ivals_.back().end = std::max(ivals_.back().end, i.end);
+        } else {
+            ivals_.push_back(i);
+        }
+    }
+}
+
+void
+IntervalSet::add(Cycle begin, Cycle end)
+{
+    if (end <= begin)
+        return;
+
+    // Common fast path: appending at or after the tail.
+    if (ivals_.empty() || begin > ivals_.back().end) {
+        ivals_.push_back({begin, end});
+        return;
+    }
+    if (begin >= ivals_.back().begin) {
+        ivals_.back().begin = std::min(ivals_.back().begin, begin);
+        ivals_.back().end = std::max(ivals_.back().end, end);
+        return;
+    }
+
+    // General path: find insertion point and coalesce neighbours.
+    auto it = std::lower_bound(
+        ivals_.begin(), ivals_.end(), begin,
+        [](const Interval &i, Cycle b) { return i.end < b; });
+    if (it == ivals_.end() || it->begin > end) {
+        ivals_.insert(it, {begin, end});
+        return;
+    }
+    it->begin = std::min(it->begin, begin);
+    it->end = std::max(it->end, end);
+    auto next = it + 1;
+    while (next != ivals_.end() && next->begin <= it->end) {
+        it->end = std::max(it->end, next->end);
+        next = ivals_.erase(next);
+    }
+}
+
+Cycle
+IntervalSet::totalLength() const
+{
+    Cycle total = 0;
+    for (const Interval &i : ivals_)
+        total += i.length();
+    return total;
+}
+
+bool
+IntervalSet::contains(Cycle cycle) const
+{
+    auto it = std::upper_bound(
+        ivals_.begin(), ivals_.end(), cycle,
+        [](Cycle c, const Interval &i) { return c < i.begin; });
+    if (it == ivals_.begin())
+        return false;
+    --it;
+    return cycle >= it->begin && cycle < it->end;
+}
+
+IntervalSet
+IntervalSet::unionWith(const IntervalSet &other) const
+{
+    IntervalSet out;
+    std::size_t a = 0, b = 0;
+    while (a < ivals_.size() || b < other.ivals_.size()) {
+        const Interval *next = nullptr;
+        if (a < ivals_.size() &&
+            (b >= other.ivals_.size() ||
+             ivals_[a].begin <= other.ivals_[b].begin)) {
+            next = &ivals_[a++];
+        } else {
+            next = &other.ivals_[b++];
+        }
+        out.add(*next);
+    }
+    return out;
+}
+
+IntervalSet
+IntervalSet::intersect(const IntervalSet &other) const
+{
+    IntervalSet out;
+    std::size_t a = 0, b = 0;
+    while (a < ivals_.size() && b < other.ivals_.size()) {
+        const Interval &x = ivals_[a];
+        const Interval &y = other.ivals_[b];
+        Cycle lo = std::max(x.begin, y.begin);
+        Cycle hi = std::min(x.end, y.end);
+        if (lo < hi)
+            out.add(lo, hi);
+        if (x.end < y.end) {
+            ++a;
+        } else {
+            ++b;
+        }
+    }
+    return out;
+}
+
+IntervalSet
+IntervalSet::subtract(const IntervalSet &other) const
+{
+    IntervalSet out;
+    std::size_t b = 0;
+    for (const Interval &x : ivals_) {
+        Cycle cursor = x.begin;
+        while (b < other.ivals_.size() &&
+               other.ivals_[b].end <= cursor) {
+            ++b;
+        }
+        std::size_t bb = b;
+        while (cursor < x.end) {
+            if (bb >= other.ivals_.size() ||
+                other.ivals_[bb].begin >= x.end) {
+                out.add(cursor, x.end);
+                break;
+            }
+            const Interval &y = other.ivals_[bb];
+            if (y.begin > cursor)
+                out.add(cursor, y.begin);
+            cursor = std::max(cursor, y.end);
+            ++bb;
+        }
+    }
+    return out;
+}
+
+IntervalSet
+IntervalSet::clamp(Cycle begin, Cycle end) const
+{
+    IntervalSet window;
+    window.add(begin, end);
+    return intersect(window);
+}
+
+Cycle
+IntervalSet::overlapLength(Cycle begin, Cycle end) const
+{
+    if (end <= begin)
+        return 0;
+    Cycle total = 0;
+    auto it = std::lower_bound(
+        ivals_.begin(), ivals_.end(), begin,
+        [](const Interval &i, Cycle b) { return i.end <= b; });
+    for (; it != ivals_.end() && it->begin < end; ++it) {
+        Cycle lo = std::max(it->begin, begin);
+        Cycle hi = std::min(it->end, end);
+        if (lo < hi)
+            total += hi - lo;
+    }
+    return total;
+}
+
+} // namespace mbavf

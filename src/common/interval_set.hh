@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Sorted, disjoint half-open interval sets over cycles.
+ *
+ * IntervalSet is the workhorse of ACE analysis: per-bit ACE time is a
+ * set of [begin, end) cycle intervals, and MB-AVF computation unions
+ * and intersects these sets across the bits of a fault group.
+ */
+
+#ifndef MBAVF_COMMON_INTERVAL_SET_HH
+#define MBAVF_COMMON_INTERVAL_SET_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mbavf
+{
+
+/** A half-open interval of cycles [begin, end). */
+struct Interval
+{
+    Cycle begin = 0;
+    Cycle end = 0;
+
+    /** Number of cycles covered. */
+    Cycle length() const { return end - begin; }
+
+    /** True for a degenerate (zero-length or inverted) interval. */
+    bool empty() const { return end <= begin; }
+
+    bool operator==(const Interval &other) const = default;
+};
+
+/**
+ * A set of cycles represented as sorted, disjoint, non-adjacent
+ * half-open intervals.
+ *
+ * Insertion via add() tolerates arbitrary overlap and ordering;
+ * adjacent and overlapping intervals are coalesced.
+ */
+class IntervalSet
+{
+  public:
+    IntervalSet() = default;
+
+    /** Construct from a list of intervals (any order, may overlap). */
+    explicit IntervalSet(std::vector<Interval> intervals);
+
+    /** Insert [begin, end); no-op when empty. */
+    void add(Cycle begin, Cycle end);
+
+    /** Insert an interval; no-op when empty. */
+    void add(const Interval &ival) { add(ival.begin, ival.end); }
+
+    /** Remove all intervals. */
+    void clear() { ivals_.clear(); }
+
+    /** Total number of cycles covered. */
+    Cycle totalLength() const;
+
+    /** Number of disjoint intervals. */
+    std::size_t size() const { return ivals_.size(); }
+
+    bool empty() const { return ivals_.empty(); }
+
+    /** True when @p cycle is a member of the set. */
+    bool contains(Cycle cycle) const;
+
+    /** Set union. */
+    IntervalSet unionWith(const IntervalSet &other) const;
+
+    /** Set intersection. */
+    IntervalSet intersect(const IntervalSet &other) const;
+
+    /** Set difference (cycles in this set but not in @p other). */
+    IntervalSet subtract(const IntervalSet &other) const;
+
+    /** Keep only cycles inside [begin, end). */
+    IntervalSet clamp(Cycle begin, Cycle end) const;
+
+    /** Length of intersection with [begin, end) without allocating. */
+    Cycle overlapLength(Cycle begin, Cycle end) const;
+
+    const std::vector<Interval> &intervals() const { return ivals_; }
+
+    bool operator==(const IntervalSet &other) const = default;
+
+  private:
+    /** Sorted disjoint non-adjacent intervals. */
+    std::vector<Interval> ivals_;
+};
+
+} // namespace mbavf
+
+#endif // MBAVF_COMMON_INTERVAL_SET_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error and status reporting helpers, following the gem5 fatal/panic
+ * convention: panic() for internal invariant violations, fatal() for
+ * user-caused conditions that prevent continuing.
+ */
+
+#ifndef MBAVF_COMMON_LOGGING_HH
+#define MBAVF_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mbavf
+{
+
+namespace detail
+{
+
+/** Stream-compose a message from variadic pieces. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Abort on an internal error (a bug in mbavf itself).
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::fprintf(stderr, "panic: %s\n",
+                 detail::composeMessage(args...).c_str());
+    std::abort();
+}
+
+/**
+ * Exit on a user-caused error (bad configuration or arguments).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::fprintf(stderr, "fatal: %s\n",
+                 detail::composeMessage(args...).c_str());
+    std::exit(1);
+}
+
+/** Alert the user to questionable but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::composeMessage(args...).c_str());
+}
+
+/** Status message with no connotation of incorrect behavior. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::fprintf(stderr, "info: %s\n",
+                 detail::composeMessage(args...).c_str());
+}
+
+} // namespace mbavf
+
+#endif // MBAVF_COMMON_LOGGING_HH

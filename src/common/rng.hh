@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * All stochastic components (workload inputs, fault injection sites)
+ * draw from Rng seeded explicitly, so every experiment is exactly
+ * reproducible from its configuration.
+ */
+
+#ifndef MBAVF_COMMON_RNG_HH
+#define MBAVF_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace mbavf
+{
+
+/**
+ * xorshift128+ generator: fast, simple, and adequate for workload
+ * synthesis and injection-site sampling.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 expansion of the seed into two nonzero words.
+        std::uint64_t z = seed;
+        s0_ = splitMix(z);
+        s1_ = splitMix(z);
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    splitMix(std::uint64_t &state)
+    {
+        state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace mbavf
+
+#endif // MBAVF_COMMON_RNG_HH

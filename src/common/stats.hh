@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Streaming statistics accumulators (mean, geomean, min/max).
+ */
+
+#ifndef MBAVF_COMMON_STATS_HH
+#define MBAVF_COMMON_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace mbavf
+{
+
+/** Streaming arithmetic summary of a sample set. */
+class RunningStats
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        sum_ += x;
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        if (x > 0)
+            logSum_ += std::log(x);
+        else
+            hasNonPositive_ = true;
+    }
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? sum_ / n_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /**
+     * Geometric mean; 0 when any sample was non-positive (geomean is
+     * undefined there, and AVF ratios of zero should read as zero).
+     */
+    double
+    geomean() const
+    {
+        if (!n_ || hasNonPositive_)
+            return 0.0;
+        return std::exp(logSum_ / n_);
+    }
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double logSum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+    bool hasNonPositive_ = false;
+};
+
+} // namespace mbavf
+
+#endif // MBAVF_COMMON_STATS_HH

@@ -1,0 +1,111 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mbavf
+{
+
+std::string
+formatFixed(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    if (header_.empty())
+        panic("Table requires at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size()) {
+        panic("Table row width ", row.size(), " does not match header ",
+              header_.size());
+    }
+    rows_.push_back(std::move(row));
+}
+
+Table &
+Table::beginRow()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &text)
+{
+    if (rows_.empty())
+        panic("Table::cell before beginRow");
+    rows_.back().push_back(text);
+    return *this;
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    return cell(formatFixed(value, precision));
+}
+
+Table &
+Table::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+Table::printText(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < header_.size(); ++c) {
+            const std::string &text = c < row.size() ? row[c] : "";
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << text;
+        }
+        os << '\n';
+    };
+
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    print_row(header_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace mbavf

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Aligned text-table and CSV emitter used by the benchmark harnesses
+ * to print paper-style tables and figure series.
+ */
+
+#ifndef MBAVF_COMMON_TABLE_HH
+#define MBAVF_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mbavf
+{
+
+/**
+ * A rectangular table of strings with a header row; renders either as
+ * an aligned text table or as CSV.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a fully formed row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Start a new row built cell-by-cell via cell(). */
+    Table &beginRow();
+
+    /** Append one cell to the row opened by beginRow(). */
+    Table &cell(const std::string &text);
+
+    /** Append a numeric cell with fixed @p precision. */
+    Table &cell(double value, int precision = 3);
+
+    /** Append an integer cell. */
+    Table &cell(std::uint64_t value);
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return header_.size(); }
+
+    const std::vector<std::string> &row(std::size_t i) const
+    {
+        return rows_[i];
+    }
+
+    /** Render as an aligned, pipe-free text table. */
+    void printText(std::ostream &os) const;
+
+    /** Render as CSV (no quoting; cells must not contain commas). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string formatFixed(double value, int precision);
+
+} // namespace mbavf
+
+#endif // MBAVF_COMMON_TABLE_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the mbavf library.
+ */
+
+#ifndef MBAVF_COMMON_TYPES_HH
+#define MBAVF_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace mbavf
+{
+
+/** Simulation time in cycles. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated flat memory. */
+using Addr = std::uint64_t;
+
+/** Identifier of a protection domain (ECC/parity word). */
+using DomainId = std::uint64_t;
+
+/** Invalid/absent domain marker. */
+constexpr DomainId invalidDomain = ~DomainId(0);
+
+/** Identifier of a dynamic value definition in the dataflow trace. */
+using DefId = std::uint64_t;
+
+/** Marker for "no producing definition" (e.g., constants). */
+constexpr DefId noDef = ~DefId(0);
+
+} // namespace mbavf
+
+#endif // MBAVF_COMMON_TYPES_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ACE classification enums for bits, overlapped regions, and fault
+ * groups (paper Sections IV-V, VII).
+ */
+
+#ifndef MBAVF_CORE_ACE_CLASS_HH
+#define MBAVF_CORE_ACE_CLASS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mbavf
+{
+
+/**
+ * Per-bit ACE class at a point in time: the consequence of this bit
+ * holding a wrong value at that cycle, before considering protection.
+ *
+ * - AceLive: the value will be consumed by a use that reaches program
+ *   output (SDC if the fault goes undetected; true DUE if detected).
+ * - ReadDead: the protection word will still be read out of the array
+ *   (dead load, unused bits of a consumed word, or a dirty write-back)
+ *   but the bit cannot affect program output (false DUE if detected;
+ *   masked otherwise).
+ * - Unace: never read again before being overwritten or dropped.
+ */
+enum class AceClass : std::uint8_t
+{
+    Unace = 0,
+    ReadDead = 1,
+    AceLive = 2,
+};
+
+/**
+ * Outcome class of a fault in an overlapped region or fault group
+ * after protection is applied. Ordering encodes the paper's
+ * worst-case precedence: Sdc > TrueDue > FalseDue > Unace.
+ */
+enum class Outcome : std::uint8_t
+{
+    Unace = 0,
+    FalseDue = 1,
+    TrueDue = 2,
+    Sdc = 3,
+};
+
+/** Human-readable name of an Outcome. */
+inline std::string
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Unace: return "unACE";
+      case Outcome::FalseDue: return "falseDUE";
+      case Outcome::TrueDue: return "trueDUE";
+      case Outcome::Sdc: return "SDC";
+    }
+    return "?";
+}
+
+} // namespace mbavf
+
+#endif // MBAVF_CORE_ACE_CLASS_HH

@@ -1,0 +1,78 @@
+#include "core/fault_mode.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mbavf
+{
+
+FaultMode::FaultMode(std::string name, std::vector<PatternOffset> offsets)
+    : name_(std::move(name)), offsets_(std::move(offsets))
+{
+    if (offsets_.empty())
+        fatal("fault mode '", name_, "' has no offsets");
+
+    // Normalize: sort, dedup, and shift so min offsets are zero.
+    std::sort(offsets_.begin(), offsets_.end(),
+              [](const PatternOffset &a, const PatternOffset &b) {
+                  return a.dRow != b.dRow ? a.dRow < b.dRow
+                                          : a.dCol < b.dCol;
+              });
+    offsets_.erase(std::unique(offsets_.begin(), offsets_.end()),
+                   offsets_.end());
+
+    std::int32_t min_r = offsets_.front().dRow;
+    std::int32_t min_c = offsets_.front().dCol;
+    for (const PatternOffset &o : offsets_) {
+        min_r = std::min(min_r, o.dRow);
+        min_c = std::min(min_c, o.dCol);
+    }
+    for (PatternOffset &o : offsets_) {
+        o.dRow -= min_r;
+        o.dCol -= min_c;
+        maxDRow_ = std::max(maxDRow_, o.dRow);
+        maxDCol_ = std::max(maxDCol_, o.dCol);
+    }
+}
+
+FaultMode
+FaultMode::mx1(unsigned m)
+{
+    if (m == 0)
+        fatal("mx1 fault mode requires m >= 1");
+    std::vector<PatternOffset> offs;
+    offs.reserve(m);
+    for (unsigned i = 0; i < m; ++i)
+        offs.push_back({0, static_cast<std::int32_t>(i)});
+    return FaultMode(std::to_string(m) + "x1", std::move(offs));
+}
+
+FaultMode
+FaultMode::rect(unsigned rows, unsigned cols)
+{
+    if (rows == 0 || cols == 0)
+        fatal("rect fault mode requires nonzero dimensions");
+    std::vector<PatternOffset> offs;
+    offs.reserve(std::size_t(rows) * cols);
+    for (unsigned r = 0; r < rows; ++r) {
+        for (unsigned c = 0; c < cols; ++c) {
+            offs.push_back({static_cast<std::int32_t>(r),
+                            static_cast<std::int32_t>(c)});
+        }
+    }
+    return FaultMode(std::to_string(cols) + "x" + std::to_string(rows),
+                     std::move(offs));
+}
+
+std::uint64_t
+FaultMode::numGroups(std::uint64_t rows, std::uint64_t cols) const
+{
+    std::uint64_t span_r = static_cast<std::uint64_t>(maxDRow_) + 1;
+    std::uint64_t span_c = static_cast<std::uint64_t>(maxDCol_) + 1;
+    if (span_r > rows || span_c > cols)
+        return 0;
+    return (rows - span_r + 1) * (cols - span_c + 1);
+}
+
+} // namespace mbavf

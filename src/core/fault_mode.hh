@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Spatial multi-bit fault modes (paper Section IV-A).
+ *
+ * A fault mode is a specific multi-bit fault geometry: a set of
+ * (row, col) offsets that flip together. A fault group is each
+ * placement of the pattern on a physical array; groups whose pattern
+ * would fall off the array edge do not exist.
+ */
+
+#ifndef MBAVF_CORE_FAULT_MODE_HH
+#define MBAVF_CORE_FAULT_MODE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbavf
+{
+
+/** One cell of a fault pattern, relative to the anchor position. */
+struct PatternOffset
+{
+    std::int32_t dRow = 0;
+    std::int32_t dCol = 0;
+
+    bool operator==(const PatternOffset &other) const = default;
+};
+
+/** A spatial multi-bit fault geometry. */
+class FaultMode
+{
+  public:
+    FaultMode(std::string name, std::vector<PatternOffset> offsets);
+
+    /** Contiguous m-by-1 fault along a wordline (the common mode). */
+    static FaultMode mx1(unsigned m);
+
+    /** Contiguous rows-by-cols rectangular fault. */
+    static FaultMode rect(unsigned rows, unsigned cols);
+
+    const std::string &name() const { return name_; }
+    const std::vector<PatternOffset> &offsets() const { return offsets_; }
+
+    /** Number of bits the mode flips. */
+    unsigned size() const
+    {
+        return static_cast<unsigned>(offsets_.size());
+    }
+
+    std::int32_t maxDRow() const { return maxDRow_; }
+    std::int32_t maxDCol() const { return maxDCol_; }
+
+    /**
+     * Number of fault groups of this mode in a rows x cols array
+     * (anchor placements where the whole pattern fits).
+     */
+    std::uint64_t numGroups(std::uint64_t rows, std::uint64_t cols) const;
+
+  private:
+    std::string name_;
+    std::vector<PatternOffset> offsets_;
+    std::int32_t maxDRow_ = 0;
+    std::int32_t maxDCol_ = 0;
+};
+
+} // namespace mbavf
+
+#endif // MBAVF_CORE_FAULT_MODE_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Raw fault-rate data: the per-technology-node multi-bit fault ratios
+ * of Ibe et al. (paper Table I) and the per-mode FIT rates used in the
+ * case study (paper Table III).
+ */
+
+#ifndef MBAVF_CORE_FAULT_RATES_HH
+#define MBAVF_CORE_FAULT_RATES_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mbavf
+{
+
+/** Maximum Mx1 fault-mode width tabulated (1x1 through 8x1). */
+constexpr unsigned maxTabulatedMode = 8;
+
+/**
+ * Percent of all SRAM faults that are multi-bit faults of each width
+ * along a wordline, for one technology node (Ibe et al., Table I).
+ */
+struct NodeFaultRatios
+{
+    unsigned designRuleNm = 0;
+    /** percent[m-1] = percent of faults that are (m)x1, m = 1..8. */
+    std::array<double, maxTabulatedMode> percent{};
+
+    /** Percent of faults affecting more than one bit. */
+    double
+    multiBitPercent() const
+    {
+        double sum = 0;
+        for (unsigned m = 1; m < maxTabulatedMode; ++m)
+            sum += percent[m];
+        return sum;
+    }
+};
+
+/** Table I: fault-width ratios for 180nm through 22nm. */
+const std::vector<NodeFaultRatios> &ibeFaultRatios();
+
+/** Ratios for a given design rule; fatal when not tabulated. */
+const NodeFaultRatios &ibeFaultRatiosFor(unsigned design_rule_nm);
+
+/**
+ * Table III: per-mode FIT rates for the case study. The paper sets a
+ * total structure fault rate of 100 FIT and splits it across 1x1..8x1
+ * modes using the 22nm ratios of Ibe et al.
+ *
+ * @param total_fit total structure fault rate (paper uses 100)
+ * @return rates[m-1] = FIT of mode (m)x1
+ */
+std::array<double, maxTabulatedMode>
+caseStudyFaultRates(double total_fit = 100.0);
+
+} // namespace mbavf
+
+#endif // MBAVF_CORE_FAULT_RATES_HH

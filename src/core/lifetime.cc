@@ -1,0 +1,111 @@
+#include "core/lifetime.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace mbavf
+{
+
+void
+WordLifetime::append(const LifeSegment &seg)
+{
+    if (seg.end <= seg.begin)
+        return;
+    if (!segs_.empty() && seg.begin < segs_.back().end)
+        panic("WordLifetime::append out of order");
+    // Coalesce identical adjacent segments.
+    if (!segs_.empty() && segs_.back().end == seg.begin &&
+        segs_.back().aceMask == seg.aceMask &&
+        segs_.back().readMask == seg.readMask) {
+        segs_.back().end = seg.end;
+        return;
+    }
+    segs_.push_back(seg);
+}
+
+AceClass
+WordLifetime::classAt(unsigned bit, Cycle t) const
+{
+    auto it = std::upper_bound(
+        segs_.begin(), segs_.end(), t,
+        [](Cycle c, const LifeSegment &s) { return c < s.begin; });
+    if (it == segs_.begin())
+        return AceClass::Unace;
+    --it;
+    if (t >= it->end)
+        return AceClass::Unace;
+    if (bitAt(it->aceMask, bit))
+        return AceClass::AceLive;
+    if (bitAt(it->readMask, bit))
+        return AceClass::ReadDead;
+    return AceClass::Unace;
+}
+
+Cycle
+WordLifetime::aceCycles(unsigned bit, Cycle horizon) const
+{
+    Cycle total = 0;
+    for (const LifeSegment &s : segs_) {
+        if (s.begin >= horizon)
+            break;
+        if (bitAt(s.aceMask, bit))
+            total += std::min(s.end, horizon) - s.begin;
+    }
+    return total;
+}
+
+Cycle
+WordLifetime::readDeadCycles(unsigned bit, Cycle horizon) const
+{
+    Cycle total = 0;
+    for (const LifeSegment &s : segs_) {
+        if (s.begin >= horizon)
+            break;
+        if (!bitAt(s.aceMask, bit) && bitAt(s.readMask, bit))
+            total += std::min(s.end, horizon) - s.begin;
+    }
+    return total;
+}
+
+LifetimeStore::LifetimeStore(unsigned word_width,
+                             unsigned words_per_container)
+    : wordWidth_(word_width), wordsPerContainer_(words_per_container)
+{
+    if (word_width == 0 || word_width > 64)
+        panic("LifetimeStore word width must be in [1, 64]");
+    if (words_per_container == 0)
+        panic("LifetimeStore needs at least one word per container");
+}
+
+ContainerLifetime &
+LifetimeStore::container(std::uint64_t container)
+{
+    ContainerLifetime &c = containers_[container];
+    if (c.words.empty())
+        c.words.resize(wordsPerContainer_);
+    return c;
+}
+
+const WordLifetime *
+LifetimeStore::find(std::uint64_t container, unsigned word) const
+{
+    auto it = containers_.find(container);
+    if (it == containers_.end())
+        return nullptr;
+    if (word >= it->second.words.size())
+        panic("LifetimeStore word index ", word, " out of range");
+    const WordLifetime &w = it->second.words[word];
+    return w.empty() ? nullptr : &w;
+}
+
+const WordLifetime *
+LifetimeStore::findBit(std::uint64_t container, unsigned bit_in_container,
+                       unsigned &bit_in_word) const
+{
+    bit_in_word = bit_in_container % wordWidth_;
+    return find(container, bit_in_container / wordWidth_);
+}
+
+} // namespace mbavf

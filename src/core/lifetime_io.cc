@@ -1,0 +1,113 @@
+#include "core/lifetime_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace mbavf
+{
+
+namespace
+{
+
+constexpr char magic[8] = {'M', 'B', 'A', 'V', 'F', 'L', 'T', '1'};
+
+template <typename T>
+void
+writeScalar(std::ostream &os, T value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+template <typename T>
+T
+readScalar(std::istream &is)
+{
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(value));
+    if (!is)
+        fatal("lifetime store: truncated input");
+    return value;
+}
+
+} // namespace
+
+void
+saveLifetimeStore(const LifetimeStore &store, std::ostream &os)
+{
+    os.write(magic, sizeof(magic));
+    writeScalar<std::uint32_t>(os, store.wordWidth());
+    writeScalar<std::uint32_t>(os, store.wordsPerContainer());
+    writeScalar<std::uint64_t>(os, store.numContainers());
+
+    for (const auto &[id, container] : store.containers()) {
+        writeScalar<std::uint64_t>(os, id);
+        for (const WordLifetime &word : container.words) {
+            writeScalar<std::uint32_t>(
+                os,
+                static_cast<std::uint32_t>(word.segments().size()));
+            for (const LifeSegment &seg : word.segments()) {
+                writeScalar<std::uint64_t>(os, seg.begin);
+                writeScalar<std::uint64_t>(os, seg.end);
+                writeScalar<std::uint64_t>(os, seg.aceMask);
+                writeScalar<std::uint64_t>(os, seg.readMask);
+            }
+        }
+    }
+    if (!os)
+        fatal("lifetime store: write failed");
+}
+
+LifetimeStore
+loadLifetimeStore(std::istream &is)
+{
+    char header[8];
+    is.read(header, sizeof(header));
+    if (!is || std::memcmp(header, magic, sizeof(magic)) != 0)
+        fatal("lifetime store: bad magic");
+
+    auto word_width = readScalar<std::uint32_t>(is);
+    auto words_per = readScalar<std::uint32_t>(is);
+    auto num_containers = readScalar<std::uint64_t>(is);
+
+    LifetimeStore store(word_width, words_per);
+    for (std::uint64_t c = 0; c < num_containers; ++c) {
+        auto id = readScalar<std::uint64_t>(is);
+        ContainerLifetime &container = store.container(id);
+        for (std::uint32_t w = 0; w < words_per; ++w) {
+            auto num_segs = readScalar<std::uint32_t>(is);
+            for (std::uint32_t s = 0; s < num_segs; ++s) {
+                LifeSegment seg;
+                seg.begin = readScalar<std::uint64_t>(is);
+                seg.end = readScalar<std::uint64_t>(is);
+                seg.aceMask = readScalar<std::uint64_t>(is);
+                seg.readMask = readScalar<std::uint64_t>(is);
+                container.words[w].append(seg);
+            }
+        }
+    }
+    return store;
+}
+
+void
+saveLifetimeStore(const LifetimeStore &store, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    saveLifetimeStore(store, os);
+}
+
+LifetimeStore
+loadLifetimeStore(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open '", path, "' for reading");
+    return loadLifetimeStore(is);
+}
+
+} // namespace mbavf

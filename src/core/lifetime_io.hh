@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Binary serialization of LifetimeStores.
+ *
+ * ACE lifetimes are the expensive artifact of a run (simulation +
+ * liveness + backward pass); MB-AVF queries over schemes, layouts,
+ * and fault modes are cheap by comparison. Persisting the store lets
+ * a design sweep re-analyze one simulation many times ("run once,
+ * analyze many").
+ */
+
+#ifndef MBAVF_CORE_LIFETIME_IO_HH
+#define MBAVF_CORE_LIFETIME_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/lifetime.hh"
+
+namespace mbavf
+{
+
+/** Serialize @p store to a stream. */
+void saveLifetimeStore(const LifetimeStore &store, std::ostream &os);
+
+/** Deserialize a store from a stream; fatal on malformed input. */
+LifetimeStore loadLifetimeStore(std::istream &is);
+
+/** File convenience wrappers; fatal on I/O failure. */
+void saveLifetimeStore(const LifetimeStore &store,
+                       const std::string &path);
+LifetimeStore loadLifetimeStore(const std::string &path);
+
+} // namespace mbavf
+
+#endif // MBAVF_CORE_LIFETIME_IO_HH

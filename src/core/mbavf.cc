@@ -1,0 +1,429 @@
+#include "core/mbavf.hh"
+
+#include <algorithm>
+#include <array>
+#include <thread>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "core/ace_class.hh"
+
+namespace mbavf
+{
+
+namespace
+{
+
+/** Largest fault-mode size the sweep kernel supports. */
+constexpr unsigned maxModeBits = 64;
+
+/** Resolved view of one member bit of a fault group. */
+struct MemberBit
+{
+    const WordLifetime *life = nullptr; ///< null = always Unace
+    unsigned bitInWord = 0;
+    DomainId domain = invalidDomain;
+    std::size_t segCursor = 0; ///< sweep cursor into life->segments()
+};
+
+/** Per-group sweep state shared across anchors to avoid reallocation. */
+struct SweepScratch
+{
+    std::vector<Cycle> boundaries;
+};
+
+/**
+ * Classify one region (bits of the group sharing a protection domain)
+ * given the ACE classes present among its member bits and the action
+ * the scheme takes on this region's flip count.
+ */
+Outcome
+classifyRegion(FaultAction action, bool any_ace_live, bool any_read)
+{
+    switch (action) {
+      case FaultAction::Corrected:
+        return Outcome::Unace;
+      case FaultAction::Detected:
+        if (any_ace_live)
+            return Outcome::TrueDue;
+        if (any_read)
+            return Outcome::FalseDue;
+        return Outcome::Unace;
+      case FaultAction::Undetected:
+        if (any_ace_live)
+            return Outcome::Sdc;
+        return Outcome::Unace;
+    }
+    panic("unreachable fault action");
+}
+
+/**
+ * Combine region outcomes into the group outcome. Default precedence
+ * is SDC > trueDUE > falseDUE > unACE; with due_shields_sdc a
+ * detected region converts would-be SDC into a true DUE.
+ */
+Outcome
+combineOutcomes(bool has_sdc, bool has_true_due, bool has_false_due,
+                bool due_shields_sdc)
+{
+    if (has_sdc && has_true_due && due_shields_sdc)
+        return Outcome::TrueDue;
+    if (has_sdc)
+        return Outcome::Sdc;
+    if (has_true_due)
+        return Outcome::TrueDue;
+    if (has_false_due)
+        return Outcome::FalseDue;
+    return Outcome::Unace;
+}
+
+/** Accumulates outcome time, whole-run and per-window. */
+class OutcomeAccumulator
+{
+  public:
+    OutcomeAccumulator(Cycle horizon, unsigned num_windows)
+        : horizon_(horizon), numWindows_(num_windows)
+    {
+        if (num_windows)
+            windows_.resize(std::size_t(num_windows) * 3, 0);
+    }
+
+    /** Exact integer window boundary: window w covers
+     *  [bound(w), bound(w+1)). */
+    Cycle
+    bound(unsigned w) const
+    {
+        return static_cast<Cycle>(
+            static_cast<unsigned __int128>(horizon_) * w /
+            numWindows_);
+    }
+
+    void
+    add(Outcome outcome, Cycle begin, Cycle end)
+    {
+        if (outcome == Outcome::Unace || end <= begin)
+            return;
+        unsigned idx = classIndex(outcome);
+        totals_[idx] += end - begin;
+        if (!numWindows_)
+            return;
+        // Split the slice across windows; self-correct the initial
+        // estimate against the exact integer boundaries.
+        auto window_of = [this](Cycle t) {
+            auto w = static_cast<unsigned>(
+                static_cast<unsigned __int128>(t) * numWindows_ /
+                horizon_);
+            w = std::min(w, numWindows_ - 1);
+            while (bound(w) > t)
+                --w;
+            while (w + 1 < numWindows_ && bound(w + 1) <= t)
+                ++w;
+            return w;
+        };
+        unsigned w0 = window_of(begin);
+        unsigned w1 = window_of(end - 1);
+        for (unsigned w = w0; w <= w1; ++w) {
+            Cycle lo = std::max(begin, bound(w));
+            Cycle hi = std::min(end, bound(w + 1));
+            if (lo < hi)
+                windows_[std::size_t(w) * 3 + idx] += hi - lo;
+        }
+    }
+
+    const std::array<Cycle, 3> &totals() const { return totals_; }
+
+    Cycle
+    windowTotal(unsigned window, unsigned idx) const
+    {
+        return windows_[std::size_t(window) * 3 + idx];
+    }
+
+    /** Fold another accumulator's counts in (exact integer sums). */
+    void
+    mergeFrom(const OutcomeAccumulator &other)
+    {
+        for (unsigned i = 0; i < 3; ++i)
+            totals_[i] += other.totals_[i];
+        for (std::size_t i = 0; i < windows_.size(); ++i)
+            windows_[i] += other.windows_[i];
+    }
+
+    static unsigned
+    classIndex(Outcome outcome)
+    {
+        switch (outcome) {
+          case Outcome::Sdc: return 0;
+          case Outcome::TrueDue: return 1;
+          case Outcome::FalseDue: return 2;
+          default: panic("no class index for unACE");
+        }
+    }
+
+  private:
+    Cycle horizon_;
+    unsigned numWindows_;
+    std::array<Cycle, 3> totals_ = {0, 0, 0};
+    std::vector<Cycle> windows_;
+};
+
+/**
+ * Sweep one fault group: merge the member bits' segment boundaries
+ * and classify every elementary slice.
+ *
+ * Member bits of the same word share one WordLifetime; boundary
+ * collection and cursor advancement are done once per unique word,
+ * not once per bit (Mx1 groups over xI interleaving hit each word
+ * M/I times).
+ */
+void
+sweepGroup(std::vector<MemberBit> &members, const ProtectionScheme &scheme,
+           Cycle horizon, bool due_shields_sdc, SweepScratch &scratch,
+           OutcomeAccumulator &acc)
+{
+    // Group members into regions by domain. Members arrive sorted by
+    // (dRow, dCol); domains of adjacent offsets alternate, so find
+    // regions by scanning unique domains (mode sizes are tiny).
+    std::array<DomainId, maxModeBits> domains;
+    std::array<FaultAction, maxModeBits> actions;
+    std::array<unsigned, maxModeBits> regionOf;
+    unsigned num_regions = 0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        unsigned r = 0;
+        for (; r < num_regions; ++r) {
+            if (domains[r] == members[i].domain)
+                break;
+        }
+        if (r == num_regions)
+            domains[num_regions++] = members[i].domain;
+        regionOf[i] = r;
+    }
+    std::array<unsigned, maxModeBits> region_size{};
+    for (std::size_t i = 0; i < members.size(); ++i)
+        ++region_size[regionOf[i]];
+    for (unsigned r = 0; r < num_regions; ++r)
+        actions[r] = scheme.action(region_size[r]);
+
+    // Deduplicate member words: per unique WordLifetime keep one
+    // cursor plus the member's (bit, region) pairs attached to it.
+    std::array<const WordLifetime *, maxModeBits> words;
+    std::array<std::size_t, maxModeBits> cursors{};
+    std::array<unsigned, maxModeBits> wordOf;
+    unsigned num_words = 0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        if (!members[i].life) {
+            wordOf[i] = maxModeBits; // sentinel: always Unace
+            continue;
+        }
+        unsigned w = 0;
+        for (; w < num_words; ++w) {
+            if (words[w] == members[i].life)
+                break;
+        }
+        if (w == num_words)
+            words[num_words++] = members[i].life;
+        wordOf[i] = w;
+    }
+    if (num_words == 0)
+        return; // every bit Unace for the whole horizon
+
+    // Collect slice boundaries once per unique word.
+    auto &bounds = scratch.boundaries;
+    bounds.clear();
+    for (unsigned w = 0; w < num_words; ++w) {
+        for (const LifeSegment &s : words[w]->segments()) {
+            if (s.begin >= horizon)
+                break;
+            bounds.push_back(s.begin);
+            bounds.push_back(std::min(s.end, horizon));
+        }
+    }
+    if (bounds.empty())
+        return;
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+    // Sweep slices. Between boundaries every bit's class is
+    // constant. Scratch arrays are reset only over the entries in
+    // use (value-initializing maxModeBits-sized arrays per slice is
+    // measurably slow for small modes).
+    std::array<const LifeSegment *, maxModeBits> active;
+    std::array<bool, maxModeBits> region_live;
+    std::array<bool, maxModeBits> region_read;
+    Cycle prev = bounds.front();
+    for (std::size_t bi = 1; bi < bounds.size(); ++bi) {
+        Cycle next = bounds[bi];
+
+        // Active segment per unique word (nullptr = Unace gap).
+        for (unsigned w = 0; w < num_words; ++w) {
+            const auto &segs = words[w]->segments();
+            std::size_t &cur = cursors[w];
+            while (cur < segs.size() && segs[cur].end <= prev)
+                ++cur;
+            active[w] = (cur < segs.size() && segs[cur].begin <= prev)
+                ? &segs[cur]
+                : nullptr;
+        }
+
+        for (unsigned r = 0; r < num_regions; ++r) {
+            region_live[r] = false;
+            region_read[r] = false;
+        }
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            if (wordOf[i] == maxModeBits)
+                continue;
+            const LifeSegment *s = active[wordOf[i]];
+            if (!s)
+                continue;
+            unsigned r = regionOf[i];
+            if (bitAt(s->aceMask, members[i].bitInWord))
+                region_live[r] = true;
+            else if (bitAt(s->readMask, members[i].bitInWord))
+                region_read[r] = true;
+        }
+
+        bool has_sdc = false, has_tdue = false, has_fdue = false;
+        for (unsigned r = 0; r < num_regions; ++r) {
+            Outcome o = classifyRegion(actions[r], region_live[r],
+                                       region_live[r] || region_read[r]);
+            has_sdc |= o == Outcome::Sdc;
+            has_tdue |= o == Outcome::TrueDue;
+            has_fdue |= o == Outcome::FalseDue;
+        }
+        acc.add(combineOutcomes(has_sdc, has_tdue, has_fdue,
+                                due_shields_sdc),
+                prev, next);
+        prev = next;
+    }
+}
+
+} // namespace
+
+MbAvfResult
+computeMbAvf(const PhysicalArray &array, const LifetimeStore &store,
+             const ProtectionScheme &scheme, const FaultMode &mode,
+             const MbAvfOptions &opt)
+{
+    if (opt.horizon == 0)
+        fatal("MB-AVF horizon must be nonzero");
+    if (mode.size() > maxModeBits)
+        fatal("fault mode larger than ", maxModeBits, " bits");
+
+    const std::uint64_t rows = array.rows();
+    const std::uint64_t cols = array.cols();
+    const std::uint64_t span_r =
+        static_cast<std::uint64_t>(mode.maxDRow()) + 1;
+    const std::uint64_t span_c =
+        static_cast<std::uint64_t>(mode.maxDCol()) + 1;
+
+    MbAvfResult result;
+    result.horizon = opt.horizon;
+    result.numGroups = mode.numGroups(rows, cols);
+    if (result.numGroups == 0)
+        return result;
+
+    OutcomeAccumulator acc(opt.horizon, opt.numWindows);
+
+    // Sweep anchor rows [row_begin, row_end) into one accumulator.
+    // Physical bits are resolved row-band by row-band: the span_r
+    // rows the pattern touches are cached so each array position is
+    // resolved exactly once per band.
+    auto sweep_rows = [&](std::uint64_t row_begin,
+                          std::uint64_t row_end,
+                          OutcomeAccumulator &out) {
+        SweepScratch scratch;
+        std::vector<MemberBit> row_cache;
+        std::vector<MemberBit> members(mode.size());
+
+        for (std::uint64_t r = row_begin; r < row_end; ++r) {
+            row_cache.assign(std::size_t(span_r) * cols, MemberBit{});
+            for (std::uint64_t dr = 0; dr < span_r; ++dr) {
+                for (std::uint64_t c = 0; c < cols; ++c) {
+                    PhysBit pb = array.at(r + dr, c);
+                    MemberBit &m = row_cache[dr * cols + c];
+                    m.domain = pb.domain;
+                    m.life = store.findBit(pb.container,
+                                           pb.bitInContainer,
+                                           m.bitInWord);
+                }
+            }
+
+            for (std::uint64_t c = 0; c + span_c <= cols; ++c) {
+                bool any_life = false;
+                for (unsigned i = 0; i < mode.size(); ++i) {
+                    const PatternOffset &o = mode.offsets()[i];
+                    members[i] =
+                        row_cache[std::size_t(o.dRow) * cols + c +
+                                  static_cast<std::uint64_t>(o.dCol)];
+                    any_life |= members[i].life != nullptr;
+                }
+                if (!any_life)
+                    continue;
+                sweepGroup(members, scheme, opt.horizon,
+                           opt.dueShieldsSdc, scratch, out);
+            }
+        }
+    };
+
+    const std::uint64_t anchor_rows = rows - span_r + 1;
+    unsigned threads = opt.numThreads;
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = static_cast<unsigned>(
+        std::min<std::uint64_t>(threads, anchor_rows));
+
+    if (threads <= 1) {
+        sweep_rows(0, anchor_rows, acc);
+    } else {
+        // Integer cycle counts sum exactly, so the partition does
+        // not change results.
+        std::vector<OutcomeAccumulator> partials(
+            threads, OutcomeAccumulator(opt.horizon, opt.numWindows));
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t) {
+            std::uint64_t lo = anchor_rows * t / threads;
+            std::uint64_t hi = anchor_rows * (t + 1) / threads;
+            pool.emplace_back([&, lo, hi, t] {
+                sweep_rows(lo, hi, partials[t]);
+            });
+        }
+        for (std::thread &worker : pool)
+            worker.join();
+        for (const OutcomeAccumulator &partial : partials)
+            acc.mergeFrom(partial);
+    }
+
+    const double denom =
+        static_cast<double>(result.numGroups) *
+        static_cast<double>(opt.horizon);
+    result.avf.sdc = acc.totals()[0] / denom;
+    result.avf.trueDue = acc.totals()[1] / denom;
+    result.avf.falseDue = acc.totals()[2] / denom;
+
+    if (opt.numWindows) {
+        result.windows.resize(opt.numWindows);
+        auto bound = [&](unsigned w) {
+            return static_cast<Cycle>(
+                static_cast<unsigned __int128>(opt.horizon) * w /
+                opt.numWindows);
+        };
+        for (unsigned w = 0; w < opt.numWindows; ++w) {
+            double wd =
+                static_cast<double>(bound(w + 1) - bound(w)) *
+                static_cast<double>(result.numGroups);
+            result.windows[w].sdc = acc.windowTotal(w, 0) / wd;
+            result.windows[w].trueDue = acc.windowTotal(w, 1) / wd;
+            result.windows[w].falseDue = acc.windowTotal(w, 2) / wd;
+        }
+    }
+    return result;
+}
+
+MbAvfResult
+computeSbAvf(const PhysicalArray &array, const LifetimeStore &store,
+             const ProtectionScheme &scheme, const MbAvfOptions &opt)
+{
+    return computeMbAvf(array, store, scheme, FaultMode::mx1(1), opt);
+}
+
+} // namespace mbavf

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The multi-bit AVF engine (paper Sections IV, V, VII).
+ *
+ * Given a physical array layout, the per-bit ACE lifetimes of the
+ * structure, a protection scheme, and a fault mode, computeMbAvf()
+ * enumerates every fault group of the mode, splits it into overlapped
+ * regions by protection domain, classifies each region per cycle
+ * (Eq. 5-6), combines regions into a group outcome (Eq. 7), and
+ * integrates over groups and time (Eq. 2). Results are reported as
+ * separate SDC / true-DUE / false-DUE AVF fractions, optionally
+ * bucketed into time windows for AVF-over-time plots.
+ */
+
+#ifndef MBAVF_CORE_MBAVF_HH
+#define MBAVF_CORE_MBAVF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/fault_mode.hh"
+#include "core/layout.hh"
+#include "core/lifetime.hh"
+#include "core/protection.hh"
+
+namespace mbavf
+{
+
+/** AVF split by outcome class; each is a fraction of group-cycles. */
+struct AvfFractions
+{
+    double sdc = 0.0;
+    double trueDue = 0.0;
+    double falseDue = 0.0;
+
+    /** Total detected-uncorrected AVF (true + false DUE). */
+    double due() const { return trueDue + falseDue; }
+
+    /** Total AVF over all error classes. */
+    double total() const { return sdc + trueDue + falseDue; }
+};
+
+/** Options controlling an MB-AVF computation. */
+struct MbAvfOptions
+{
+    /** Measurement horizon N in cycles (must be nonzero). */
+    Cycle horizon = 0;
+
+    /**
+     * When true, a group with both DUE-ACE and SDC-ACE regions counts
+     * as DUE: the detection fires before the corrupted data reaches
+     * program output. This models the paper's inter-thread VGPR
+     * interleaving, where all regions of a group are read in the same
+     * 16-thread operation (Section VIII). Default (false) is the
+     * conservative cache rule: SDC takes precedence.
+     */
+    bool dueShieldsSdc = false;
+
+    /** Number of equal time windows for AVF-over-time (0 = none). */
+    unsigned numWindows = 0;
+
+    /**
+     * Worker threads for the group sweep (rows are partitioned
+     * across threads; results are exactly deterministic regardless).
+     * 0 = use the hardware concurrency, 1 = serial.
+     */
+    unsigned numThreads = 1;
+};
+
+/** Result of one MB-AVF computation. */
+struct MbAvfResult
+{
+    /** Whole-run AVF fractions (Eq. 2, per outcome class). */
+    AvfFractions avf;
+
+    /** Per-window AVF fractions when numWindows > 0. */
+    std::vector<AvfFractions> windows;
+
+    /** Number of fault groups G of the mode in the array. */
+    std::uint64_t numGroups = 0;
+
+    /** Measurement horizon N. */
+    Cycle horizon = 0;
+};
+
+/**
+ * Compute the MB-AVF of @p mode on @p array protected by @p scheme,
+ * using the ACE lifetimes in @p store.
+ */
+MbAvfResult computeMbAvf(const PhysicalArray &array,
+                         const LifetimeStore &store,
+                         const ProtectionScheme &scheme,
+                         const FaultMode &mode,
+                         const MbAvfOptions &opt);
+
+/**
+ * Convenience: single-bit AVF of the structure (a 1x1 "multi-bit"
+ * mode; Eq. 1 falls out of Eq. 2 at M = 1).
+ */
+MbAvfResult computeSbAvf(const PhysicalArray &array,
+                         const LifetimeStore &store,
+                         const ProtectionScheme &scheme,
+                         const MbAvfOptions &opt);
+
+} // namespace mbavf
+
+#endif // MBAVF_CORE_MBAVF_HH

@@ -1,0 +1,18 @@
+#include "core/ser.hh"
+
+namespace mbavf
+{
+
+StructureSer
+sumSer(const std::vector<ModeSer> &modes)
+{
+    StructureSer out;
+    for (const ModeSer &m : modes) {
+        out.sdc += m.sdcSer();
+        out.trueDue += m.trueDueSer();
+        out.falseDue += m.falseDueSer();
+    }
+    return out;
+}
+
+} // namespace mbavf

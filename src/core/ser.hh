@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Soft-error-rate calculation (paper Section IV-E, Eq. 3): the SER of
+ * a structure is the sum over fault modes of the mode's raw FIT rate
+ * times the structure's MB-AVF for that mode.
+ */
+
+#ifndef MBAVF_CORE_SER_HH
+#define MBAVF_CORE_SER_HH
+
+#include <vector>
+
+#include "core/mbavf.hh"
+
+namespace mbavf
+{
+
+/** One fault mode's contribution to a structure's error rates. */
+struct ModeSer
+{
+    /** Fault mode width (bits); 1 = single-bit. */
+    unsigned modeBits = 1;
+    /** Raw fault rate of this mode, in FIT. */
+    double fit = 0.0;
+    /** Measured AVF fractions for this mode. */
+    AvfFractions avf;
+
+    double sdcSer() const { return fit * avf.sdc; }
+    double trueDueSer() const { return fit * avf.trueDue; }
+    double falseDueSer() const { return fit * avf.falseDue; }
+    double dueSer() const { return fit * avf.due(); }
+    double totalSer() const { return fit * avf.total(); }
+};
+
+/** Per-class SER totals for a structure (FIT). */
+struct StructureSer
+{
+    double sdc = 0.0;
+    double trueDue = 0.0;
+    double falseDue = 0.0;
+
+    double due() const { return trueDue + falseDue; }
+    double total() const { return sdc + trueDue + falseDue; }
+};
+
+/** Sum per-mode contributions into structure totals (Eq. 3). */
+StructureSer sumSer(const std::vector<ModeSer> &modes);
+
+} // namespace mbavf
+
+#endif // MBAVF_CORE_SER_HH

@@ -1,0 +1,48 @@
+#include "core/sweep.hh"
+
+#include <algorithm>
+
+namespace mbavf
+{
+
+ModeSweep
+sweepModes(const PhysicalArray &array, const LifetimeStore &store,
+           const ProtectionScheme &scheme, const MbAvfOptions &opt,
+           unsigned max_mode)
+{
+    ModeSweep sweep;
+    sweep.results.reserve(max_mode);
+    for (unsigned m = 1; m <= max_mode; ++m) {
+        sweep.results.push_back(
+            computeMbAvf(array, store, scheme, FaultMode::mx1(m),
+                         opt));
+    }
+    return sweep;
+}
+
+StructureSer
+sweepSer(const ModeSweep &sweep, std::span<const double> fits)
+{
+    StructureSer ser{};
+    std::size_t n = std::min(sweep.results.size(), fits.size());
+    for (std::size_t m = 0; m < n; ++m) {
+        const AvfFractions &avf = sweep.results[m].avf;
+        ser.sdc += fits[m] * avf.sdc;
+        ser.trueDue += fits[m] * avf.trueDue;
+        ser.falseDue += fits[m] * avf.falseDue;
+    }
+    return ser;
+}
+
+StructureSer
+computeStructureSer(const PhysicalArray &array,
+                    const LifetimeStore &store,
+                    const ProtectionScheme &scheme,
+                    const MbAvfOptions &opt, double total_fit)
+{
+    ModeSweep sweep = sweepModes(array, store, scheme, opt);
+    auto fits = caseStudyFaultRates(total_fit);
+    return sweepSer(sweep, fits);
+}
+
+} // namespace mbavf

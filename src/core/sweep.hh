@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Convenience sweeps: evaluate a structure across the tabulated Mx1
+ * fault modes and fold the results into soft error rates — the
+ * common shape of every design-space query (paper Sections IV-E,
+ * VIII).
+ */
+
+#ifndef MBAVF_CORE_SWEEP_HH
+#define MBAVF_CORE_SWEEP_HH
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "core/fault_rates.hh"
+#include "core/mbavf.hh"
+#include "core/ser.hh"
+
+namespace mbavf
+{
+
+/** MB-AVF results for modes 1x1 .. (max_mode)x1. */
+struct ModeSweep
+{
+    /** results[m-1] = MB-AVF of mode (m)x1. */
+    std::vector<MbAvfResult> results;
+
+    const AvfFractions &
+    avf(unsigned mode_bits) const
+    {
+        return results.at(mode_bits - 1).avf;
+    }
+};
+
+/**
+ * Compute MB-AVFs for 1x1 through (max_mode)x1 faults.
+ */
+ModeSweep sweepModes(const PhysicalArray &array,
+                     const LifetimeStore &store,
+                     const ProtectionScheme &scheme,
+                     const MbAvfOptions &opt,
+                     unsigned max_mode = maxTabulatedMode);
+
+/**
+ * Fold a mode sweep with per-mode FIT rates into a structure SER
+ * (Eq. 3). @p fits[m-1] is the raw rate of mode (m)x1; modes beyond
+ * the sweep are ignored.
+ */
+StructureSer sweepSer(const ModeSweep &sweep,
+                      std::span<const double> fits);
+
+/**
+ * One-call SER: sweep modes and fold with the 22nm case-study rates
+ * scaled to @p total_fit.
+ */
+StructureSer computeStructureSer(const PhysicalArray &array,
+                                 const LifetimeStore &store,
+                                 const ProtectionScheme &scheme,
+                                 const MbAvfOptions &opt,
+                                 double total_fit = 100.0);
+
+} // namespace mbavf
+
+#endif // MBAVF_CORE_SWEEP_HH

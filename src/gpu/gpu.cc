@@ -1,0 +1,145 @@
+#include "gpu/gpu.hh"
+
+#include <ostream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "gpu/wave.hh"
+
+namespace mbavf
+{
+
+Gpu::Gpu(const GpuConfig &config)
+    : config_(config)
+{
+    if (config.wavefrontSize == 0 || config.wavefrontSize > 64)
+        fatal("wavefront size must be in [1, 64]");
+    if (config.quarterWave == 0 ||
+        config.wavefrontSize % config.quarterWave != 0) {
+        fatal("quarter-wave width must divide the wavefront size");
+    }
+    if (config.regs.numLanes != config.wavefrontSize)
+        fatal("register file lanes must match the wavefront size");
+    if (!isPowerOfTwo(config.memBytes))
+        fatal("memory size must be a power of two");
+
+    mem_ = std::make_unique<MainMemory>(config.memBytes);
+    dram_ = std::make_unique<Dram>(config.dramLatency);
+    l2_ = std::make_unique<Cache>(config.l2, *dram_);
+    for (unsigned cu = 0; cu < config.numCus; ++cu) {
+        l1s_.push_back(std::make_unique<Cache>(config.l1, *l2_));
+        regFiles_.push_back(
+            std::make_unique<VectorRegFile>(config.regs));
+    }
+    cuWaveCount_.assign(config.numCus, 0);
+}
+
+Gpu::~Gpu() = default;
+
+void
+Gpu::launch(const std::function<void(Wave &)> &kernel,
+            unsigned num_waves)
+{
+    if (finished_)
+        panic("launch after finish()");
+    for (unsigned w = 0; w < num_waves; ++w) {
+        unsigned cu = w % config_.numCus;
+        unsigned slot = cuWaveCount_[cu] % config_.regs.numSlots;
+        ++cuWaveCount_[cu];
+        Wave wave(*this, cu, slot, w);
+        kernel(wave);
+        clock_.advanceTo(wave.endTime());
+    }
+}
+
+void
+Gpu::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    horizon_ = clock_.now() + 1;
+
+    if (tracking_) {
+        // Output buffers are consumed (fully live) at the horizon.
+        for (const OutputRange &range : outputRanges_) {
+            refIndex_.addLoad(range.addr,
+                              static_cast<unsigned>(range.bytes),
+                              horizon_, noDef);
+        }
+    }
+    // Kernel-completion flush: write back all dirty state.
+    for (auto &l1 : l1s_)
+        l1->flush(horizon_);
+    l2_->flush(horizon_);
+}
+
+void
+Gpu::addOutputRange(Addr addr, std::uint64_t bytes)
+{
+    outputRanges_.push_back({addr, bytes});
+}
+
+void
+Gpu::armInjections(std::vector<RegInjection> injections)
+{
+    injections_ = std::move(injections);
+}
+
+void
+Gpu::printStats(std::ostream &os) const
+{
+    os << "---------- stats ----------\n";
+    os << "sim.cycles            " << clock_.now() << "\n";
+    os << "sim.instructions      " << instrCount_ << "\n";
+    for (unsigned cu = 0; cu < config_.numCus; ++cu) {
+        const CacheStats &s = l1s_[cu]->stats();
+        os << "l1[" << cu << "].hits            " << s.hits << "\n";
+        os << "l1[" << cu << "].misses          " << s.misses << "\n";
+        os << "l1[" << cu << "].missRate        " << s.missRate()
+           << "\n";
+        os << "l1[" << cu << "].writebacks      " << s.writebacks
+           << "\n";
+        os << "vgpr[" << cu << "].reads          "
+           << regFiles_[cu]->reads() << "\n";
+        os << "vgpr[" << cu << "].writes         "
+           << regFiles_[cu]->writes() << "\n";
+    }
+    const CacheStats &l2s = l2_->stats();
+    os << "l2.hits               " << l2s.hits << "\n";
+    os << "l2.misses             " << l2s.misses << "\n";
+    os << "l2.missRate           " << l2s.missRate() << "\n";
+    os << "dram.accesses         " << dram_->accesses() << "\n";
+    os << "trace.defs            " << dataflow_.size() << "\n";
+    os << "trace.bytes           " << dataflow_.memoryBytes() << "\n";
+    os << "mem.footprint         " << mem_->allocatedBytes() << "\n";
+    os << "---------------------------\n";
+}
+
+void
+Gpu::armMemInjections(std::vector<MemInjection> injections)
+{
+    memInjections_ = std::move(injections);
+}
+
+void
+Gpu::preInstruction()
+{
+    for (RegInjection &inj : injections_) {
+        if (!inj.fired && instrCount_ == inj.triggerInstr) {
+            regFiles_[inj.cu]->flipBits(inj.slot, inj.reg, inj.lane,
+                                        inj.bitMask);
+            inj.fired = true;
+        }
+    }
+    for (MemInjection &inj : memInjections_) {
+        if (!inj.fired && instrCount_ == inj.triggerInstr) {
+            mem_->write8(inj.addr,
+                         mem_->read8(inj.addr) ^ inj.bitMask);
+            inj.fired = true;
+        }
+    }
+    ++instrCount_;
+}
+
+} // namespace mbavf

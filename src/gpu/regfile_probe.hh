@@ -1,0 +1,66 @@
+/**
+ * @file
+ * RegFileAvfProbe: event tracking + lifetime construction for the
+ * VGPR. Each 32-bit register is one container and one word, so the
+ * probe simply accumulates a WordEventLog per register and runs the
+ * backward builder at finalization.
+ */
+
+#ifndef MBAVF_GPU_REGFILE_PROBE_HH
+#define MBAVF_GPU_REGFILE_PROBE_HH
+
+#include <unordered_map>
+
+#include "core/lifetime.hh"
+#include "core/lifetime_builder.hh"
+#include "gpu/regfile.hh"
+
+namespace mbavf
+{
+
+/** ACE event tracker for one compute unit's VGPR. */
+class RegFileAvfProbe : public RegFileListener
+{
+  public:
+    explicit RegFileAvfProbe(const RegFileGeometry &geom)
+        : geom_(geom)
+    {}
+
+    void
+    onRegWrite(std::uint64_t container, Cycle t) override
+    {
+        logs_[container].write(t, 0xFFFFFFFFull);
+    }
+
+    void
+    onRegRead(std::uint64_t container, Cycle t,
+              std::uint32_t consume_mask, DefId def, bool exact) override
+    {
+        if (exact)
+            logs_[container].readExact(t, consume_mask, def, 0);
+        else
+            logs_[container].read(t, consume_mask, def);
+    }
+
+    /** Analysis phase: build per-bit lifetimes over [0, horizon). */
+    LifetimeStore
+    finalize(Cycle horizon, const LivenessResolver &live) const
+    {
+        LifetimeStore store(geom_.regBits, 1);
+        for (const auto &[container, log] : logs_) {
+            store.container(container).words[0] =
+                buildWordLifetime(log, horizon, geom_.regBits, live);
+        }
+        return store;
+    }
+
+    const RegFileGeometry &geometry() const { return geom_; }
+
+  private:
+    RegFileGeometry geom_;
+    std::unordered_map<std::uint64_t, WordEventLog> logs_;
+};
+
+} // namespace mbavf
+
+#endif // MBAVF_GPU_REGFILE_PROBE_HH

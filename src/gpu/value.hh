@@ -1,0 +1,25 @@
+/**
+ * @file
+ * A tracked 32-bit value: data bits plus dataflow provenance.
+ */
+
+#ifndef MBAVF_GPU_VALUE_HH
+#define MBAVF_GPU_VALUE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mbavf
+{
+
+/** One 32-bit register value with the definition that produced it. */
+struct Value
+{
+    std::uint32_t bits = 0;
+    DefId def = noDef;
+};
+
+} // namespace mbavf
+
+#endif // MBAVF_GPU_VALUE_HH

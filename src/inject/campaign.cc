@@ -1,0 +1,91 @@
+#include "inject/campaign.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mbavf
+{
+
+Campaign::Campaign(std::string workload, unsigned scale,
+                   GpuConfig config)
+    : workload_(std::move(workload)), scale_(scale), config_(config)
+{
+    goldenOutput_ = execute({}, {}, &goldenInstrs_);
+    if (goldenInstrs_ == 0)
+        fatal("golden run of '", workload_, "' executed nothing");
+}
+
+std::vector<std::uint8_t>
+Campaign::execute(const std::vector<RegInjection> &flips,
+                  const std::vector<MemInjection> &mem_flips,
+                  std::uint64_t *instrs)
+{
+    Gpu gpu(config_);
+    gpu.setTracking(false);
+    if (!flips.empty())
+        gpu.armInjections(flips);
+    if (!mem_flips.empty())
+        gpu.armMemInjections(mem_flips);
+
+    auto workload = makeWorkload(workload_, scale_);
+    workload->run(gpu);
+    gpu.finish();
+
+    if (instrs)
+        *instrs = gpu.instrCount();
+
+    std::vector<std::uint8_t> bytes;
+    for (const Workload::Range &range : workload->outputs()) {
+        for (std::uint64_t i = 0; i < range.bytes; ++i)
+            bytes.push_back(gpu.mem().read8(range.addr + i));
+    }
+    // Remember how many CUs actually received waves and the memory
+    // footprint so the samplers target state that can matter.
+    cusUsed_ = config_.numCus;
+    footprint_ = gpu.mem().allocatedBytes();
+    return bytes;
+}
+
+InjectOutcome
+Campaign::inject(const std::vector<RegInjection> &flips)
+{
+    std::vector<std::uint8_t> out = execute(flips, {}, nullptr);
+    return out == goldenOutput_ ? InjectOutcome::Masked
+                                : InjectOutcome::Sdc;
+}
+
+InjectOutcome
+Campaign::injectMem(const std::vector<MemInjection> &flips)
+{
+    std::vector<std::uint8_t> out = execute({}, flips, nullptr);
+    return out == goldenOutput_ ? InjectOutcome::Masked
+                                : InjectOutcome::Sdc;
+}
+
+RegInjection
+Campaign::sampleSingleBit(Rng &rng) const
+{
+    RegInjection inj;
+    inj.cu = static_cast<unsigned>(rng.below(cusUsed_));
+    inj.slot =
+        static_cast<unsigned>(rng.below(config_.regs.numSlots));
+    inj.reg = static_cast<unsigned>(rng.below(config_.regs.numRegs));
+    inj.lane = static_cast<unsigned>(rng.below(config_.regs.numLanes));
+    inj.bitMask = std::uint32_t(1)
+        << rng.below(config_.regs.regBits);
+    inj.triggerInstr = rng.below(goldenInstrs_);
+    return inj;
+}
+
+MemInjection
+Campaign::sampleMemBit(Rng &rng) const
+{
+    MemInjection inj;
+    inj.addr = rng.below(std::max<Addr>(footprint_, 1));
+    inj.bitMask = static_cast<std::uint8_t>(1u << rng.below(8));
+    inj.triggerInstr = rng.below(goldenInstrs_);
+    return inj;
+}
+
+} // namespace mbavf

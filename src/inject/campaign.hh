@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fault-injection campaign driver (paper Section VII-A).
+ *
+ * A Campaign runs one workload to completion once (the golden run,
+ * with all ACE tracking disabled) and snapshots its declared output
+ * ranges. Each injection then re-executes the workload from scratch
+ * with one or more register-file bit flips armed at a dynamic
+ * instruction trigger; the outcome is SDC when the final output
+ * bytes differ from the golden snapshot, masked otherwise.
+ */
+
+#ifndef MBAVF_INJECT_CAMPAIGN_HH
+#define MBAVF_INJECT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "gpu/gpu.hh"
+#include "workloads/workload.hh"
+
+namespace mbavf
+{
+
+/** Outcome of one injection. */
+enum class InjectOutcome : std::uint8_t
+{
+    Masked,
+    Sdc,
+};
+
+/** Injection campaign over one workload configuration. */
+class Campaign
+{
+  public:
+    /**
+     * Runs the golden execution immediately.
+     *
+     * @param workload registry name
+     * @param scale    problem-size multiplier
+     * @param config   device configuration
+     */
+    Campaign(std::string workload, unsigned scale, GpuConfig config);
+
+    /** Dynamic instructions executed by the golden run. */
+    std::uint64_t goldenInstrs() const { return goldenInstrs_; }
+
+    /** Inject the given flips and classify the outcome. */
+    InjectOutcome inject(const std::vector<RegInjection> &flips);
+
+    /** Inject memory bit flips and classify the outcome. */
+    InjectOutcome injectMem(const std::vector<MemInjection> &flips);
+
+    /** Single-flip convenience. */
+    InjectOutcome
+    inject(const RegInjection &flip)
+    {
+        return inject(std::vector<RegInjection>{flip});
+    }
+
+    InjectOutcome
+    injectMem(const MemInjection &flip)
+    {
+        return injectMem(std::vector<MemInjection>{flip});
+    }
+
+    /**
+     * Sample a uniform single-bit VGPR injection site: a (cu, slot,
+     * register, lane, bit) coordinate and a dynamic-instruction
+     * trigger.
+     */
+    RegInjection sampleSingleBit(Rng &rng) const;
+
+    /**
+     * Sample a uniform single-bit memory injection site over the
+     * workload's allocated footprint.
+     */
+    MemInjection sampleMemBit(Rng &rng) const;
+
+    const std::string &workloadName() const { return workload_; }
+
+  private:
+    /** Run the workload; returns the concatenated output bytes. */
+    std::vector<std::uint8_t>
+    execute(const std::vector<RegInjection> &flips,
+            const std::vector<MemInjection> &mem_flips,
+            std::uint64_t *instrs);
+
+    std::string workload_;
+    unsigned scale_;
+    GpuConfig config_;
+    unsigned cusUsed_ = 1;
+    std::uint64_t goldenInstrs_ = 0;
+    Addr footprint_ = 0;
+    std::vector<std::uint8_t> goldenOutput_;
+};
+
+} // namespace mbavf
+
+#endif // MBAVF_INJECT_CAMPAIGN_HH

@@ -1,0 +1,54 @@
+#include "inject/interference.hh"
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "inject/campaign.hh"
+
+namespace mbavf
+{
+
+InterferenceStats
+runInterferenceStudy(const std::string &workload, unsigned scale,
+                     const GpuConfig &config, unsigned num_injections,
+                     std::uint64_t seed)
+{
+    InterferenceStats stats;
+    stats.workload = workload;
+    stats.singleInjections = num_injections;
+
+    Campaign campaign(workload, scale, config);
+    Rng rng(seed);
+
+    // Phase 1: find SDC ACE bits with random single-bit injections.
+    std::vector<RegInjection> sdc_sites;
+    for (unsigned i = 0; i < num_injections; ++i) {
+        RegInjection inj = campaign.sampleSingleBit(rng);
+        if (campaign.inject(inj) == InjectOutcome::Sdc)
+            sdc_sites.push_back(inj);
+    }
+    stats.sdcAceBits = static_cast<unsigned>(sdc_sites.size());
+
+    // Phase 2: for each SDC site, inject 2x1/3x1/4x1 groups of
+    // adjacent bits in the same register at the same trigger. The
+    // group is predicted SDC (it contains a known SDC ACE bit);
+    // interference is a non-SDC outcome.
+    for (const RegInjection &site : sdc_sites) {
+        unsigned bit = 0;
+        while (!(site.bitMask >> bit & 1))
+            ++bit;
+        for (unsigned m = 2; m <= 4; ++m) {
+            unsigned start =
+                std::min(bit, config.regs.regBits - m);
+            RegInjection multi = site;
+            multi.bitMask = static_cast<std::uint32_t>(
+                ((std::uint64_t(1) << m) - 1) << start);
+            ++stats.groupsTested[m - 2];
+            if (campaign.inject(multi) == InjectOutcome::Masked)
+                ++stats.interference[m - 2];
+        }
+    }
+    return stats;
+}
+
+} // namespace mbavf

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The ACE-interference study (paper Section VII-A, Table II).
+ *
+ * Single-bit ACE analysis assumes a bit's ACEness is independent of
+ * faults in other bits. ACE interference is the exception: a
+ * multi-bit fault whose members individually cause SDC can mask
+ * itself (the paper's PrefixSum control-flow reconvergence example).
+ * The study measures how often this happens: identify SDC ACE bits
+ * by random single-bit injection, build multi-bit fault groups from
+ * each SDC bit and its adjacent bits, inject the group, and count
+ * groups whose outcome is not SDC.
+ */
+
+#ifndef MBAVF_INJECT_INTERFERENCE_HH
+#define MBAVF_INJECT_INTERFERENCE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "gpu/gpu.hh"
+
+namespace mbavf
+{
+
+/** Results of the study for one workload. */
+struct InterferenceStats
+{
+    std::string workload;
+    unsigned singleInjections = 0;
+    /** Distinct single-bit SDC ACE sites found. */
+    unsigned sdcAceBits = 0;
+    /** Multi-bit groups tested per mode (index 0 = 2x1). */
+    std::array<unsigned, 3> groupsTested{};
+    /** Groups whose multi-bit outcome was not SDC (interference). */
+    std::array<unsigned, 3> interference{};
+};
+
+/**
+ * Run the ACE-interference study on one workload.
+ *
+ * @param workload       registry name
+ * @param scale          problem-size multiplier
+ * @param config         device configuration
+ * @param num_injections single-bit injections to identify SDC bits
+ * @param seed           RNG seed
+ */
+InterferenceStats runInterferenceStudy(const std::string &workload,
+                                       unsigned scale,
+                                       const GpuConfig &config,
+                                       unsigned num_injections,
+                                       std::uint64_t seed);
+
+} // namespace mbavf
+
+#endif // MBAVF_INJECT_INTERFERENCE_HH

@@ -1,0 +1,167 @@
+#include "mem/cache.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace mbavf
+{
+
+Cache::Cache(const CacheParams &params, MemLevel &next)
+    : params_(params), next_(next),
+      lines_(std::size_t(params.sets) * params.ways)
+{
+    if (!isPowerOfTwo(params.lineBytes) || params.lineBytes > 64)
+        fatal(params.name, ": line size must be a power of two <= 64");
+    if (!isPowerOfTwo(params.sets))
+        fatal(params.name, ": set count must be a power of two");
+    if (params.ways == 0)
+        fatal(params.name, ": needs at least one way");
+}
+
+unsigned
+Cache::setOf(Addr addr) const
+{
+    return static_cast<unsigned>((addr / params_.lineBytes) %
+                                 params_.sets);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr / params_.lineBytes / params_.sets;
+}
+
+Addr
+Cache::lineAddrOf(Addr addr) const
+{
+    return addr / params_.lineBytes * params_.lineBytes;
+}
+
+int
+Cache::findWay(unsigned set, Addr tag) const
+{
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        const Line &l = line(set, w);
+        if (l.valid && l.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+unsigned
+Cache::victimWay(unsigned set) const
+{
+    unsigned victim = 0;
+    std::uint64_t oldest = ~std::uint64_t(0);
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        const Line &l = line(set, w);
+        if (!l.valid)
+            return w;
+        if (l.lruStamp < oldest) {
+            oldest = l.lruStamp;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findWay(setOf(addr), tagOf(addr)) >= 0;
+}
+
+Cycle
+Cache::access(const MemRequest &req, Cycle now)
+{
+    if (req.size == 0 || req.size > params_.lineBytes)
+        panic(params_.name, ": bad request size ", req.size);
+    if (lineAddrOf(req.addr) != lineAddrOf(req.addr + req.size - 1))
+        panic(params_.name, ": request crosses a line boundary");
+
+    const unsigned set = setOf(req.addr);
+    const Addr tag = tagOf(req.addr);
+    int way = findWay(set, tag);
+    Cycle data_ready = now;
+
+    if (way < 0) {
+        ++stats_.misses;
+        way = static_cast<int>(victimWay(set));
+        Line &victim = line(set, way);
+        Cycle t = now;
+        if (victim.valid) {
+            ++stats_.evictions;
+            Addr victim_addr = (victim.tag * params_.sets + set) *
+                params_.lineBytes;
+            if (listener_) {
+                listener_->onEvict(set, way, victim_addr,
+                                   victim.dirtyBytes, t);
+            }
+            if (victim.dirtyBytes) {
+                ++stats_.writebacks;
+                MemRequest wb{victim_addr, params_.lineBytes,
+                              MemCmd::Write, noDef};
+                t = next_.access(wb, t);
+            }
+        }
+        MemRequest fill{lineAddrOf(req.addr), params_.lineBytes,
+                        MemCmd::Read, noDef};
+        data_ready = next_.access(fill, t);
+        victim.valid = true;
+        victim.tag = tag;
+        victim.dirtyBytes = 0;
+        if (listener_) {
+            listener_->onFill(set, way, lineAddrOf(req.addr),
+                              data_ready);
+        }
+    } else {
+        ++stats_.hits;
+    }
+
+    Line &l = line(set, way);
+    l.lruStamp = ++lruCounter_;
+
+    const Cycle done = data_ready + params_.hitLatency;
+    const unsigned offset =
+        static_cast<unsigned>(req.addr % params_.lineBytes);
+    if (req.cmd == MemCmd::Write) {
+        std::uint64_t mask = lowMask(req.size) << offset;
+        l.dirtyBytes |= mask;
+        if (listener_) {
+            listener_->onWrite(set, way, req.addr, req.size,
+                               data_ready);
+        }
+    } else if (listener_) {
+        listener_->onRead(set, way, req.addr, req.size, data_ready,
+                          req.def);
+    }
+    return done;
+}
+
+void
+Cache::flush(Cycle now)
+{
+    for (unsigned set = 0; set < params_.sets; ++set) {
+        for (unsigned way = 0; way < params_.ways; ++way) {
+            Line &l = line(set, way);
+            if (!l.valid)
+                continue;
+            Addr line_addr =
+                (l.tag * params_.sets + set) * params_.lineBytes;
+            ++stats_.evictions;
+            if (listener_)
+                listener_->onEvict(set, way, line_addr, l.dirtyBytes,
+                                   now);
+            if (l.dirtyBytes) {
+                ++stats_.writebacks;
+                MemRequest wb{line_addr, params_.lineBytes,
+                              MemCmd::Write, noDef};
+                next_.access(wb, now);
+            }
+            l.valid = false;
+            l.dirtyBytes = 0;
+        }
+    }
+}
+
+} // namespace mbavf

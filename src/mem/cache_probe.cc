@@ -1,0 +1,165 @@
+#include "mem/cache_probe.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace mbavf
+{
+
+CacheAvfProbe::CacheAvfProbe(const CacheGeometry &geom,
+                             const MemRefIndex &ref_index)
+    : geom_(geom), refIndex_(ref_index),
+      slots_(std::size_t(geom.sets) * geom.ways)
+{
+}
+
+CacheAvfProbe::SlotLog &
+CacheAvfProbe::slot(unsigned set, unsigned way)
+{
+    SlotLog &s = slots_[std::size_t(set) * geom_.ways + way];
+    if (!s.touched) {
+        s.bytes.resize(geom_.lineBytes);
+        s.touched = true;
+    }
+    return s;
+}
+
+void
+CacheAvfProbe::onFill(unsigned set, unsigned way, Addr, Cycle t)
+{
+    slot(set, way).fills.push_back(t);
+}
+
+void
+CacheAvfProbe::onRead(unsigned set, unsigned way, Addr addr,
+                      unsigned size, Cycle t, DefId def)
+{
+    SlotLog &s = slot(set, way);
+    s.lineReads.push_back(t);
+    unsigned offset = static_cast<unsigned>(addr % geom_.lineBytes);
+    for (unsigned i = 0; i < size; ++i) {
+        ByteAccess access{t, false, def,
+                          static_cast<std::uint8_t>(8 * i), false, 0};
+        if (def == noDef && resolveReadsViaRefIndex_) {
+            // A fill from the level above: the data's consumption is
+            // the program's next reference to the byte.
+            access.resolveFuture = true;
+            access.addr = addr + i;
+        }
+        s.bytes[offset + i].push_back(access);
+    }
+}
+
+void
+CacheAvfProbe::onWrite(unsigned set, unsigned way, Addr addr,
+                       unsigned size, Cycle t)
+{
+    SlotLog &s = slot(set, way);
+    // A write into the array is also an access that reads the line
+    // out for the read-modify-write of its check bits; model it as a
+    // pure overwrite of the written bytes (see DESIGN.md).
+    unsigned offset = static_cast<unsigned>(addr % geom_.lineBytes);
+    for (unsigned i = 0; i < size; ++i)
+        s.bytes[offset + i].push_back({t, true, noDef, 0});
+}
+
+void
+CacheAvfProbe::onEvict(unsigned set, unsigned way, Addr line_addr,
+                       std::uint64_t dirty_bytes, Cycle t)
+{
+    slot(set, way).evicts.push_back({t, line_addr, dirty_bytes});
+}
+
+LifetimeStore
+CacheAvfProbe::finalize(Cycle horizon, const LivenessResolver &live) const
+{
+    LifetimeStore store(8, geom_.lineBytes);
+
+    struct Tagged
+    {
+        Cycle time;
+        Prio prio;
+        WordEvent event;
+    };
+    std::vector<Tagged> merged;
+
+    for (std::size_t idx = 0; idx < slots_.size(); ++idx) {
+        const SlotLog &s = slots_[idx];
+        if (!s.touched)
+            continue;
+        ContainerLifetime &life = store.container(idx);
+
+        for (unsigned b = 0; b < geom_.lineBytes; ++b) {
+            merged.clear();
+
+            for (Cycle t : s.fills) {
+                merged.push_back(
+                    {t, Prio::Fill,
+                     {t, WordEvent::Kind::Write, 0xFF, noDef, false,
+                      0}});
+            }
+            for (Cycle t : s.lineReads) {
+                merged.push_back(
+                    {t, Prio::Access,
+                     {t, WordEvent::Kind::Read, 0, noDef, false, 0}});
+            }
+            for (const Evict &e : s.evicts) {
+                if (!e.dirtyBytes)
+                    continue; // clean: data dropped, never read out
+                // Write-back reads the whole line; the fate of byte b
+                // is its next program-level reference.
+                WordEvent ev{e.time, WordEvent::Kind::Read, 0, noDef,
+                             false, 0};
+                const ByteRef *ref =
+                    refIndex_.firstAfter(e.lineAddr + b, e.time);
+                if (ref && ref->isLoad) {
+                    ev.mask = 0xFF;
+                    ev.def = ref->def;
+                    ev.exact = true;
+                    ev.relShift = ref->relShift;
+                }
+                merged.push_back({e.time, Prio::EvictRead, ev});
+            }
+            for (const ByteAccess &a : s.bytes[b]) {
+                WordEvent ev;
+                if (a.isWrite) {
+                    ev = {a.time, WordEvent::Kind::Write, 0xFF, noDef,
+                          false, 0};
+                } else if (a.resolveFuture) {
+                    ev = {a.time, WordEvent::Kind::Read, 0, noDef,
+                          false, 0};
+                    const ByteRef *ref =
+                        refIndex_.firstAfter(a.addr, a.time);
+                    if (ref && ref->isLoad) {
+                        ev.mask = 0xFF;
+                        ev.def = ref->def;
+                        ev.exact = true;
+                        ev.relShift = ref->relShift;
+                    }
+                } else {
+                    ev = {a.time, WordEvent::Kind::Read, 0xFF, a.def,
+                          true, a.relShift};
+                }
+                merged.push_back({a.time, Prio::Access, ev});
+            }
+
+            std::stable_sort(
+                merged.begin(), merged.end(),
+                [](const Tagged &a, const Tagged &b) {
+                    return a.time != b.time ? a.time < b.time
+                                            : a.prio < b.prio;
+                });
+
+            WordEventLog log;
+            log.events.reserve(merged.size());
+            for (const Tagged &t : merged)
+                log.events.push_back(t.event);
+            life.words[b] = buildWordLifetime(log, horizon, 8, live);
+        }
+    }
+    return store;
+}
+
+} // namespace mbavf

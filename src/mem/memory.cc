@@ -1,0 +1,89 @@
+#include "mem/memory.hh"
+
+#include "common/logging.hh"
+
+namespace mbavf
+{
+
+MainMemory::MainMemory(std::uint64_t size_bytes)
+    : data_(size_bytes, 0)
+{
+    // origins_ is allocated lazily on the first real provenance
+    // write: fault-injection runs never track provenance, and the
+    // array is large.
+}
+
+Addr
+MainMemory::alloc(std::uint64_t bytes, std::uint64_t align)
+{
+    Addr base = (allocPtr_ + align - 1) / align * align;
+    if (base + bytes > data_.size()) {
+        fatal("MainMemory exhausted: need ", bytes, " at ", base,
+              " of ", data_.size());
+    }
+    allocPtr_ = base + bytes;
+    return base;
+}
+
+void
+MainMemory::checkRange(Addr addr, unsigned size) const
+{
+    if (addr + size > data_.size())
+        panic("memory access out of range: ", addr, "+", size);
+}
+
+std::uint8_t
+MainMemory::read8(Addr addr) const
+{
+    checkRange(addr, 1);
+    return data_[addr];
+}
+
+std::uint32_t
+MainMemory::read32(Addr addr) const
+{
+    checkRange(addr, 4);
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= std::uint32_t(data_[addr + i]) << (8 * i);
+    return v;
+}
+
+void
+MainMemory::write8(Addr addr, std::uint8_t value)
+{
+    checkRange(addr, 1);
+    data_[addr] = value;
+}
+
+void
+MainMemory::write32(Addr addr, std::uint32_t value)
+{
+    checkRange(addr, 4);
+    for (unsigned i = 0; i < 4; ++i)
+        data_[addr + i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+ByteOrigin
+MainMemory::origin(Addr addr) const
+{
+    checkRange(addr, 1);
+    if (origins_.empty())
+        return ByteOrigin{};
+    return origins_[addr];
+}
+
+void
+MainMemory::setOrigin(Addr addr, unsigned size, DefId def)
+{
+    checkRange(addr, size);
+    if (origins_.empty()) {
+        if (def == noDef)
+            return; // default origin is already noDef
+        origins_.resize(data_.size());
+    }
+    for (unsigned i = 0; i < size; ++i)
+        origins_[addr + i] = {def, static_cast<std::uint8_t>(i)};
+}
+
+} // namespace mbavf

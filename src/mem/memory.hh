@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Flat functional main memory.
+ *
+ * Holds the simulated system's data contents plus per-byte dataflow
+ * provenance: which dynamic definition produced each byte and which
+ * byte of that definition's 32-bit value it is. Caches model timing
+ * and residency only; data always lives here, which keeps functional
+ * execution and fault injection simple.
+ */
+
+#ifndef MBAVF_MEM_MEMORY_HH
+#define MBAVF_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mbavf
+{
+
+/** Provenance of one memory byte. */
+struct ByteOrigin
+{
+    DefId def = noDef;
+    /** Which byte (0-3) of the producing 32-bit value this is. */
+    std::uint8_t byteIdx = 0;
+};
+
+/** Flat byte-addressable memory with a bump allocator. */
+class MainMemory
+{
+  public:
+    explicit MainMemory(std::uint64_t size_bytes);
+
+    std::uint64_t size() const { return data_.size(); }
+
+    /** Allocate @p bytes aligned to @p align; fatal on exhaustion. */
+    Addr alloc(std::uint64_t bytes, std::uint64_t align = 64);
+
+    /** High-water mark of the bump allocator. */
+    Addr allocatedBytes() const { return allocPtr_; }
+
+    std::uint8_t read8(Addr addr) const;
+    std::uint32_t read32(Addr addr) const;
+
+    void write8(Addr addr, std::uint8_t value);
+    void write32(Addr addr, std::uint32_t value);
+
+    /** Provenance of byte @p addr. */
+    ByteOrigin origin(Addr addr) const;
+
+    /** Record that @p size bytes at @p addr hold @p def's value. */
+    void setOrigin(Addr addr, unsigned size, DefId def);
+
+    /** Host store of a 32-bit value (no provenance). */
+    void
+    hostWrite32(Addr addr, std::uint32_t value)
+    {
+        write32(addr, value);
+        setOrigin(addr, 4, noDef);
+    }
+
+  private:
+    void checkRange(Addr addr, unsigned size) const;
+
+    std::vector<std::uint8_t> data_;
+    std::vector<ByteOrigin> origins_;
+    Addr allocPtr_ = 0;
+};
+
+} // namespace mbavf
+
+#endif // MBAVF_MEM_MEMORY_HH

@@ -1,0 +1,45 @@
+#include "mem/ref_index.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mbavf
+{
+
+void
+MemRefIndex::addLoad(Addr addr, unsigned size, Cycle t, DefId def)
+{
+    for (unsigned i = 0; i < size; ++i) {
+        auto &list = refs_[addr + i];
+        if (!list.empty() && list.back().time > t)
+            panic("MemRefIndex loads out of time order");
+        list.push_back({t, true, def, static_cast<std::uint8_t>(8 * i)});
+    }
+}
+
+void
+MemRefIndex::addStore(Addr addr, unsigned size, Cycle t)
+{
+    for (unsigned i = 0; i < size; ++i) {
+        auto &list = refs_[addr + i];
+        if (!list.empty() && list.back().time > t)
+            panic("MemRefIndex stores out of time order");
+        list.push_back({t, false, noDef, 0});
+    }
+}
+
+const ByteRef *
+MemRefIndex::firstAfter(Addr addr, Cycle t) const
+{
+    auto it = refs_.find(addr);
+    if (it == refs_.end())
+        return nullptr;
+    const auto &list = it->second;
+    auto ref = std::lower_bound(
+        list.begin(), list.end(), t,
+        [](const ByteRef &r, Cycle c) { return r.time < c; });
+    return ref == list.end() ? nullptr : &*ref;
+}
+
+} // namespace mbavf

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Program-order memory reference index.
+ *
+ * Records every kernel-level load and store per byte address, in time
+ * order. The cache AVF probe queries it during the analysis phase to
+ * resolve the fate of dirty-evicted data: whether the written-back
+ * value is later consumed (and by which definition), overwritten, or
+ * never touched again.
+ */
+
+#ifndef MBAVF_MEM_REF_INDEX_HH
+#define MBAVF_MEM_REF_INDEX_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mbavf
+{
+
+/** One program-level reference to a byte. */
+struct ByteRef
+{
+    Cycle time = 0;
+    bool isLoad = false;
+    DefId def = noDef;
+    /** For loads: bit offset of this byte in the loaded value. */
+    std::uint8_t relShift = 0;
+};
+
+/** Per-byte time-ordered reference lists. */
+class MemRefIndex
+{
+  public:
+    /** Record a load of @p size bytes completing at @p t. */
+    void addLoad(Addr addr, unsigned size, Cycle t, DefId def);
+
+    /** Record a store of @p size bytes at @p t. */
+    void addStore(Addr addr, unsigned size, Cycle t);
+
+    /**
+     * First reference to @p addr at or after @p t, or nullptr when
+     * the byte is never referenced again.
+     */
+    const ByteRef *firstAfter(Addr addr, Cycle t) const;
+
+    std::uint64_t numBytesTracked() const { return refs_.size(); }
+
+  private:
+    std::unordered_map<Addr, std::vector<ByteRef>> refs_;
+};
+
+} // namespace mbavf
+
+#endif // MBAVF_MEM_REF_INDEX_HH

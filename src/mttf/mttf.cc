@@ -1,0 +1,48 @@
+#include "mttf/mttf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mbavf
+{
+
+double
+tmbfMttfHours(const MttfParams &p)
+{
+    if (p.fitPerBit <= 0 || p.structureBits <= 0 || p.wordBits <= 0)
+        fatal("tmbfMttfHours: non-positive parameter");
+    const double lambda = p.fitPerBit / hoursPerFitUnit; // per hour
+    const double words = p.structureBits / p.wordBits;
+    const double word_rate = p.wordBits * lambda;
+    // Probability that a second strike lands in the same word within
+    // the first fault's residence; clamp for extreme inputs.
+    const double p_second = std::min(1.0, word_rate * p.lifetimeHours);
+    const double rate = words * word_rate * p_second;
+    return 1.0 / rate;
+}
+
+double
+tmbfMttfInfiniteHours(const MttfParams &p)
+{
+    if (p.fitPerBit <= 0 || p.structureBits <= 0 || p.wordBits <= 0)
+        fatal("tmbfMttfInfiniteHours: non-positive parameter");
+    const double lambda = p.fitPerBit / hoursPerFitUnit;
+    const double words = p.structureBits / p.wordBits;
+    const double word_rate = p.wordBits * lambda;
+    // Solve words * (word_rate * T)^2 / 2 = 1 for T.
+    return std::sqrt(2.0 / words) / word_rate;
+}
+
+double
+smbfMttfHours(const MttfParams &p)
+{
+    if (p.fitPerBit <= 0 || p.structureBits <= 0 || p.smbfFraction <= 0)
+        fatal("smbfMttfHours: non-positive parameter");
+    const double lambda = p.fitPerBit / hoursPerFitUnit;
+    const double rate = p.structureBits * lambda * p.smbfFraction;
+    return 1.0 / rate;
+}
+
+} // namespace mbavf

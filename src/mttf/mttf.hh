@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Analytic mean-time-to-failure models for temporal and spatial
+ * multi-bit faults (paper Section IV-B, Figure 2), following the
+ * methodology of Saleh et al. for temporal MBFs.
+ *
+ * Temporal double-bit faults require two independent strikes to land
+ * in the same protection word while the first fault is still
+ * resident. With per-bit fault rate lambda (FIT = failures per 1e9
+ * device-hours), a structure of W words of k bits, and average data
+ * lifetime L hours, the rate of temporal double-bit faults is
+ * approximately
+ *
+ *     rate_tmbf = W * (k * lambda') * (k * lambda' * L)
+ *
+ * with lambda' = lambda * 1e-9 failures/hour: the first strike
+ * arrives at rate W*k*lambda', and the probability a second strike
+ * hits the same word within the remaining lifetime is ~ k*lambda'*L
+ * (k*lambda'*L << 1 for any realistic rate).
+ *
+ * Spatial multi-bit faults need only one strike: a fraction p_smbf of
+ * all strikes corrupts multiple bits at once, so
+ *
+ *     rate_smbf = W * k * lambda' * p_smbf
+ *
+ * The ratio MTTF_tmbf / MTTF_smbf = p_smbf / (k * lambda' * L) is
+ * 6-8 orders of magnitude for realistic parameters, which is the
+ * paper's justification for focusing on spatial MBFs.
+ */
+
+#ifndef MBAVF_MTTF_MTTF_HH
+#define MBAVF_MTTF_MTTF_HH
+
+#include <cstdint>
+
+namespace mbavf
+{
+
+/** Parameters of the MTTF comparison. */
+struct MttfParams
+{
+    /** Structure size in bits (default: 32 MB cache). */
+    double structureBits = 32.0 * 1024 * 1024 * 8;
+    /** Protection word size in bits (per-word ECC granularity). */
+    double wordBits = 64;
+    /** Raw per-bit fault rate in FIT (failures per 1e9 hours). */
+    double fitPerBit = 1e-4;
+    /** Average residence lifetime of data, in hours. */
+    double lifetimeHours = 100.0 * 24 * 365;
+    /** Fraction of strikes that are spatial MBFs defeating the word. */
+    double smbfFraction = 0.001;
+};
+
+/** Hours per FIT-rate unit. */
+constexpr double hoursPerFitUnit = 1e9;
+
+/** MTTF (hours) from temporal double-bit faults, finite lifetime. */
+double tmbfMttfHours(const MttfParams &p);
+
+/**
+ * MTTF (hours) from temporal double-bit faults with infinite data
+ * lifetime (data lasts forever, never replaced): the expected time T
+ * until two strikes land in the same word, from the birthday bound
+ * W * (k*lambda'*T)^2 / 2 = 1.
+ */
+double tmbfMttfInfiniteHours(const MttfParams &p);
+
+/** MTTF (hours) from spatial multi-bit faults. */
+double smbfMttfHours(const MttfParams &p);
+
+} // namespace mbavf
+
+#endif // MBAVF_MTTF_MTTF_HH

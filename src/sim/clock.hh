@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Global simulation clock shared by the timing models.
+ */
+
+#ifndef MBAVF_SIM_CLOCK_HH
+#define MBAVF_SIM_CLOCK_HH
+
+#include "common/types.hh"
+
+namespace mbavf
+{
+
+/**
+ * A monotonically advancing cycle counter. The GPU timing model
+ * advances it; probes read it to timestamp events.
+ */
+class Clock
+{
+  public:
+    Cycle now() const { return now_; }
+
+    /** Advance by @p cycles. */
+    void advance(Cycle cycles) { now_ += cycles; }
+
+    /** Advance to an absolute time not before the current one. */
+    void
+    advanceTo(Cycle t)
+    {
+        if (t > now_)
+            now_ = t;
+    }
+
+    void reset() { now_ = 0; }
+
+  private:
+    Cycle now_ = 0;
+};
+
+} // namespace mbavf
+
+#endif // MBAVF_SIM_CLOCK_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events scheduled at the same cycle fire in scheduling order
+ * (a stable FIFO within a cycle), which keeps all experiments exactly
+ * reproducible.
+ */
+
+#ifndef MBAVF_SIM_EVENT_QUEUE_HH
+#define MBAVF_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mbavf
+{
+
+/** A deterministic time-ordered event queue. */
+class EventQueue
+{
+  public:
+    using Action = std::function<void(Cycle)>;
+
+    /** Schedule @p action at absolute cycle @p when. */
+    void
+    schedule(Cycle when, Action action)
+    {
+        queue_.push({when, seq_++, std::move(action)});
+    }
+
+    bool empty() const { return queue_.empty(); }
+
+    /** Time of the next pending event; queue must not be empty. */
+    Cycle nextTime() const { return queue_.top().when; }
+
+    /**
+     * Pop and run the next event; returns the cycle it fired at.
+     * Queue must not be empty.
+     */
+    Cycle
+    runNext()
+    {
+        // std::priority_queue::top is const; move out via const_cast
+        // is unnecessary — copy the small handle instead.
+        Event ev = queue_.top();
+        queue_.pop();
+        ev.action(ev.when);
+        return ev.when;
+    }
+
+    /** Run all events scheduled strictly before @p until. */
+    void
+    runUntil(Cycle until)
+    {
+        while (!queue_.empty() && queue_.top().when < until)
+            runNext();
+    }
+
+    /** Run everything. */
+    void
+    runAll()
+    {
+        while (!queue_.empty())
+            runNext();
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Action action;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace mbavf
+
+#endif // MBAVF_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,82 @@
+#include "trace/dataflow.hh"
+
+#include "common/logging.hh"
+
+namespace mbavf
+{
+
+DefId
+DataflowLog::record(std::span<const SrcUse> srcs)
+{
+    if (srcs.size() > maxSrcs)
+        panic("DataflowLog::record with ", srcs.size(), " sources");
+
+    DefId id = numSrcs_.size();
+    numSrcs_.push_back(static_cast<std::uint8_t>(srcs.size()));
+    std::uint8_t positional = 0;
+    outputMask_.push_back(0);
+    srcDef_.resize(srcDef_.size() + maxSrcs, noDef);
+    srcRel_.resize(srcRel_.size() + maxSrcs, 0);
+    for (std::size_t i = 0; i < srcs.size(); ++i) {
+        if (srcs[i].def != noDef && srcs[i].def >= id)
+            panic("DataflowLog source refers forward");
+        srcDef_[id * maxSrcs + i] = srcs[i].def;
+        srcRel_[id * maxSrcs + i] = srcs[i].relevance;
+        if (srcs[i].positional)
+            positional |= std::uint8_t(1) << i;
+    }
+    srcPositional_.push_back(positional);
+    return id;
+}
+
+void
+DataflowLog::markOutput(DefId def, std::uint32_t mask)
+{
+    if (def >= outputMask_.size())
+        panic("markOutput on unknown def");
+    outputMask_[def] |= mask;
+}
+
+std::uint64_t
+DataflowLog::memoryBytes() const
+{
+    return numSrcs_.size() * (2 + 4 + maxSrcs * (8 + 4));
+}
+
+void
+DataflowLog::clear()
+{
+    numSrcs_.clear();
+    srcPositional_.clear();
+    outputMask_.clear();
+    srcDef_.clear();
+    srcRel_.clear();
+}
+
+Liveness::Liveness(const DataflowLog &log)
+{
+    const std::uint64_t n = log.size();
+    rel_ = log.outputMask_;
+
+    for (std::uint64_t e = n; e-- > 0;) {
+        const std::uint32_t rel_e = rel_[e];
+        if (!rel_e)
+            continue;
+        const unsigned ns = log.numSrcs_[e];
+        const std::uint8_t positional = log.srcPositional_[e];
+        for (unsigned i = 0; i < ns; ++i) {
+            DefId s = log.srcDef_[e * DataflowLog::maxSrcs + i];
+            if (s == noDef)
+                continue;
+            std::uint32_t m = log.srcRel_[e * DataflowLog::maxSrcs + i];
+            rel_[s] |= (positional >> i & 1) ? (m & rel_e) : m;
+        }
+    }
+
+    for (std::uint32_t r : rel_) {
+        if (!r)
+            ++numDead_;
+    }
+}
+
+} // namespace mbavf

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Dynamic dataflow trace.
+ *
+ * Every value produced during functional execution (each op result,
+ * each load) is a dynamic definition (DefId). Definitions record
+ * which earlier definitions they consumed and with what per-bit
+ * relevance. After the run, the Liveness analyzer walks the trace
+ * backward to find transitively dynamically-dead definitions and the
+ * per-bit logic-masking relevance of live ones — the program-level
+ * masking effects the paper's ACE infrastructure accounts for
+ * (Section VI-A).
+ */
+
+#ifndef MBAVF_TRACE_DATAFLOW_HH
+#define MBAVF_TRACE_DATAFLOW_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mbavf
+{
+
+/** One source operand of a dynamic definition. */
+struct SrcUse
+{
+    DefId def = noDef;
+    /** Source-value bits that can affect the result. */
+    std::uint32_t relevance = ~std::uint32_t(0);
+    /**
+     * True when the consumer propagates this source's bits
+     * positionally (moves, loads, bitwise logic): the consumer's own
+     * relevance then refines which source bits matter. False for
+     * all-or-nothing consumption (arithmetic, compares, addresses).
+     */
+    bool positional = false;
+};
+
+/**
+ * Append-only log of dynamic definitions. Sources always refer to
+ * earlier definitions, so a single reverse pass computes liveness.
+ */
+class DataflowLog
+{
+  public:
+    static constexpr unsigned maxSrcs = 4;
+
+    /** Record a definition consuming @p srcs. */
+    DefId record(std::span<const SrcUse> srcs);
+
+    /** Mark @p def's bits in @p mask as reaching program output. */
+    void markOutput(DefId def, std::uint32_t mask = ~std::uint32_t(0));
+
+    std::uint64_t size() const { return numSrcs_.size(); }
+
+    /** Bytes of trace storage in use (for capacity reporting). */
+    std::uint64_t memoryBytes() const;
+
+    void clear();
+
+  private:
+    friend class Liveness;
+
+    std::vector<std::uint8_t> numSrcs_;
+    std::vector<std::uint8_t> srcPositional_; ///< bit i = src i
+    std::vector<std::uint32_t> outputMask_;
+    /** Flat [def * maxSrcs + i] source arrays. */
+    std::vector<DefId> srcDef_;
+    std::vector<std::uint32_t> srcRel_;
+};
+
+/**
+ * Backward liveness and relevance analysis over a DataflowLog.
+ *
+ * relevance(d) is the union, over all live consumers of d, of the
+ * bits of d that can still affect program output: outputMask(d), plus
+ * for each consumer e with source relevance m — (m & relevance(e))
+ * for positional uses, or m when e is live for all-or-nothing uses.
+ */
+class Liveness
+{
+  public:
+    explicit Liveness(const DataflowLog &log);
+
+    /** Per-bit relevance of @p def; 0 = transitively dead. */
+    std::uint32_t
+    relevance(DefId def) const
+    {
+        return def < rel_.size() ? rel_[def] : 0;
+    }
+
+    bool live(DefId def) const { return relevance(def) != 0; }
+
+    /** Number of dead definitions found. */
+    std::uint64_t numDead() const { return numDead_; }
+
+    std::uint64_t numDefs() const { return rel_.size(); }
+
+  private:
+    std::vector<std::uint32_t> rel_;
+    std::uint64_t numDead_ = 0;
+};
+
+} // namespace mbavf
+
+#endif // MBAVF_TRACE_DATAFLOW_HH

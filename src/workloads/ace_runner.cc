@@ -1,0 +1,57 @@
+#include "workloads/ace_runner.hh"
+
+#include "gpu/regfile_probe.hh"
+#include "mem/cache_probe.hh"
+#include "trace/dataflow.hh"
+
+namespace mbavf
+{
+
+AceRun
+runAceAnalysis(const std::string &workload_name, unsigned scale,
+               GpuConfig config, bool measure_l2)
+{
+    AceRun out;
+    out.workload = workload_name;
+    out.config = config;
+
+    Gpu gpu(config);
+
+    CacheGeometry l1_geom{config.l1.sets, config.l1.ways,
+                          config.l1.lineBytes};
+    CacheAvfProbe l1_probe(l1_geom, gpu.refIndex());
+    gpu.l1(0).setListener(&l1_probe);
+
+    CacheGeometry l2_geom{config.l2.sets, config.l2.ways,
+                          config.l2.lineBytes};
+    CacheAvfProbe l2_probe(l2_geom, gpu.refIndex());
+    l2_probe.setResolveReadsViaRefIndex(true);
+    if (measure_l2)
+        gpu.l2().setListener(&l2_probe);
+
+    RegFileAvfProbe vgpr_probe(config.regs);
+    gpu.regFile(0).setListener(&vgpr_probe);
+
+    auto workload = makeWorkload(workload_name, scale);
+    workload->run(gpu);
+    gpu.finish();
+
+    out.horizon = gpu.horizon();
+    out.l1Stats = gpu.l1(0).stats();
+    out.l2Stats = gpu.l2().stats();
+
+    Liveness liveness(gpu.dataflow());
+    out.numDefs = liveness.numDefs();
+    out.numDeadDefs = liveness.numDead();
+
+    LivenessResolver resolver = [&liveness](DefId def) {
+        return static_cast<std::uint64_t>(liveness.relevance(def));
+    };
+    out.l1 = l1_probe.finalize(out.horizon, resolver);
+    out.vgpr = vgpr_probe.finalize(out.horizon, resolver);
+    if (measure_l2)
+        out.l2 = l2_probe.finalize(out.horizon, resolver);
+    return out;
+}
+
+} // namespace mbavf

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * End-to-end ACE analysis driver: run a workload on the GPU model
+ * with probes attached, resolve liveness, and return the per-bit
+ * lifetime stores that the MB-AVF engine consumes.
+ */
+
+#ifndef MBAVF_WORKLOADS_ACE_RUNNER_HH
+#define MBAVF_WORKLOADS_ACE_RUNNER_HH
+
+#include <memory>
+#include <string>
+
+#include "core/lifetime.hh"
+#include "gpu/gpu.hh"
+#include "mem/cache.hh"
+#include "workloads/workload.hh"
+
+namespace mbavf
+{
+
+/** Everything the AVF benches need from one instrumented run. */
+struct AceRun
+{
+    std::string workload;
+    GpuConfig config;
+    Cycle horizon = 0;
+
+    /** Per-bit lifetimes of CU0's L1 data array. */
+    LifetimeStore l1;
+    /** Per-bit lifetimes of CU0's vector register file. */
+    LifetimeStore vgpr;
+    /** Per-bit lifetimes of the shared L2 (when measure_l2). */
+    LifetimeStore l2;
+
+    CacheStats l1Stats;
+    CacheStats l2Stats;
+    std::uint64_t numDefs = 0;
+    std::uint64_t numDeadDefs = 0;
+
+    AceRun() : l1(8, 64), vgpr(32, 1), l2(8, 64) {}
+};
+
+/**
+ * Run @p workload_name with ACE instrumentation on CU0's L1 and
+ * VGPR (and optionally the shared L2).
+ *
+ * @param workload_name registry name
+ * @param scale         problem-size multiplier (0/1 = default)
+ * @param config        device configuration
+ * @param measure_l2    also probe the shared L2 (fill consumption
+ *                      resolved through the reference index)
+ */
+AceRun runAceAnalysis(const std::string &workload_name,
+                      unsigned scale = 1, GpuConfig config = {},
+                      bool measure_l2 = false);
+
+} // namespace mbavf
+
+#endif // MBAVF_WORKLOADS_ACE_RUNNER_HH

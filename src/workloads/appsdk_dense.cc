@@ -1,0 +1,350 @@
+/**
+ * @file
+ * AMD APP SDK stand-ins with dense/blocked access patterns: DCT,
+ * Histogram, MatrixTranspose, RecursiveGaussian, MatrixMultiplication.
+ */
+
+#include <cmath>
+#include <string>
+
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "gpu/wave.hh"
+#include "workloads/factories.hh"
+#include "workloads/util.hh"
+
+namespace mbavf
+{
+
+namespace
+{
+
+/**
+ * DCT stand-in: 8-point 1-D transform of every 8-sample row using a
+ * constant coefficient table; each lane transforms one row.
+ */
+class DctWorkload : public Workload
+{
+  public:
+    explicit DctWorkload(unsigned scale)
+        : nRows_(448 * scale)
+    {}
+
+    std::string name() const override { return "dct"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned rows = nRows_;
+        Rng rng(0xDC7u);
+        Addr in = gpu.alloc(std::uint64_t(rows) * 8 * 4);
+        Addr coef = gpu.alloc(64 * 4);
+        Addr out = gpu.alloc(std::uint64_t(rows) * 8 * 4);
+        fillRandom(gpu, in, rows * 8, rng, 0xFF);
+        // Integer DCT-II coefficient table, scaled by 64.
+        for (unsigned u = 0; u < 8; ++u) {
+            for (unsigned x = 0; x < 8; ++x) {
+                double c = std::cos((2 * x + 1) * u * 3.14159265 / 16);
+                gpu.mem().hostWrite32(
+                    coef + (Addr(u) * 8 + x) * 4,
+                    static_cast<std::uint32_t>(
+                        static_cast<std::int32_t>(c * 64) & 0xFFFF));
+            }
+        }
+        fillConst(gpu, out, rows * 8, 0);
+
+        gpu.launch(
+            [&](Wave &w) { dctRow(w, in, coef, out, rows); },
+            wavesFor(gpu, rows));
+        declareOutput(gpu, out, std::uint64_t(rows) * 8 * 4);
+    }
+
+  private:
+    void
+    dctRow(Wave &w, Addr in, Addr coef, Addr out, unsigned rows)
+    {
+        // r8..r15 hold the row samples; r16 accumulates.
+        enum { rId = 0, rIn = 1, rBase = 2, rC = 3, rAcc = 4,
+               rTmp = 5, rSample = 8 };
+        w.globalId(rId);
+        w.cmpLtui(rIn, rId, rows);
+        w.pushExecNonzero(rIn);
+        w.shli(rBase, rId, 3);
+        for (unsigned x = 0; x < 8; ++x) {
+            w.addi(rTmp, rBase, x);
+            loadIdx(w, rSample + x, rTmp, in, rTmp);
+        }
+        for (unsigned u = 0; u < 8; ++u) {
+            w.movi(rAcc, 0);
+            for (unsigned x = 0; x < 8; ++x) {
+                w.movi(rTmp, u * 8 + x);
+                loadIdx(w, rC, rTmp, coef, rTmp);
+                w.mad(rAcc, rC, rSample + x, rAcc);
+            }
+            w.shri(rAcc, rAcc, 6);
+            w.addi(rTmp, rBase, u);
+            storeIdx(w, rTmp, rAcc, out, rTmp, true);
+        }
+        w.popExec();
+    }
+
+    unsigned nRows_;
+};
+
+/**
+ * Histogram stand-in: data-dependent scatter increments into a
+ * 64-bin count array (lanes execute sequentially in this model, so
+ * read-modify-write updates are race-free).
+ */
+class HistogramWorkload : public Workload
+{
+  public:
+    explicit HistogramWorkload(unsigned scale)
+        : n_(4096 * scale)
+    {}
+
+    std::string name() const override { return "histogram"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned n = n_;
+        Rng rng(0x4157u);
+        Addr data = gpu.alloc(std::uint64_t(n) * 4);
+        Addr bins = gpu.alloc(64 * 4);
+        fillRandom(gpu, data, n, rng, 0xFFFF);
+        fillConst(gpu, bins, 64, 0);
+
+        gpu.launch(
+            [&](Wave &w) { count(w, data, bins, n); },
+            wavesFor(gpu, n));
+        declareOutput(gpu, bins, 64 * 4);
+    }
+
+  private:
+    void
+    count(Wave &w, Addr data, Addr bins, unsigned n)
+    {
+        enum { rId = 0, rIn = 1, rV = 2, rBin = 3, rCnt = 4,
+               rTmp = 5 };
+        w.globalId(rId);
+        w.cmpLtui(rIn, rId, n);
+        w.pushExecNonzero(rIn);
+        loadIdx(w, rV, rId, data, rTmp);
+        w.shri(rBin, rV, 4);
+        w.andi(rBin, rBin, 63);
+        loadIdx(w, rCnt, rBin, bins, rTmp);
+        w.addi(rCnt, rCnt, 1);
+        storeIdx(w, rBin, rCnt, bins, rTmp, true);
+        w.popExec();
+    }
+
+    unsigned n_;
+};
+
+/**
+ * MatrixTranspose stand-in: out[j][i] = in[i][j]; column-strided
+ * reads against row-contiguous writes.
+ */
+class MatrixTransposeWorkload : public Workload
+{
+  public:
+    explicit MatrixTransposeWorkload(unsigned scale)
+        : dim_(64 * scale)
+    {}
+
+    std::string name() const override { return "matrix_transpose"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned dim = dim_;
+        const unsigned n = dim * dim;
+        Rng rng(0x7125u);
+        Addr in = gpu.alloc(std::uint64_t(n) * 4);
+        Addr out = gpu.alloc(std::uint64_t(n) * 4);
+        fillRandom(gpu, in, n, rng, 0xFFFF);
+        fillConst(gpu, out, n, 0);
+
+        gpu.launch(
+            [&](Wave &w) { transpose(w, in, out, dim); },
+            wavesFor(gpu, n));
+        declareOutput(gpu, out, std::uint64_t(n) * 4);
+    }
+
+  private:
+    void
+    transpose(Wave &w, Addr in, Addr out, unsigned dim)
+    {
+        enum { rId = 0, rIn = 1, rRow = 2, rCol = 3, rSrc = 4,
+               rV = 5, rTmp = 6 };
+        const unsigned n = dim * dim;
+        w.globalId(rId);
+        w.cmpLtui(rIn, rId, n);
+        w.pushExecNonzero(rIn);
+        // id enumerates the output row-major: row = id / dim (dim is
+        // a power of two), col = id % dim; read in[col][row].
+        w.shri(rRow, rId, floorLog2(dim));
+        w.andi(rCol, rId, dim - 1);
+        w.muli(rSrc, rCol, dim);
+        w.add(rSrc, rSrc, rRow);
+        loadIdx(w, rV, rSrc, in, rTmp);
+        storeIdx(w, rId, rV, out, rTmp, true);
+        w.popExec();
+    }
+
+    unsigned dim_;
+};
+
+/**
+ * RecursiveGaussian stand-in: first-order IIR filter along rows; one
+ * lane owns one row and carries the recurrence in a register.
+ */
+class RecursiveGaussianWorkload : public Workload
+{
+  public:
+    explicit RecursiveGaussianWorkload(unsigned scale)
+        : rows_(192 * scale)
+    {}
+
+    std::string name() const override { return "recursive_gaussian"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned rows = rows_;
+        const unsigned n = rows * rowLen;
+        Rng rng(0x6A55u);
+        Addr in = gpu.alloc(std::uint64_t(n) * 4);
+        Addr out = gpu.alloc(std::uint64_t(n) * 4);
+        fillRandom(gpu, in, n, rng, 0xFFF);
+        fillConst(gpu, out, n, 0);
+
+        gpu.launch(
+            [&](Wave &w) { filter(w, in, out, rows); },
+            wavesFor(gpu, rows));
+        declareOutput(gpu, out, std::uint64_t(n) * 4);
+    }
+
+  private:
+    static constexpr unsigned rowLen = 32;
+
+    void
+    filter(Wave &w, Addr in, Addr out, unsigned rows)
+    {
+        enum { rId = 0, rIn = 1, rBase = 2, rY = 3, rX = 4, rTmp = 5 };
+        w.globalId(rId);
+        w.cmpLtui(rIn, rId, rows);
+        w.pushExecNonzero(rIn);
+        w.muli(rBase, rId, rowLen);
+        w.movi(rY, 0);
+        for (unsigned i = 0; i < rowLen; ++i) {
+            w.addi(rTmp, rBase, i);
+            loadIdx(w, rX, rTmp, in, rTmp);
+            // y = (3*x + 5*y) >> 3
+            w.muli(rX, rX, 3);
+            w.muli(rY, rY, 5);
+            w.add(rY, rY, rX);
+            w.shri(rY, rY, 3);
+            w.addi(rTmp, rBase, i);
+            storeIdx(w, rTmp, rY, out, rTmp, true);
+        }
+        w.popExec();
+    }
+
+    unsigned rows_;
+};
+
+/**
+ * MatrixMultiplication stand-in: C = A * B with a register-blocked
+ * inner-product kernel; one lane computes one C element.
+ */
+class MatmulWorkload : public Workload
+{
+  public:
+    explicit MatmulWorkload(unsigned scale)
+        : dim_(32 * scale)
+    {}
+
+    std::string name() const override { return "matmul"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned dim = dim_;
+        const unsigned n = dim * dim;
+        Rng rng(0x3A7Au);
+        Addr a = gpu.alloc(std::uint64_t(n) * 4);
+        Addr b = gpu.alloc(std::uint64_t(n) * 4);
+        Addr c = gpu.alloc(std::uint64_t(n) * 4);
+        fillRandom(gpu, a, n, rng, 0xFF);
+        fillRandom(gpu, b, n, rng, 0xFF);
+        fillConst(gpu, c, n, 0);
+
+        gpu.launch(
+            [&](Wave &w) { gemm(w, a, b, c, dim); }, wavesFor(gpu, n));
+        declareOutput(gpu, c, std::uint64_t(n) * 4);
+    }
+
+  private:
+    void
+    gemm(Wave &w, Addr a, Addr b, Addr c, unsigned dim)
+    {
+        enum { rId = 0, rIn = 1, rRow = 2, rCol = 3, rAcc = 4,
+               rA = 5, rB = 6, rTmp = 7 };
+        const unsigned n = dim * dim;
+        w.globalId(rId);
+        w.cmpLtui(rIn, rId, n);
+        w.pushExecNonzero(rIn);
+        w.shri(rRow, rId, floorLog2(dim));
+        w.andi(rCol, rId, dim - 1);
+        w.movi(rAcc, 0);
+        w.muli(rRow, rRow, dim); // row base in A
+        for (unsigned k = 0; k < dim; ++k) {
+            w.addi(rTmp, rRow, k);
+            loadIdx(w, rA, rTmp, a, rTmp);
+            w.movi(rTmp, k * dim);
+            w.add(rTmp, rTmp, rCol);
+            loadIdx(w, rB, rTmp, b, rTmp);
+            w.mad(rAcc, rA, rB, rAcc);
+        }
+        storeIdx(w, rId, rAcc, c, rTmp, true);
+        w.popExec();
+    }
+
+    unsigned dim_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeDct(unsigned scale)
+{
+    return std::make_unique<DctWorkload>(scale ? scale : 1);
+}
+
+std::unique_ptr<Workload>
+makeHistogram(unsigned scale)
+{
+    return std::make_unique<HistogramWorkload>(scale ? scale : 1);
+}
+
+std::unique_ptr<Workload>
+makeMatrixTranspose(unsigned scale)
+{
+    return std::make_unique<MatrixTransposeWorkload>(scale ? scale : 1);
+}
+
+std::unique_ptr<Workload>
+makeRecursiveGaussian(unsigned scale)
+{
+    return std::make_unique<RecursiveGaussianWorkload>(scale ? scale : 1);
+}
+
+std::unique_ptr<Workload>
+makeMatmul(unsigned scale)
+{
+    return std::make_unique<MatmulWorkload>(scale ? scale : 1);
+}
+
+} // namespace mbavf

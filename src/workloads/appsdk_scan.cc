@@ -1,0 +1,306 @@
+/**
+ * @file
+ * AMD APP SDK stand-ins built on scan/butterfly patterns:
+ * ScanLargeArrays, PrefixSum, DwtHaar1D, FastWalshTransform.
+ */
+
+#include <string>
+
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "gpu/wave.hh"
+#include "workloads/factories.hh"
+#include "workloads/util.hh"
+
+namespace mbavf
+{
+
+namespace
+{
+
+/**
+ * ScanLargeArrays stand-in: Hillis-Steele inclusive scan over a large
+ * array, one kernel launch per log2 step, ping-pong buffers. Lanes
+ * below the offset copy their value through (no divergence — the
+ * copy-vs-add choice uses select, like the SDK's predicated form).
+ */
+class ScanLargeArraysWorkload : public Workload
+{
+  public:
+    explicit ScanLargeArraysWorkload(unsigned scale)
+        : n_(2048 * scale)
+    {}
+
+    std::string name() const override { return "scan_large_arrays"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned n = n_;
+        Rng rng(0x5CA17u);
+        Addr a = gpu.alloc(std::uint64_t(n) * 4);
+        Addr b = gpu.alloc(std::uint64_t(n) * 4);
+        fillRandom(gpu, a, n, rng, 0xFF);
+        fillConst(gpu, b, n, 0);
+
+        const unsigned waves = wavesFor(gpu, n);
+        Addr src = a, dst = b;
+        for (unsigned offset = 1; offset < n; offset <<= 1) {
+            bool last = (offset << 1) >= n;
+            gpu.launch(
+                [&](Wave &w) { step(w, src, dst, n, offset, last); },
+                waves);
+            std::swap(src, dst);
+        }
+        declareOutput(gpu, src, std::uint64_t(n) * 4);
+    }
+
+  private:
+    void
+    step(Wave &w, Addr src, Addr dst, unsigned n, unsigned offset,
+         bool is_output)
+    {
+        enum { rId = 0, rIn = 1, rV = 2, rP = 3, rHas = 4, rSum = 5,
+               rTmp = 6 };
+        w.globalId(rId);
+        w.cmpLtui(rIn, rId, n);
+        w.pushExecNonzero(rIn);
+        loadIdx(w, rV, rId, src, rTmp);
+        // Partner value: clamp the index so every lane loads; the
+        // select discards the partner when id < offset (dead load).
+        w.cmpLtui(rHas, rId, offset);
+        w.subi(rTmp, rId, offset);
+        w.select(rTmp, rHas, rId, rTmp);
+        loadIdx(w, rP, rTmp, src, rP);
+        w.add(rSum, rV, rP);
+        w.select(rV, rHas, rV, rSum);
+        storeIdx(w, rId, rV, dst, rTmp, is_output);
+        w.popExec();
+    }
+
+    unsigned n_;
+};
+
+/**
+ * PrefixSum stand-in: the same scan recurrence, but with genuine
+ * divergent control flow (the paper's ACE-interference example came
+ * from this benchmark): lanes with id >= offset take the add path,
+ * the rest take a copy path.
+ */
+class PrefixSumWorkload : public Workload
+{
+  public:
+    explicit PrefixSumWorkload(unsigned scale)
+        : n_(1024 * scale)
+    {}
+
+    std::string name() const override { return "prefix_sum"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned n = n_;
+        Rng rng(0x9AEFu);
+        Addr a = gpu.alloc(std::uint64_t(n) * 4);
+        Addr b = gpu.alloc(std::uint64_t(n) * 4);
+        fillRandom(gpu, a, n, rng, 0xFF);
+        fillConst(gpu, b, n, 0);
+
+        const unsigned waves = wavesFor(gpu, n);
+        Addr src = a, dst = b;
+        for (unsigned offset = 1; offset < n; offset <<= 1) {
+            bool last = (offset << 1) >= n;
+            gpu.launch(
+                [&](Wave &w) { step(w, src, dst, n, offset, last); },
+                waves);
+            std::swap(src, dst);
+        }
+        declareOutput(gpu, src, std::uint64_t(n) * 4);
+    }
+
+  private:
+    void
+    step(Wave &w, Addr src, Addr dst, unsigned n, unsigned offset,
+         bool is_output)
+    {
+        enum { rId = 0, rIn = 1, rV = 2, rP = 3, rCond = 4, rTmp = 5 };
+        w.globalId(rId);
+        w.cmpLtui(rIn, rId, n);
+        w.pushExecNonzero(rIn);
+        loadIdx(w, rV, rId, src, rTmp);
+        w.cmpLtui(rCond, rId, offset); // 1 = copy path
+
+        w.pushExecZero(rCond); // add path: id >= offset
+        if (w.anyActive()) {
+            w.subi(rTmp, rId, offset);
+            loadIdx(w, rP, rTmp, src, rP);
+            w.add(rV, rV, rP);
+        }
+        w.popExec();
+
+        storeIdx(w, rId, rV, dst, rTmp, is_output);
+        w.popExec();
+    }
+
+    unsigned n_;
+};
+
+/**
+ * DwtHaar1D stand-in: log2(n) Haar wavelet passes producing the
+ * pyramid layout — pass at length len reads 2*len averages, writes
+ * len new averages to a working buffer and len detail coefficients
+ * straight into the output at [len, 2*len); the final average lands
+ * at output[0].
+ */
+class DwtHaar1dWorkload : public Workload
+{
+  public:
+    explicit DwtHaar1dWorkload(unsigned scale)
+        : n_(2048 * scale)
+    {}
+
+    std::string name() const override { return "dwt_haar1d"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned n = n_;
+        Rng rng(0xD417u);
+        Addr in = gpu.alloc(std::uint64_t(n) * 4);
+        Addr avg0 = gpu.alloc(std::uint64_t(n) * 2);
+        Addr avg1 = gpu.alloc(std::uint64_t(n) * 2);
+        Addr out = gpu.alloc(std::uint64_t(n) * 4);
+        fillRandom(gpu, in, n, rng, 0xFFFF);
+        fillConst(gpu, avg0, n / 2, 0);
+        fillConst(gpu, avg1, n / 2, 0);
+        fillConst(gpu, out, n, 0);
+
+        Addr src = in, dst = avg0, spare = avg1;
+        for (unsigned len = n / 2; len >= 1; len /= 2) {
+            gpu.launch(
+                [&](Wave &w) { pass(w, src, dst, out, len); },
+                wavesFor(gpu, len));
+            src = dst;
+            std::swap(dst, spare);
+        }
+        declareOutput(gpu, out, std::uint64_t(n) * 4);
+    }
+
+  private:
+    void
+    pass(Wave &w, Addr src, Addr dst_avg, Addr out, unsigned len)
+    {
+        enum { rId = 0, rIn = 1, rA = 2, rB = 3, rAvg = 4, rDet = 5,
+               rTmp = 6 };
+        w.globalId(rId);
+        w.cmpLtui(rIn, rId, len);
+        w.pushExecNonzero(rIn);
+        w.shli(rTmp, rId, 1);
+        loadIdx(w, rA, rTmp, src, rA);
+        w.shli(rTmp, rId, 1);
+        w.addi(rTmp, rTmp, 1);
+        loadIdx(w, rB, rTmp, src, rB);
+        w.add(rAvg, rA, rB);
+        w.shri(rAvg, rAvg, 1);
+        w.sub(rDet, rA, rB);
+        storeIdx(w, rId, rAvg, dst_avg, rTmp);
+        w.addi(rTmp, rId, len);
+        storeIdx(w, rTmp, rDet, out, rTmp, true);
+        if (len == 1)
+            storeIdx(w, rId, rAvg, out, rTmp, true);
+        w.popExec();
+    }
+
+    unsigned n_;
+};
+
+/**
+ * FastWalshTransform stand-in: XOR-indexed butterfly network; lane i
+ * pairs with i^step and produces a sum or difference depending on
+ * which side of the butterfly it is on.
+ */
+class FastWalshWorkload : public Workload
+{
+  public:
+    explicit FastWalshWorkload(unsigned scale)
+        : n_(2048 * scale)
+    {}
+
+    std::string name() const override { return "fast_walsh"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned n = n_;
+        Rng rng(0xFA57u);
+        Addr a = gpu.alloc(std::uint64_t(n) * 4);
+        Addr b = gpu.alloc(std::uint64_t(n) * 4);
+        fillRandom(gpu, a, n, rng, 0xFFF);
+        fillConst(gpu, b, n, 0);
+
+        const unsigned waves = wavesFor(gpu, n);
+        Addr src = a, dst = b;
+        for (unsigned step = 1; step < n; step <<= 1) {
+            bool last = (step << 1) >= n;
+            gpu.launch(
+                [&](Wave &w) {
+                    butterfly(w, src, dst, n, step, last);
+                },
+                waves);
+            std::swap(src, dst);
+        }
+        declareOutput(gpu, src, std::uint64_t(n) * 4);
+    }
+
+  private:
+    void
+    butterfly(Wave &w, Addr src, Addr dst, unsigned n, unsigned step,
+              bool is_output)
+    {
+        enum { rId = 0, rIn = 1, rV = 2, rP = 3, rLow = 4, rSum = 5,
+               rDif = 6, rTmp = 7 };
+        w.globalId(rId);
+        w.cmpLtui(rIn, rId, n);
+        w.pushExecNonzero(rIn);
+        loadIdx(w, rV, rId, src, rTmp);
+        w.xori(rTmp, rId, step);
+        loadIdx(w, rP, rTmp, src, rP);
+        // low half (id & step == 0): sum; high half: partner - self
+        w.andi(rLow, rId, step);
+        w.add(rSum, rV, rP);
+        w.sub(rDif, rP, rV);
+        w.select(rV, rLow, rDif, rSum);
+        storeIdx(w, rId, rV, dst, rTmp, is_output);
+        w.popExec();
+    }
+
+    unsigned n_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeScanLargeArrays(unsigned scale)
+{
+    return std::make_unique<ScanLargeArraysWorkload>(scale ? scale : 1);
+}
+
+std::unique_ptr<Workload>
+makePrefixSum(unsigned scale)
+{
+    return std::make_unique<PrefixSumWorkload>(scale ? scale : 1);
+}
+
+std::unique_ptr<Workload>
+makeDwtHaar1d(unsigned scale)
+{
+    return std::make_unique<DwtHaar1dWorkload>(scale ? scale : 1);
+}
+
+std::unique_ptr<Workload>
+makeFastWalsh(unsigned scale)
+{
+    return std::make_unique<FastWalshWorkload>(scale ? scale : 1);
+}
+
+} // namespace mbavf

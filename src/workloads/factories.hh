@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Internal per-workload factory declarations (used by the registry).
+ */
+
+#ifndef MBAVF_WORKLOADS_FACTORIES_HH
+#define MBAVF_WORKLOADS_FACTORIES_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace mbavf
+{
+
+std::unique_ptr<Workload> makeMinife(unsigned scale);
+std::unique_ptr<Workload> makeComd(unsigned scale);
+std::unique_ptr<Workload> makeSrad(unsigned scale);
+std::unique_ptr<Workload> makeHotspot(unsigned scale);
+std::unique_ptr<Workload> makePathfinder(unsigned scale);
+std::unique_ptr<Workload> makeScanLargeArrays(unsigned scale);
+std::unique_ptr<Workload> makePrefixSum(unsigned scale);
+std::unique_ptr<Workload> makeDwtHaar1d(unsigned scale);
+std::unique_ptr<Workload> makeFastWalsh(unsigned scale);
+std::unique_ptr<Workload> makeDct(unsigned scale);
+std::unique_ptr<Workload> makeHistogram(unsigned scale);
+std::unique_ptr<Workload> makeMatrixTranspose(unsigned scale);
+std::unique_ptr<Workload> makeRecursiveGaussian(unsigned scale);
+std::unique_ptr<Workload> makeMatmul(unsigned scale);
+std::unique_ptr<Workload> makeBfs(unsigned scale);
+std::unique_ptr<Workload> makeKmeans(unsigned scale);
+std::unique_ptr<Workload> makeNw(unsigned scale);
+std::unique_ptr<Workload> makeLud(unsigned scale);
+std::unique_ptr<Workload> makeBackprop(unsigned scale);
+
+} // namespace mbavf
+
+#endif // MBAVF_WORKLOADS_FACTORIES_HH

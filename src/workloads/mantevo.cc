@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Mantevo mini-app stand-ins: MiniFE and CoMD.
+ */
+
+#include <string>
+
+#include "common/rng.hh"
+#include "gpu/wave.hh"
+#include "workloads/factories.hh"
+#include "workloads/util.hh"
+
+namespace mbavf
+{
+
+namespace
+{
+
+/**
+ * MiniFE stand-in: finite-element assembly followed by a CG-style
+ * solve (sparse matrix-vector products interleaved with vector
+ * updates). The two phases have very different cache behaviour,
+ * producing the AVF phase changes of paper Figure 5.
+ */
+class MinifeWorkload : public Workload
+{
+  public:
+    explicit MinifeWorkload(unsigned scale)
+        : nRows_(384 * scale)
+    {}
+
+    std::string name() const override { return "minife"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned n = nRows_;
+        Rng rng(0x51e5u);
+        Addr cols = gpu.alloc(std::uint64_t(n) * nnzPerRow * 4);
+        Addr vals = gpu.alloc(std::uint64_t(n) * nnzPerRow * 4);
+        Addr x = gpu.alloc(std::uint64_t(n) * 4);
+        Addr y = gpu.alloc(std::uint64_t(n) * 4);
+
+        // Banded sparsity: neighbours of row i cluster around i.
+        for (unsigned i = 0; i < n; ++i) {
+            for (unsigned k = 0; k < nnzPerRow; ++k) {
+                std::uint32_t col =
+                    (i + n + static_cast<std::uint32_t>(
+                                 rng.range(-3, 3))) % n;
+                gpu.mem().hostWrite32(
+                    cols + (Addr(i) * nnzPerRow + k) * 4, col);
+            }
+        }
+        fillConst(gpu, x, n, 1);
+        fillConst(gpu, y, n, 0);
+
+        const unsigned waves = wavesFor(gpu, n);
+
+        // Phase 1: element assembly (writes the value array).
+        gpu.launch(
+            [&](Wave &w) { assembly(w, vals, n); }, waves);
+
+        // Phase 2: CG-style iterations: y = A*x; x = x + (y >> 4).
+        for (unsigned iter = 0; iter < 3; ++iter) {
+            bool last = iter == 2;
+            gpu.launch(
+                [&](Wave &w) { spmv(w, cols, vals, x, y, n); }, waves);
+            gpu.launch(
+                [&](Wave &w) { axpy(w, x, y, n, last); }, waves);
+        }
+        declareOutput(gpu, x, std::uint64_t(n) * 4);
+    }
+
+  private:
+    static constexpr unsigned nnzPerRow = 8;
+
+    void
+    assembly(Wave &w, Addr vals, unsigned n)
+    {
+        enum { rId = 0, rIn = 1, rV = 2, rK = 3, rTmp = 4 };
+        w.globalId(rId);
+        w.cmpLtui(rIn, rId, n);
+        w.pushExecNonzero(rIn);
+        // Element stiffness values derived from the row id.
+        w.muli(rV, rId, 2654435761u);
+        w.shri(rV, rV, 20);
+        for (unsigned k = 0; k < nnzPerRow; ++k) {
+            w.addi(rK, rV, k * 3 + 1);
+            w.andi(rK, rK, 0xFFF);
+            w.muli(rTmp, rId, nnzPerRow);
+            w.addi(rTmp, rTmp, k);
+            storeIdx(w, rTmp, rK, vals, rTmp);
+        }
+        w.popExec();
+    }
+
+    void
+    spmv(Wave &w, Addr cols, Addr vals, Addr x, Addr y, unsigned n)
+    {
+        enum { rId = 0, rIn = 1, rAcc = 2, rBase = 3, rCol = 4,
+               rVal = 5, rX = 6, rTmp = 7 };
+        w.globalId(rId);
+        w.cmpLtui(rIn, rId, n);
+        w.pushExecNonzero(rIn);
+        w.movi(rAcc, 0);
+        w.muli(rBase, rId, nnzPerRow);
+        for (unsigned k = 0; k < nnzPerRow; ++k) {
+            w.addi(rTmp, rBase, k);
+            loadIdx(w, rCol, rTmp, cols, rCol);
+            w.addi(rTmp, rBase, k);
+            loadIdx(w, rVal, rTmp, vals, rTmp);
+            loadIdx(w, rX, rCol, x, rTmp);
+            w.mad(rAcc, rVal, rX, rAcc);
+        }
+        storeIdx(w, rId, rAcc, y, rTmp);
+        w.popExec();
+    }
+
+    void
+    axpy(Wave &w, Addr x, Addr y, unsigned n, bool is_output)
+    {
+        enum { rId = 0, rIn = 1, rX = 2, rY = 3, rTmp = 4 };
+        w.globalId(rId);
+        w.cmpLtui(rIn, rId, n);
+        w.pushExecNonzero(rIn);
+        loadIdx(w, rX, rId, x, rTmp);
+        loadIdx(w, rY, rId, y, rTmp);
+        w.shri(rY, rY, 4);
+        w.add(rX, rX, rY);
+        storeIdx(w, rId, rX, x, rTmp, is_output);
+        w.popExec();
+    }
+
+    unsigned nRows_;
+};
+
+/**
+ * CoMD stand-in: a molecular-dynamics force loop over neighbour
+ * lists. Neighbours outside the cutoff contribute nothing (their
+ * loaded positions are dynamically dead), which makes this the
+ * workload with the paper's high false-DUE rate (Figure 10).
+ */
+class ComdWorkload : public Workload
+{
+  public:
+    explicit ComdWorkload(unsigned scale)
+        : nAtoms_(320 * scale)
+    {}
+
+    std::string name() const override { return "comd"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned n = nAtoms_;
+        Rng rng(0xc0DDu);
+        Addr pos = gpu.alloc(std::uint64_t(n) * 4);
+        Addr neigh = gpu.alloc(std::uint64_t(n) * neighbors * 4);
+        Addr force = gpu.alloc(std::uint64_t(n) * 4);
+
+        fillRandom(gpu, pos, n, rng, 0x3FF);
+        for (unsigned i = 0; i < n; ++i) {
+            for (unsigned k = 0; k < neighbors; ++k) {
+                // Spatially local neighbour lists with a few far
+                // entries that fail the cutoff test.
+                std::uint32_t j = (i + n + static_cast<std::uint32_t>(
+                                               rng.range(-6, 6))) % n;
+                if (k % 5 == 4)
+                    j = static_cast<std::uint32_t>(rng.below(n));
+                gpu.mem().hostWrite32(
+                    neigh + (Addr(i) * neighbors + k) * 4, j);
+            }
+        }
+        fillConst(gpu, force, n, 0);
+
+        const unsigned waves = wavesFor(gpu, n);
+        for (unsigned step = 0; step < 2; ++step) {
+            bool last = step == 1;
+            gpu.launch(
+                [&](Wave &w) {
+                    forceKernel(w, pos, neigh, force, n, last);
+                },
+                waves);
+        }
+        declareOutput(gpu, force, std::uint64_t(n) * 4);
+    }
+
+  private:
+    static constexpr unsigned neighbors = 10;
+    static constexpr std::uint32_t cutoff = 96;
+
+    void
+    forceKernel(Wave &w, Addr pos, Addr neigh, Addr force, unsigned n,
+                bool is_output)
+    {
+        enum { rId = 0, rIn = 1, rMyPos = 2, rAcc = 3, rBase = 4,
+               rJ = 5, rJPos = 6, rD = 7, rD2 = 8, rNear = 9,
+               rZero = 10, rTmp = 11 };
+        w.globalId(rId);
+        w.cmpLtui(rIn, rId, n);
+        w.pushExecNonzero(rIn);
+        loadIdx(w, rMyPos, rId, pos, rTmp);
+        loadIdx(w, rAcc, rId, force, rTmp);
+        w.movi(rZero, 0);
+        w.muli(rBase, rId, neighbors);
+        for (unsigned k = 0; k < neighbors; ++k) {
+            w.addi(rTmp, rBase, k);
+            loadIdx(w, rJ, rTmp, neigh, rTmp);
+            loadIdx(w, rJPos, rJ, pos, rTmp);
+            // d = |pi - pj| via max(a-b, b-a); d2 = d*d >> 4.
+            w.sub(rD, rMyPos, rJPos);
+            w.sub(rTmp, rJPos, rMyPos);
+            w.maxu(rD, rD, rTmp);
+            w.cmpLtui(rNear, rD, cutoff);
+            w.mul(rD2, rD, rD);
+            w.shri(rD2, rD2, 4);
+            // Outside the cutoff the contribution is zero: the
+            // loaded neighbour position becomes dead data.
+            w.select(rD2, rNear, rD2, rZero);
+            w.add(rAcc, rAcc, rD2);
+        }
+        storeIdx(w, rId, rAcc, force, rTmp, is_output);
+        w.popExec();
+    }
+
+    unsigned nAtoms_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMinife(unsigned scale)
+{
+    return std::make_unique<MinifeWorkload>(scale ? scale : 1);
+}
+
+std::unique_ptr<Workload>
+makeComd(unsigned scale)
+{
+    return std::make_unique<ComdWorkload>(scale ? scale : 1);
+}
+
+} // namespace mbavf

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Rodinia stand-ins: srad, hotspot, pathfinder.
+ */
+
+#include <string>
+
+#include "common/rng.hh"
+#include "gpu/wave.hh"
+#include "workloads/factories.hh"
+#include "workloads/util.hh"
+
+namespace mbavf
+{
+
+namespace
+{
+
+/** Shared 2-D stencil geometry: W is a power of two. */
+constexpr unsigned gridW = 64;
+
+/**
+ * srad stand-in: anisotropic-diffusion 2-D stencil with a
+ * data-dependent threshold that discards small updates (dead loads).
+ */
+class SradWorkload : public Workload
+{
+  public:
+    explicit SradWorkload(unsigned scale)
+        : gridH_(40 * scale)
+    {}
+
+    std::string name() const override { return "srad"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned n = gridH_ * gridW;
+        Rng rng(0x5Adu);
+        Addr a = gpu.alloc(std::uint64_t(n) * 4);
+        Addr b = gpu.alloc(std::uint64_t(n) * 4);
+        fillRandom(gpu, a, n, rng, 0xFFF);
+        // Borders are never rewritten; keep the buffers consistent.
+        for (unsigned i = 0; i < n; ++i) {
+            gpu.mem().hostWrite32(b + Addr(i) * 4,
+                                  gpu.mem().read32(a + Addr(i) * 4));
+        }
+
+        const unsigned waves = wavesFor(gpu, n);
+        Addr src = a, dst = b;
+        for (unsigned iter = 0; iter < 2; ++iter) {
+            bool last = iter == 1;
+            gpu.launch(
+                [&](Wave &w) { stencil(w, src, dst, n, last); }, waves);
+            std::swap(src, dst);
+        }
+        declareOutput(gpu, src, std::uint64_t(n) * 4);
+    }
+
+  private:
+    void
+    stencil(Wave &w, Addr src, Addr dst, unsigned n, bool is_output)
+    {
+        enum { rId = 0, rIn = 1, rRow = 2, rCol = 3, rC = 4, rN = 5,
+               rS = 6, rE = 7, rW = 8, rD = 9, rBig = 10, rTmp = 11,
+               rT2 = 12 };
+        const unsigned h = n / gridW;
+        w.globalId(rId);
+        // Interior guard: 1 <= row <= h-2 and 1 <= col <= W-2.
+        w.shri(rRow, rId, 6);
+        w.andi(rCol, rId, gridW - 1);
+        w.subi(rTmp, rRow, 1);
+        w.cmpLtui(rIn, rTmp, h - 2);
+        w.subi(rTmp, rCol, 1);
+        w.cmpLtui(rTmp, rTmp, gridW - 2);
+        w.and_(rIn, rIn, rTmp);
+        w.pushExecNonzero(rIn);
+
+        loadIdx(w, rC, rId, src, rTmp);
+        w.subi(rTmp, rId, gridW);
+        loadIdx(w, rN, rTmp, src, rT2);
+        w.addi(rTmp, rId, gridW);
+        loadIdx(w, rS, rTmp, src, rT2);
+        w.addi(rTmp, rId, 1);
+        loadIdx(w, rE, rTmp, src, rT2);
+        w.subi(rTmp, rId, 1);
+        loadIdx(w, rW, rTmp, src, rT2);
+
+        // divergence d = n + s + e + w - 4c
+        w.add(rD, rN, rS);
+        w.add(rD, rD, rE);
+        w.add(rD, rD, rW);
+        w.muli(rTmp, rC, 4);
+        w.sub(rD, rD, rTmp);
+        // Threshold: only apply large updates (small |d| is noise).
+        w.shri(rTmp, rD, 3);
+        w.add(rTmp, rC, rTmp);
+        w.andi(rTmp, rTmp, 0xFFFF);
+        w.andi(rT2, rD, 0xFF80); // |d| >= 128 in magnitude bits?
+        w.select(rD, rT2, rTmp, rC);
+        storeIdx(w, rId, rD, dst, rTmp, is_output);
+        w.popExec();
+    }
+
+    unsigned gridH_;
+};
+
+/**
+ * hotspot stand-in: thermal 2-D stencil with a per-cell power input
+ * and double buffering.
+ */
+class HotspotWorkload : public Workload
+{
+  public:
+    explicit HotspotWorkload(unsigned scale)
+        : gridH_(40 * scale)
+    {}
+
+    std::string name() const override { return "hotspot"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned n = gridH_ * gridW;
+        Rng rng(0x407u);
+        Addr temp0 = gpu.alloc(std::uint64_t(n) * 4);
+        Addr temp1 = gpu.alloc(std::uint64_t(n) * 4);
+        Addr power = gpu.alloc(std::uint64_t(n) * 4);
+        fillRandom(gpu, temp0, n, rng, 0x3FF);
+        fillRandom(gpu, power, n, rng, 0xFF);
+        for (unsigned i = 0; i < n; ++i) {
+            gpu.mem().hostWrite32(
+                temp1 + Addr(i) * 4,
+                gpu.mem().read32(temp0 + Addr(i) * 4));
+        }
+
+        const unsigned waves = wavesFor(gpu, n);
+        Addr src = temp0, dst = temp1;
+        for (unsigned iter = 0; iter < 3; ++iter) {
+            bool last = iter == 2;
+            gpu.launch(
+                [&](Wave &w) { step(w, src, dst, power, n, last); },
+                waves);
+            std::swap(src, dst);
+        }
+        declareOutput(gpu, src, std::uint64_t(n) * 4);
+    }
+
+  private:
+    void
+    step(Wave &w, Addr src, Addr dst, Addr power, unsigned n,
+         bool is_output)
+    {
+        enum { rId = 0, rIn = 1, rC = 2, rAcc = 3, rP = 4, rTmp = 5,
+               rT2 = 6 };
+        const unsigned h = n / gridW;
+        w.globalId(rId);
+        w.shri(rTmp, rId, 6);
+        w.subi(rTmp, rTmp, 1);
+        w.cmpLtui(rIn, rTmp, h - 2);
+        w.andi(rTmp, rId, gridW - 1);
+        w.subi(rTmp, rTmp, 1);
+        w.cmpLtui(rTmp, rTmp, gridW - 2);
+        w.and_(rIn, rIn, rTmp);
+        w.pushExecNonzero(rIn);
+
+        loadIdx(w, rC, rId, src, rTmp);
+        w.subi(rTmp, rId, gridW);
+        loadIdx(w, rAcc, rTmp, src, rT2);
+        w.addi(rTmp, rId, gridW);
+        loadIdx(w, rT2, rTmp, src, rTmp);
+        w.add(rAcc, rAcc, rT2);
+        w.addi(rTmp, rId, 1);
+        loadIdx(w, rT2, rTmp, src, rTmp);
+        w.add(rAcc, rAcc, rT2);
+        w.subi(rTmp, rId, 1);
+        loadIdx(w, rT2, rTmp, src, rTmp);
+        w.add(rAcc, rAcc, rT2);
+        // t' = t + ((sum - 4t) >> 2) + (p >> 3)
+        w.muli(rTmp, rC, 4);
+        w.sub(rAcc, rAcc, rTmp);
+        w.shri(rAcc, rAcc, 2);
+        loadIdx(w, rP, rId, power, rTmp);
+        w.shri(rP, rP, 3);
+        w.add(rAcc, rAcc, rP);
+        w.add(rAcc, rAcc, rC);
+        w.andi(rAcc, rAcc, 0xFFFF);
+        storeIdx(w, rId, rAcc, dst, rTmp, is_output);
+        w.popExec();
+    }
+
+    unsigned gridH_;
+};
+
+/**
+ * pathfinder stand-in: row-by-row dynamic programming over a cost
+ * grid; each step reads three adjacent entries of the previous row.
+ */
+class PathfinderWorkload : public Workload
+{
+  public:
+    explicit PathfinderWorkload(unsigned scale)
+        : cols_(448 * scale)
+    {}
+
+    std::string name() const override { return "pathfinder"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned cols = cols_;
+        Rng rng(0xBADu);
+        Addr wall = gpu.alloc(std::uint64_t(rows) * cols * 4);
+        Addr cur = gpu.alloc(std::uint64_t(cols) * 4);
+        Addr next = gpu.alloc(std::uint64_t(cols) * 4);
+        fillRandom(gpu, wall, rows * cols, rng, 0xFF);
+        fillRandom(gpu, cur, cols, rng, 0xFF);
+        fillConst(gpu, next, cols, 0);
+
+        const unsigned waves = wavesFor(gpu, cols);
+        Addr src = cur, dst = next;
+        for (unsigned row = 0; row < rows; ++row) {
+            bool last = row == rows - 1;
+            gpu.launch(
+                [&](Wave &w) {
+                    step(w, src, dst, wall, row, cols, last);
+                },
+                waves);
+            std::swap(src, dst);
+        }
+        declareOutput(gpu, src, std::uint64_t(cols) * 4);
+    }
+
+  private:
+    static constexpr unsigned rows = 16;
+
+    void
+    step(Wave &w, Addr src, Addr dst, Addr wall, unsigned row,
+         unsigned cols, bool is_output)
+    {
+        enum { rId = 0, rIn = 1, rL = 2, rC = 3, rR = 4, rW = 5,
+               rTmp = 6, rT2 = 7 };
+        w.globalId(rId);
+        w.cmpLtui(rIn, rId, cols);
+        w.pushExecNonzero(rIn);
+        loadIdx(w, rC, rId, src, rTmp);
+        // left neighbour, clamped at column 0
+        w.cmpEqi(rT2, rId, 0);
+        w.subi(rTmp, rId, 1);
+        w.select(rTmp, rT2, rId, rTmp);
+        loadIdx(w, rL, rTmp, src, rL);
+        // right neighbour, clamped at column cols-1
+        w.cmpEqi(rT2, rId, cols - 1);
+        w.addi(rTmp, rId, 1);
+        w.select(rTmp, rT2, rId, rTmp);
+        loadIdx(w, rR, rTmp, src, rR);
+
+        w.minu(rC, rC, rL);
+        w.minu(rC, rC, rR);
+        w.muli(rTmp, rId, 0); // rTmp = 0 (keeps reg pressure low)
+        w.addi(rTmp, rTmp, row * cols);
+        w.add(rTmp, rTmp, rId);
+        loadIdx(w, rW, rTmp, wall, rT2);
+        w.add(rC, rC, rW);
+        storeIdx(w, rId, rC, dst, rTmp, is_output);
+        w.popExec();
+    }
+
+    unsigned cols_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSrad(unsigned scale)
+{
+    return std::make_unique<SradWorkload>(scale ? scale : 1);
+}
+
+std::unique_ptr<Workload>
+makeHotspot(unsigned scale)
+{
+    return std::make_unique<HotspotWorkload>(scale ? scale : 1);
+}
+
+std::unique_ptr<Workload>
+makePathfinder(unsigned scale)
+{
+    return std::make_unique<PathfinderWorkload>(scale ? scale : 1);
+}
+
+} // namespace mbavf

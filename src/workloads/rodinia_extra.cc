@@ -1,0 +1,535 @@
+/**
+ * @file
+ * Additional Rodinia stand-ins: bfs, kmeans, nw, lud, backprop.
+ */
+
+#include <string>
+
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "gpu/wave.hh"
+#include "workloads/factories.hh"
+#include "workloads/util.hh"
+
+namespace mbavf
+{
+
+namespace
+{
+
+/**
+ * bfs stand-in: frontier-driven breadth-first search over a random
+ * CSR graph; only lanes whose node sits on the current frontier do
+ * work (heavy data-dependent divergence, irregular gathers).
+ */
+class BfsWorkload : public Workload
+{
+  public:
+    explicit BfsWorkload(unsigned scale)
+        : nNodes_(448 * scale)
+    {}
+
+    std::string name() const override { return "bfs"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned n = nNodes_;
+        Rng rng(0xBF5u);
+        Addr edges = gpu.alloc(std::uint64_t(n) * degree * 4);
+        Addr level = gpu.alloc(std::uint64_t(n) * 4);
+
+        // Mostly-local random graph so the frontier grows over a few
+        // iterations rather than exploding at once.
+        for (unsigned i = 0; i < n; ++i) {
+            for (unsigned k = 0; k < degree; ++k) {
+                std::uint32_t j = (i + n + static_cast<std::uint32_t>(
+                                               rng.range(-9, 9))) % n;
+                gpu.mem().hostWrite32(
+                    edges + (Addr(i) * degree + k) * 4, j);
+            }
+        }
+        fillConst(gpu, level, n, inf);
+        gpu.mem().hostWrite32(level, 0); // source node 0
+
+        const unsigned waves = wavesFor(gpu, n);
+        for (unsigned iter = 0; iter < 6; ++iter) {
+            bool last = iter == 5;
+            gpu.launch(
+                [&](Wave &w) {
+                    step(w, edges, level, n, iter, last);
+                },
+                waves);
+        }
+        declareOutput(gpu, level, std::uint64_t(n) * 4);
+    }
+
+  private:
+    static constexpr unsigned degree = 6;
+    static constexpr std::uint32_t inf = 0xFFFF;
+
+    void
+    step(Wave &w, Addr edges, Addr level, unsigned n, unsigned iter,
+         bool is_output)
+    {
+        enum { rId = 0, rIn = 1, rLvl = 2, rOn = 3, rBase = 4,
+               rNbr = 5, rNLvl = 6, rIsInf = 7, rNew = 8, rTmp = 9 };
+        w.globalId(rId);
+        w.cmpLtui(rIn, rId, n);
+        w.pushExecNonzero(rIn);
+        loadIdx(w, rLvl, rId, level, rTmp);
+        // Frontier test: my level == iter.
+        w.cmpEqi(rOn, rLvl, iter);
+        w.pushExecNonzero(rOn);
+        w.muli(rBase, rId, degree);
+        for (unsigned k = 0; k < degree; ++k) {
+            w.addi(rTmp, rBase, k);
+            loadIdx(w, rNbr, rTmp, edges, rTmp);
+            loadIdx(w, rNLvl, rNbr, level, rTmp);
+            w.cmpEqi(rIsInf, rNLvl, inf);
+            w.movi(rNew, iter + 1);
+            w.select(rNew, rIsInf, rNew, rNLvl);
+            w.muli(rTmp, rNbr, 4);
+            w.addi(rTmp, rTmp,
+                   static_cast<std::uint32_t>(level));
+            if (is_output)
+                w.storeOut(rTmp, rNew);
+            else
+                w.store(rTmp, rNew);
+        }
+        w.popExec();
+        w.popExec();
+    }
+
+    unsigned nNodes_;
+};
+
+/**
+ * kmeans stand-in: assignment of 1-D points to the nearest of k
+ * centroids, centroid recomputation on the device (scatter
+ * accumulate + divide), two iterations.
+ */
+class KmeansWorkload : public Workload
+{
+  public:
+    explicit KmeansWorkload(unsigned scale)
+        : nPoints_(1536 * scale)
+    {}
+
+    std::string name() const override { return "kmeans"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned n = nPoints_;
+        Rng rng(0x4EA5u);
+        Addr points = gpu.alloc(std::uint64_t(n) * 4);
+        Addr centroids = gpu.alloc(k * 4);
+        Addr assign = gpu.alloc(std::uint64_t(n) * 4);
+        Addr sums = gpu.alloc(k * 4);
+        Addr counts = gpu.alloc(k * 4);
+
+        fillRandom(gpu, points, n, rng, 0x3FF);
+        for (unsigned c = 0; c < k; ++c) {
+            gpu.mem().hostWrite32(centroids + Addr(c) * 4,
+                                  c * (0x400 / k) + 17);
+        }
+        fillConst(gpu, assign, n, 0);
+
+        const unsigned waves = wavesFor(gpu, n);
+        for (unsigned iter = 0; iter < 2; ++iter) {
+            bool last = iter == 1;
+            fillConst(gpu, sums, k, 0);
+            fillConst(gpu, counts, k, 0);
+            gpu.launch(
+                [&](Wave &w) {
+                    assignKernel(w, points, centroids, assign, sums,
+                                 counts, n, last);
+                },
+                waves);
+            if (!last) {
+                gpu.launch(
+                    [&](Wave &w) {
+                        updateKernel(w, centroids, sums, counts);
+                    },
+                    1);
+            }
+        }
+        declareOutput(gpu, assign, std::uint64_t(n) * 4);
+    }
+
+  private:
+    static constexpr unsigned k = 8;
+
+    void
+    assignKernel(Wave &w, Addr points, Addr centroids, Addr assign,
+                 Addr sums, Addr counts, unsigned n, bool is_output)
+    {
+        enum { rId = 0, rIn = 1, rP = 2, rBest = 3, rBestD = 4,
+               rC = 5, rD = 6, rD2 = 7, rCloser = 8, rTmp = 9,
+               rCnt = 10 };
+        w.globalId(rId);
+        w.cmpLtui(rIn, rId, n);
+        w.pushExecNonzero(rIn);
+        loadIdx(w, rP, rId, points, rTmp);
+        w.movi(rBest, 0);
+        w.movi(rBestD, 0xFFFFFF);
+        for (unsigned c = 0; c < k; ++c) {
+            w.movi(rTmp, c);
+            loadIdx(w, rC, rTmp, centroids, rTmp);
+            w.sub(rD, rP, rC);
+            w.sub(rD2, rC, rP);
+            w.maxu(rD, rD, rD2);
+            w.cmpLtu(rCloser, rD, rBestD);
+            w.movi(rTmp, c);
+            w.select(rBest, rCloser, rTmp, rBest);
+            w.select(rBestD, rCloser, rD, rBestD);
+        }
+        storeIdx(w, rId, rBest, assign, rTmp, is_output);
+        // Scatter-accumulate for the centroid update (races between
+        // lanes lose updates deterministically, like histogram).
+        loadIdx(w, rD, rBest, sums, rTmp);
+        w.add(rD, rD, rP);
+        storeIdx(w, rBest, rD, sums, rTmp);
+        loadIdx(w, rCnt, rBest, counts, rTmp);
+        w.addi(rCnt, rCnt, 1);
+        storeIdx(w, rBest, rCnt, counts, rTmp);
+        w.popExec();
+    }
+
+    void
+    updateKernel(Wave &w, Addr centroids, Addr sums, Addr counts)
+    {
+        enum { rId = 0, rIn = 1, rSum = 2, rCnt = 3, rNew = 4,
+               rTmp = 5 };
+        w.laneIdx(rId);
+        w.cmpLtui(rIn, rId, k);
+        w.pushExecNonzero(rIn);
+        loadIdx(w, rSum, rId, sums, rTmp);
+        loadIdx(w, rCnt, rId, counts, rTmp);
+        w.divu(rNew, rSum, rCnt);
+        storeIdx(w, rId, rNew, centroids, rTmp);
+        w.popExec();
+    }
+
+    unsigned nPoints_;
+};
+
+/**
+ * nw stand-in: Needleman-Wunsch dynamic programming, one kernel per
+ * anti-diagonal; each active lane computes one cell from its three
+ * neighbours plus a similarity term.
+ */
+class NwWorkload : public Workload
+{
+  public:
+    explicit NwWorkload(unsigned scale)
+        : dim_(56 * scale)
+    {}
+
+    std::string name() const override { return "nw"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned dim = dim_;
+        Rng rng(0x2121u);
+        Addr sim = gpu.alloc(std::uint64_t(dim) * dim * 4);
+        Addr score = gpu.alloc(std::uint64_t(dim + 1) * (dim + 1) * 4);
+        fillRandom(gpu, sim, dim * dim, rng, 0xF);
+        // Boundary conditions: gap penalties along row/col 0.
+        for (unsigned i = 0; i <= dim; ++i) {
+            gpu.mem().hostWrite32(score + Addr(i) * 4, i * gap);
+            gpu.mem().hostWrite32(score + Addr(i) * (dim + 1) * 4,
+                                  i * gap);
+        }
+
+        for (unsigned d = 2; d <= 2 * dim; ++d) {
+            bool last = d == 2 * dim;
+            gpu.launch(
+                [&](Wave &w) { diagonal(w, sim, score, dim, d, last); },
+                wavesFor(gpu, dim));
+        }
+        declareOutput(gpu, score,
+                      std::uint64_t(dim + 1) * (dim + 1) * 4);
+    }
+
+  private:
+    static constexpr std::uint32_t gap = 1;
+
+    void
+    diagonal(Wave &w, Addr sim, Addr score, unsigned dim, unsigned d,
+             bool is_output)
+    {
+        enum { rI = 0, rJ = 1, rIn = 2, rUp = 3, rLeft = 4,
+               rDiag = 5, rS = 6, rIdx = 7, rTmp = 8, rT2 = 9 };
+        const unsigned stride = dim + 1;
+        // Lane l computes cell (i, j) = (l+1, d-l-1) when valid.
+        w.laneIdx(rI);
+        w.addi(rI, rI, 1);
+        w.movi(rJ, d);
+        w.sub(rJ, rJ, rI);
+        // Valid: 1 <= i <= dim and 1 <= j <= dim.
+        w.cmpLtui(rIn, rI, dim + 1);
+        w.subi(rTmp, rJ, 1);
+        w.cmpLtui(rTmp, rTmp, dim);
+        w.and_(rIn, rIn, rTmp);
+        w.pushExecNonzero(rIn);
+
+        // score indices: cur = i*stride + j
+        w.muli(rIdx, rI, stride);
+        w.add(rIdx, rIdx, rJ);
+        w.subi(rTmp, rIdx, stride);
+        loadIdx(w, rUp, rTmp, score, rT2);
+        w.subi(rTmp, rIdx, 1);
+        loadIdx(w, rLeft, rTmp, score, rT2);
+        w.subi(rTmp, rIdx, stride + 1);
+        loadIdx(w, rDiag, rTmp, score, rT2);
+
+        // sim[i-1][j-1]
+        w.subi(rTmp, rI, 1);
+        w.muli(rTmp, rTmp, dim);
+        w.add(rTmp, rTmp, rJ);
+        w.subi(rTmp, rTmp, 1);
+        loadIdx(w, rS, rTmp, sim, rT2);
+
+        w.add(rDiag, rDiag, rS);
+        w.addi(rUp, rUp, gap);
+        w.addi(rLeft, rLeft, gap);
+        w.minu(rDiag, rDiag, rUp);
+        w.minu(rDiag, rDiag, rLeft);
+        storeIdx(w, rIdx, rDiag, score, rTmp, is_output);
+        w.popExec();
+    }
+
+    unsigned dim_;
+};
+
+/**
+ * lud stand-in: in-place LU factorization by row reduction, one
+ * kernel launch per pivot; each lane owns one row below the pivot.
+ */
+class LudWorkload : public Workload
+{
+  public:
+    explicit LudWorkload(unsigned scale)
+        : dim_(28 * scale)
+    {}
+
+    std::string name() const override { return "lud"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned dim = dim_;
+        Rng rng(0x10Du);
+        Addr a = gpu.alloc(std::uint64_t(dim) * dim * 4);
+        // Diagonally dominant matrix keeps pivots nonzero.
+        for (unsigned i = 0; i < dim; ++i) {
+            for (unsigned j = 0; j < dim; ++j) {
+                std::uint32_t v = static_cast<std::uint32_t>(
+                    rng.below(64) + (i == j ? 4096 : 16));
+                gpu.mem().hostWrite32(a + (Addr(i) * dim + j) * 4, v);
+            }
+        }
+
+        for (unsigned piv = 0; piv + 1 < dim; ++piv) {
+            bool last = piv + 2 == dim;
+            gpu.launch(
+                [&](Wave &w) { reduce(w, a, dim, piv, last); },
+                wavesFor(gpu, dim));
+        }
+        declareOutput(gpu, a, std::uint64_t(dim) * dim * 4);
+    }
+
+  private:
+    void
+    reduce(Wave &w, Addr a, unsigned dim, unsigned piv, bool is_output)
+    {
+        enum { rRow = 0, rIn = 1, rPivV = 2, rMyV = 3, rFac = 4,
+               rPV = 5, rMine = 6, rTmp = 7, rT2 = 8 };
+        // Lane l owns row piv+1+l.
+        w.laneIdx(rRow);
+        w.addi(rRow, rRow, piv + 1);
+        w.cmpLtui(rIn, rRow, dim);
+        w.pushExecNonzero(rIn);
+
+        // factor = (A[row][piv] << 8) / A[piv][piv]
+        w.movi(rTmp, piv * dim + piv);
+        loadIdx(w, rPivV, rTmp, a, rT2);
+        w.muli(rTmp, rRow, dim);
+        w.addi(rTmp, rTmp, piv);
+        loadIdx(w, rMyV, rTmp, a, rT2);
+        w.shli(rFac, rMyV, 8);
+        w.divu(rFac, rFac, rPivV);
+
+        for (unsigned j = piv; j < dim; ++j) {
+            w.movi(rTmp, piv * dim + j);
+            loadIdx(w, rPV, rTmp, a, rT2);
+            w.mul(rPV, rPV, rFac);
+            w.shri(rPV, rPV, 8);
+            w.muli(rTmp, rRow, dim);
+            w.addi(rTmp, rTmp, j);
+            loadIdx(w, rMine, rTmp, a, rT2);
+            w.sub(rMine, rMine, rPV);
+            w.muli(rTmp, rRow, dim);
+            w.addi(rTmp, rTmp, j);
+            storeIdx(w, rTmp, rMine, a, rT2, is_output);
+        }
+        w.popExec();
+    }
+
+    unsigned dim_;
+};
+
+/**
+ * backprop stand-in: one forward + backward pass of a small
+ * fully-connected layer in fixed point; lanes own hidden units for
+ * the forward pass and weights for the update.
+ */
+class BackpropWorkload : public Workload
+{
+  public:
+    explicit BackpropWorkload(unsigned scale)
+        : nInputs_(256 * scale)
+    {}
+
+    std::string name() const override { return "backprop"; }
+
+    void
+    run(Gpu &gpu) override
+    {
+        const unsigned in_n = nInputs_;
+        Rng rng(0xBAC2u);
+        Addr input = gpu.alloc(std::uint64_t(in_n) * 4);
+        Addr weights = gpu.alloc(std::uint64_t(in_n) * hidden * 4);
+        Addr hid = gpu.alloc(hidden * 4);
+        Addr target = gpu.alloc(hidden * 4);
+        Addr delta = gpu.alloc(hidden * 4);
+
+        fillRandom(gpu, input, in_n, rng, 0xFF);
+        fillRandom(gpu, weights, in_n * hidden, rng, 0x3F);
+        fillRandom(gpu, target, hidden, rng, 0xFFF);
+        fillConst(gpu, hid, hidden, 0);
+        fillConst(gpu, delta, hidden, 0);
+
+        // Forward: hid[h] = sum_i input[i] * W[i][h] >> 8.
+        gpu.launch(
+            [&](Wave &w) { forward(w, input, weights, hid, in_n); },
+            1);
+        // Error: delta[h] = target[h] - hid[h].
+        gpu.launch(
+            [&](Wave &w) { error(w, hid, target, delta); }, 1);
+        // Update: W[i][h] += (input[i] * delta[h]) >> 12.
+        gpu.launch(
+            [&](Wave &w) { update(w, input, weights, delta, in_n); },
+            wavesFor(gpu, in_n));
+        declareOutput(gpu, weights,
+                      std::uint64_t(in_n) * hidden * 4);
+        declareOutput(gpu, delta, hidden * 4);
+    }
+
+  private:
+    static constexpr unsigned hidden = 16;
+
+    void
+    forward(Wave &w, Addr input, Addr weights, Addr hid,
+            unsigned in_n)
+    {
+        enum { rH = 0, rIn = 1, rAcc = 2, rX = 3, rW = 4, rTmp = 5,
+               rT2 = 6 };
+        w.laneIdx(rH);
+        w.cmpLtui(rIn, rH, hidden);
+        w.pushExecNonzero(rIn);
+        w.movi(rAcc, 0);
+        for (unsigned i = 0; i < in_n; i += 4) {
+            // Sample every 4th input to bound trace size.
+            w.movi(rTmp, i);
+            loadIdx(w, rX, rTmp, input, rT2);
+            w.muli(rTmp, rH, 1);
+            w.addi(rTmp, rTmp, i * hidden);
+            loadIdx(w, rW, rTmp, weights, rT2);
+            w.mad(rAcc, rX, rW, rAcc);
+        }
+        w.shri(rAcc, rAcc, 8);
+        storeIdx(w, rH, rAcc, hid, rTmp);
+        w.popExec();
+    }
+
+    void
+    error(Wave &w, Addr hid, Addr target, Addr delta)
+    {
+        enum { rH = 0, rIn = 1, rO = 2, rT = 3, rD = 4, rTmp = 5 };
+        w.laneIdx(rH);
+        w.cmpLtui(rIn, rH, hidden);
+        w.pushExecNonzero(rIn);
+        loadIdx(w, rO, rH, hid, rTmp);
+        loadIdx(w, rT, rH, target, rTmp);
+        w.sub(rD, rT, rO);
+        w.andi(rD, rD, 0xFFFF);
+        storeIdx(w, rH, rD, delta, rTmp, true);
+        w.popExec();
+    }
+
+    void
+    update(Wave &w, Addr input, Addr weights, Addr delta,
+           unsigned in_n)
+    {
+        enum { rI = 0, rIn = 1, rX = 2, rD = 3, rW = 4, rTmp = 5,
+               rT2 = 6 };
+        w.globalId(rI);
+        w.cmpLtui(rIn, rI, in_n);
+        w.pushExecNonzero(rIn);
+        loadIdx(w, rX, rI, input, rTmp);
+        for (unsigned h = 0; h < hidden; h += 2) {
+            w.movi(rTmp, h);
+            loadIdx(w, rD, rTmp, delta, rT2);
+            w.mul(rD, rD, rX);
+            w.shri(rD, rD, 12);
+            w.muli(rTmp, rI, hidden);
+            w.addi(rTmp, rTmp, h);
+            loadIdx(w, rW, rTmp, weights, rT2);
+            w.add(rW, rW, rD);
+            w.muli(rTmp, rI, hidden);
+            w.addi(rTmp, rTmp, h);
+            storeIdx(w, rTmp, rW, weights, rT2, true);
+        }
+        w.popExec();
+    }
+
+    unsigned nInputs_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBfs(unsigned scale)
+{
+    return std::make_unique<BfsWorkload>(scale ? scale : 1);
+}
+
+std::unique_ptr<Workload>
+makeKmeans(unsigned scale)
+{
+    return std::make_unique<KmeansWorkload>(scale ? scale : 1);
+}
+
+std::unique_ptr<Workload>
+makeNw(unsigned scale)
+{
+    return std::make_unique<NwWorkload>(scale ? scale : 1);
+}
+
+std::unique_ptr<Workload>
+makeLud(unsigned scale)
+{
+    return std::make_unique<LudWorkload>(scale ? scale : 1);
+}
+
+std::unique_ptr<Workload>
+makeBackprop(unsigned scale)
+{
+    return std::make_unique<BackpropWorkload>(scale ? scale : 1);
+}
+
+} // namespace mbavf

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Host-side helpers shared by the workload implementations.
+ */
+
+#ifndef MBAVF_WORKLOADS_UTIL_HH
+#define MBAVF_WORKLOADS_UTIL_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "gpu/gpu.hh"
+
+namespace mbavf
+{
+
+/** Fill @p n 32-bit words at @p addr with masked random values. */
+inline void
+fillRandom(Gpu &gpu, Addr addr, unsigned n, Rng &rng,
+           std::uint32_t mask = 0xFFFF)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        gpu.mem().hostWrite32(
+            addr + Addr(i) * 4,
+            static_cast<std::uint32_t>(rng.next()) & mask);
+    }
+}
+
+/** Fill @p n 32-bit words with @p value. */
+inline void
+fillConst(Gpu &gpu, Addr addr, unsigned n, std::uint32_t value)
+{
+    for (unsigned i = 0; i < n; ++i)
+        gpu.mem().hostWrite32(addr + Addr(i) * 4, value);
+}
+
+/** Fill @p n 32-bit words with start + i * step. */
+inline void
+fillIota(Gpu &gpu, Addr addr, unsigned n, std::uint32_t start = 0,
+         std::uint32_t step = 1)
+{
+    for (unsigned i = 0; i < n; ++i)
+        gpu.mem().hostWrite32(addr + Addr(i) * 4, start + i * step);
+}
+
+/** Waves needed to cover @p items work-items. */
+inline unsigned
+wavesFor(const Gpu &gpu, unsigned items)
+{
+    unsigned lanes = gpu.config().wavefrontSize;
+    return (items + lanes - 1) / lanes;
+}
+
+/** dst = base + idx * 4 (word-indexed address computation). */
+inline void
+addrOf(Wave &w, unsigned dst, unsigned idx, Addr base)
+{
+    w.muli(dst, idx, 4);
+    w.addi(dst, dst, static_cast<std::uint32_t>(base));
+}
+
+/** dst = base[idx]; clobbers @p tmp with the address. */
+inline void
+loadIdx(Wave &w, unsigned dst, unsigned idx, Addr base, unsigned tmp)
+{
+    addrOf(w, tmp, idx, base);
+    w.load(dst, tmp);
+}
+
+/** base[idx] = src; clobbers @p tmp with the address. */
+inline void
+storeIdx(Wave &w, unsigned idx, unsigned src, Addr base, unsigned tmp,
+         bool is_output = false)
+{
+    addrOf(w, tmp, idx, base);
+    if (is_output)
+        w.storeOut(tmp, src);
+    else
+        w.store(tmp, src);
+}
+
+} // namespace mbavf
+
+#endif // MBAVF_WORKLOADS_UTIL_HH

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit and property tests for IntervalSet.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/interval_set.hh"
+#include "common/rng.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+TEST(IntervalSet, EmptyByDefault)
+{
+    IntervalSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.totalLength(), 0u);
+    EXPECT_FALSE(s.contains(0));
+}
+
+TEST(IntervalSet, AddIgnoresEmptyIntervals)
+{
+    IntervalSet s;
+    s.add(5, 5);
+    s.add(7, 3);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, AddCoalescesAdjacent)
+{
+    IntervalSet s;
+    s.add(0, 10);
+    s.add(10, 20);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.totalLength(), 20u);
+}
+
+TEST(IntervalSet, AddCoalescesOverlap)
+{
+    IntervalSet s;
+    s.add(0, 10);
+    s.add(5, 15);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.totalLength(), 15u);
+}
+
+TEST(IntervalSet, AddKeepsDisjoint)
+{
+    IntervalSet s;
+    s.add(0, 5);
+    s.add(10, 15);
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.totalLength(), 10u);
+}
+
+TEST(IntervalSet, OutOfOrderInsertBridges)
+{
+    IntervalSet s;
+    s.add(10, 15);
+    s.add(0, 5);
+    s.add(4, 11);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.totalLength(), 15u);
+}
+
+TEST(IntervalSet, Contains)
+{
+    IntervalSet s;
+    s.add(3, 7);
+    EXPECT_FALSE(s.contains(2));
+    EXPECT_TRUE(s.contains(3));
+    EXPECT_TRUE(s.contains(6));
+    EXPECT_FALSE(s.contains(7));
+}
+
+TEST(IntervalSet, ConstructorNormalizes)
+{
+    IntervalSet s({{10, 20}, {0, 5}, {4, 12}, {30, 30}});
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.totalLength(), 20u);
+}
+
+TEST(IntervalSet, UnionBasic)
+{
+    IntervalSet a;
+    a.add(0, 5);
+    IntervalSet b;
+    b.add(3, 8);
+    IntervalSet u = a.unionWith(b);
+    EXPECT_EQ(u.totalLength(), 8u);
+}
+
+TEST(IntervalSet, IntersectBasic)
+{
+    IntervalSet a;
+    a.add(0, 5);
+    a.add(10, 20);
+    IntervalSet b;
+    b.add(3, 12);
+    IntervalSet i = a.intersect(b);
+    EXPECT_EQ(i.totalLength(), 4u); // [3,5) + [10,12)
+}
+
+TEST(IntervalSet, SubtractBasic)
+{
+    IntervalSet a;
+    a.add(0, 10);
+    IntervalSet b;
+    b.add(3, 5);
+    b.add(8, 20);
+    IntervalSet d = a.subtract(b);
+    EXPECT_EQ(d.totalLength(), 6u); // [0,3) + [5,8)
+    EXPECT_TRUE(d.contains(0));
+    EXPECT_FALSE(d.contains(3));
+    EXPECT_TRUE(d.contains(5));
+    EXPECT_FALSE(d.contains(9));
+}
+
+TEST(IntervalSet, ClampWindow)
+{
+    IntervalSet a;
+    a.add(0, 100);
+    IntervalSet c = a.clamp(40, 60);
+    EXPECT_EQ(c.totalLength(), 20u);
+}
+
+TEST(IntervalSet, OverlapLength)
+{
+    IntervalSet a;
+    a.add(0, 5);
+    a.add(10, 20);
+    EXPECT_EQ(a.overlapLength(3, 12), 4u);
+    EXPECT_EQ(a.overlapLength(20, 30), 0u);
+    EXPECT_EQ(a.overlapLength(7, 7), 0u);
+}
+
+/** Property: set algebra matches a brute-force cycle set. */
+class IntervalSetPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IntervalSetPropertyTest, MatchesBruteForce)
+{
+    Rng rng(GetParam() * 7919 + 13);
+    constexpr Cycle domain = 200;
+
+    auto random_set = [&](IntervalSet &s, std::set<Cycle> &ref) {
+        for (int i = 0; i < 12; ++i) {
+            Cycle b = rng.below(domain);
+            Cycle e = b + rng.below(20);
+            s.add(b, e);
+            for (Cycle c = b; c < e; ++c)
+                ref.insert(c);
+        }
+    };
+
+    IntervalSet a, b;
+    std::set<Cycle> ra, rb;
+    random_set(a, ra);
+    random_set(b, rb);
+
+    // Internal invariant: sorted, disjoint, non-adjacent.
+    for (std::size_t i = 1; i < a.intervals().size(); ++i) {
+        EXPECT_GT(a.intervals()[i].begin, a.intervals()[i - 1].end);
+    }
+
+    IntervalSet u = a.unionWith(b);
+    IntervalSet x = a.intersect(b);
+    IntervalSet d = a.subtract(b);
+
+    for (Cycle c = 0; c < domain + 30; ++c) {
+        bool in_a = ra.count(c) != 0;
+        bool in_b = rb.count(c) != 0;
+        EXPECT_EQ(a.contains(c), in_a) << "cycle " << c;
+        EXPECT_EQ(u.contains(c), in_a || in_b) << "cycle " << c;
+        EXPECT_EQ(x.contains(c), in_a && in_b) << "cycle " << c;
+        EXPECT_EQ(d.contains(c), in_a && !in_b) << "cycle " << c;
+    }
+    EXPECT_EQ(a.totalLength(), ra.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, IntervalSetPropertyTest,
+                         ::testing::Range(0, 20));
+
+} // namespace
+} // namespace mbavf

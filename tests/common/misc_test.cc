@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the small common utilities: bits, rng, stats, table,
+ * args.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/args.hh"
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+TEST(Bits, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0);
+    EXPECT_EQ(popCount(0xFF), 8);
+    EXPECT_EQ(popCount(~std::uint64_t(0)), 64);
+}
+
+TEST(Bits, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(63));
+}
+
+TEST(Bits, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(63), 5u);
+    EXPECT_EQ(floorLog2(64), 6u);
+}
+
+TEST(Bits, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(8), 0xFFu);
+    EXPECT_EQ(lowMask(64), ~std::uint64_t(0));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Stats, MeanMinMax)
+{
+    RunningStats s;
+    s.add(1);
+    s.add(2);
+    s.add(3);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(Stats, Geomean)
+{
+    RunningStats s;
+    s.add(1);
+    s.add(4);
+    EXPECT_DOUBLE_EQ(s.geomean(), 2.0);
+}
+
+TEST(Stats, GeomeanWithZeroIsZero)
+{
+    RunningStats s;
+    s.add(0);
+    s.add(4);
+    EXPECT_DOUBLE_EQ(s.geomean(), 0.0);
+}
+
+TEST(Table, TextAndCsv)
+{
+    Table t({"a", "b"});
+    t.beginRow().cell("x").cell(1.5, 1);
+    t.beginRow().cell("y").cell(std::uint64_t(7));
+    EXPECT_EQ(t.numRows(), 2u);
+
+    std::ostringstream csv;
+    t.printCsv(csv);
+    EXPECT_EQ(csv.str(), "a,b\nx,1.5\ny,7\n");
+
+    std::ostringstream text;
+    t.printText(text);
+    EXPECT_NE(text.str().find("x"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only one"}), "row width");
+}
+
+TEST(Args, ParsesKeyValueAndFlags)
+{
+    const char *argv[] = {"prog", "--n=42", "--name=minife",
+                          "--flag", "--rate=2.5"};
+    Args args(5, const_cast<char **>(argv));
+    EXPECT_EQ(args.getInt("n", 0), 42);
+    EXPECT_EQ(args.getString("name", ""), "minife");
+    EXPECT_TRUE(args.getBool("flag"));
+    EXPECT_DOUBLE_EQ(args.getDouble("rate", 0), 2.5);
+    EXPECT_EQ(args.getInt("missing", 9), 9);
+    EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Args, FalseValues)
+{
+    const char *argv[] = {"prog", "--a=0", "--b=false"};
+    Args args(3, const_cast<char **>(argv));
+    EXPECT_FALSE(args.getBool("a", true));
+    EXPECT_FALSE(args.getBool("b", true));
+}
+
+} // namespace
+} // namespace mbavf

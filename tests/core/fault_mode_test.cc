@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for fault modes and fault-group enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fault_mode.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+TEST(FaultMode, Mx1Basics)
+{
+    FaultMode m = FaultMode::mx1(3);
+    EXPECT_EQ(m.name(), "3x1");
+    EXPECT_EQ(m.size(), 3u);
+    EXPECT_EQ(m.maxDRow(), 0);
+    EXPECT_EQ(m.maxDCol(), 2);
+}
+
+TEST(FaultMode, Figure1Example)
+{
+    // Paper Figure 1: a 2x1 mode has 3 unique fault groups in a 4x1
+    // SRAM array (B0..B3).
+    FaultMode m = FaultMode::mx1(2);
+    EXPECT_EQ(m.numGroups(1, 4), 3u);
+}
+
+TEST(FaultMode, SingleBitGroupCount)
+{
+    FaultMode m = FaultMode::mx1(1);
+    EXPECT_EQ(m.numGroups(8, 16), 128u);
+}
+
+TEST(FaultMode, GroupCountShrinksWithWidth)
+{
+    for (unsigned w = 1; w <= 8; ++w) {
+        FaultMode m = FaultMode::mx1(w);
+        EXPECT_EQ(m.numGroups(2, 32), 2u * (32 - w + 1));
+    }
+}
+
+TEST(FaultMode, NoGroupsWhenTooLarge)
+{
+    FaultMode m = FaultMode::mx1(8);
+    EXPECT_EQ(m.numGroups(4, 7), 0u);
+}
+
+TEST(FaultMode, RectMode)
+{
+    FaultMode m = FaultMode::rect(2, 2);
+    EXPECT_EQ(m.size(), 4u);
+    EXPECT_EQ(m.maxDRow(), 1);
+    EXPECT_EQ(m.maxDCol(), 1);
+    EXPECT_EQ(m.numGroups(3, 3), 4u);
+}
+
+TEST(FaultMode, NormalizesOffsets)
+{
+    FaultMode m("diag", {{2, 5}, {1, 4}});
+    EXPECT_EQ(m.offsets()[0].dRow, 0);
+    EXPECT_EQ(m.offsets()[0].dCol, 0);
+    EXPECT_EQ(m.offsets()[1].dRow, 1);
+    EXPECT_EQ(m.offsets()[1].dCol, 1);
+}
+
+TEST(FaultMode, DeduplicatesOffsets)
+{
+    FaultMode m("dup", {{0, 0}, {0, 1}, {0, 0}});
+    EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FaultMode, ArbitraryNonContiguous)
+{
+    // An L-shaped pattern is accepted and spans its bounding box.
+    FaultMode m("L", {{0, 0}, {1, 0}, {1, 1}});
+    EXPECT_EQ(m.size(), 3u);
+    EXPECT_EQ(m.numGroups(4, 4), 9u);
+}
+
+} // namespace
+} // namespace mbavf

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for physical layouts and interleaving styles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/layout.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+/** Every (container, bit) pair must appear exactly once. */
+void
+expectBijective(const PhysicalArray &array, std::uint64_t containers,
+                unsigned bits_per_container)
+{
+    std::set<std::pair<std::uint64_t, std::uint32_t>> seen;
+    for (std::uint64_t r = 0; r < array.rows(); ++r) {
+        for (std::uint64_t c = 0; c < array.cols(); ++c) {
+            PhysBit b = array.at(r, c);
+            EXPECT_LT(b.container, containers);
+            EXPECT_LT(b.bitInContainer, bits_per_container);
+            auto inserted =
+                seen.insert({b.container, b.bitInContainer});
+            EXPECT_TRUE(inserted.second)
+                << "duplicate at row " << r << " col " << c;
+        }
+    }
+    EXPECT_EQ(seen.size(), containers * bits_per_container);
+}
+
+CacheGeometry
+smallCache()
+{
+    return CacheGeometry{8, 4, 16}; // 8 sets, 4 ways, 16B lines
+}
+
+TEST(CacheLayout, LogicalBijective)
+{
+    auto a = makeCacheArray(smallCache(), CacheInterleave::Logical, 2);
+    expectBijective(*a, 32, 128);
+}
+
+TEST(CacheLayout, WayPhysicalBijective)
+{
+    auto a =
+        makeCacheArray(smallCache(), CacheInterleave::WayPhysical, 2);
+    expectBijective(*a, 32, 128);
+}
+
+TEST(CacheLayout, IndexPhysicalBijective)
+{
+    auto a =
+        makeCacheArray(smallCache(), CacheInterleave::IndexPhysical, 4);
+    expectBijective(*a, 32, 128);
+}
+
+TEST(CacheLayout, TotalBitsInvariant)
+{
+    CacheGeometry g = smallCache();
+    std::uint64_t expect =
+        std::uint64_t(g.numLines()) * g.lineBits();
+    for (auto style : {CacheInterleave::Logical,
+                       CacheInterleave::WayPhysical,
+                       CacheInterleave::IndexPhysical}) {
+        for (unsigned i : {1u, 2u, 4u}) {
+            auto a = makeCacheArray(g, style, i);
+            EXPECT_EQ(a->totalBits(), expect);
+        }
+    }
+}
+
+TEST(CacheLayout, LogicalAdjacentBitsSameLineDifferentDomains)
+{
+    auto a = makeCacheArray(smallCache(), CacheInterleave::Logical, 2);
+    for (std::uint64_t c = 0; c + 1 < a->cols(); ++c) {
+        PhysBit b0 = a->at(3, c);
+        PhysBit b1 = a->at(3, c + 1);
+        EXPECT_EQ(b0.container, b1.container);
+        EXPECT_NE(b0.domain, b1.domain);
+    }
+}
+
+TEST(CacheLayout, WayPhysicalAdjacentBitsDifferentWays)
+{
+    CacheGeometry g = smallCache();
+    auto a = makeCacheArray(g, CacheInterleave::WayPhysical, 2);
+    for (std::uint64_t c = 0; c + 1 < a->cols(); ++c) {
+        PhysBit b0 = a->at(0, c);
+        PhysBit b1 = a->at(0, c + 1);
+        EXPECT_NE(b0.container, b1.container);
+        // Same set: containers are set-major.
+        EXPECT_EQ(b0.container / g.ways, b1.container / g.ways);
+        EXPECT_NE(b0.domain, b1.domain);
+    }
+}
+
+TEST(CacheLayout, IndexPhysicalAdjacentBitsAdjacentSets)
+{
+    CacheGeometry g = smallCache();
+    auto a = makeCacheArray(g, CacheInterleave::IndexPhysical, 2);
+    PhysBit b0 = a->at(0, 0);
+    PhysBit b1 = a->at(0, 1);
+    unsigned set0 = static_cast<unsigned>(b0.container / g.ways);
+    unsigned set1 = static_cast<unsigned>(b1.container / g.ways);
+    unsigned way0 = static_cast<unsigned>(b0.container % g.ways);
+    unsigned way1 = static_cast<unsigned>(b1.container % g.ways);
+    EXPECT_EQ(way0, way1);
+    EXPECT_EQ(set1, set0 + 1);
+}
+
+TEST(CacheLayout, InterleaveOneStylesCoincide)
+{
+    CacheGeometry g = smallCache();
+    auto logical = makeCacheArray(g, CacheInterleave::Logical, 1);
+    auto way = makeCacheArray(g, CacheInterleave::WayPhysical, 1);
+    ASSERT_EQ(logical->rows(), way->rows());
+    ASSERT_EQ(logical->cols(), way->cols());
+    for (std::uint64_t r = 0; r < logical->rows(); ++r) {
+        for (std::uint64_t c = 0; c < logical->cols(); c += 7) {
+            PhysBit a = logical->at(r, c);
+            PhysBit b = way->at(r, c);
+            EXPECT_EQ(a.container, b.container);
+            EXPECT_EQ(a.bitInContainer, b.bitInContainer);
+        }
+    }
+}
+
+TEST(CacheLayout, ColumnCountScalesWithInterleave)
+{
+    CacheGeometry g = smallCache();
+    auto x2 = makeCacheArray(g, CacheInterleave::WayPhysical, 2);
+    auto x4 = makeCacheArray(g, CacheInterleave::WayPhysical, 4);
+    EXPECT_EQ(x2->cols(), std::uint64_t(g.lineBits()) * 2);
+    EXPECT_EQ(x4->cols(), std::uint64_t(g.lineBits()) * 4);
+}
+
+RegFileGeometry
+smallRegs()
+{
+    return RegFileGeometry{8, 16, 2, 32};
+}
+
+TEST(RegLayout, IntraThreadBijective)
+{
+    auto a =
+        makeRegFileArray(smallRegs(), RegInterleave::IntraThread, 2);
+    expectBijective(*a, smallRegs().numContainers(), 32);
+}
+
+TEST(RegLayout, InterThreadBijective)
+{
+    auto a =
+        makeRegFileArray(smallRegs(), RegInterleave::InterThread, 4);
+    expectBijective(*a, smallRegs().numContainers(), 32);
+}
+
+TEST(RegLayout, IntraThreadAdjacencyIsSameLane)
+{
+    RegFileGeometry g = smallRegs();
+    auto a = makeRegFileArray(g, RegInterleave::IntraThread, 2);
+    // Adjacent columns: same lane, different registers.
+    PhysBit b0 = a->at(0, 0);
+    PhysBit b1 = a->at(0, 1);
+    unsigned lane0 = static_cast<unsigned>(b0.container % g.numLanes);
+    unsigned lane1 = static_cast<unsigned>(b1.container % g.numLanes);
+    EXPECT_EQ(lane0, lane1);
+    EXPECT_NE(b0.container, b1.container);
+}
+
+TEST(RegLayout, InterThreadAdjacencyIsSameRegister)
+{
+    RegFileGeometry g = smallRegs();
+    auto a = makeRegFileArray(g, RegInterleave::InterThread, 2);
+    PhysBit b0 = a->at(0, 0);
+    PhysBit b1 = a->at(0, 1);
+    unsigned lane0 = static_cast<unsigned>(b0.container % g.numLanes);
+    unsigned lane1 = static_cast<unsigned>(b1.container % g.numLanes);
+    EXPECT_EQ(lane1, lane0 + 1);
+    EXPECT_EQ(b0.container / g.numLanes, b1.container / g.numLanes);
+}
+
+TEST(RegLayout, EveryRegisterIsItsOwnDomain)
+{
+    RegFileGeometry g = smallRegs();
+    auto a = makeRegFileArray(g, RegInterleave::InterThread, 2);
+    for (std::uint64_t r = 0; r < a->rows(); r += 3) {
+        for (std::uint64_t c = 0; c < a->cols(); c += 5) {
+            PhysBit b = a->at(r, c);
+            EXPECT_EQ(b.domain, b.container);
+        }
+    }
+}
+
+} // namespace
+} // namespace mbavf

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Round-trip tests for LifetimeStore serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hh"
+#include "core/lifetime_io.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+bool
+storesEqual(const LifetimeStore &a, const LifetimeStore &b)
+{
+    if (a.wordWidth() != b.wordWidth() ||
+        a.wordsPerContainer() != b.wordsPerContainer() ||
+        a.numContainers() != b.numContainers()) {
+        return false;
+    }
+    for (const auto &[id, container] : a.containers()) {
+        for (unsigned w = 0; w < a.wordsPerContainer(); ++w) {
+            const WordLifetime *wa = &container.words[w];
+            const WordLifetime *wb = b.find(id, w);
+            if (wa->empty()) {
+                if (wb != nullptr)
+                    return false;
+                continue;
+            }
+            if (!wb || wa->segments().size() != wb->segments().size())
+                return false;
+            for (std::size_t s = 0; s < wa->segments().size(); ++s) {
+                const LifeSegment &x = wa->segments()[s];
+                const LifeSegment &y = wb->segments()[s];
+                if (x.begin != y.begin || x.end != y.end ||
+                    x.aceMask != y.aceMask ||
+                    x.readMask != y.readMask) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+LifetimeStore
+randomStore(std::uint64_t seed)
+{
+    Rng rng(seed);
+    LifetimeStore store(8, 16);
+    for (int c = 0; c < 20; ++c) {
+        // Unique container ids: re-selecting a container would
+        // append segments out of time order.
+        std::uint64_t id = std::uint64_t(c) * 50 + rng.below(50);
+        ContainerLifetime &container = store.container(id);
+        for (unsigned w = 0; w < 16; ++w) {
+            if (rng.chance(0.5))
+                continue;
+            Cycle t = rng.below(20);
+            int segs = 1 + static_cast<int>(rng.below(6));
+            for (int s = 0; s < segs; ++s) {
+                Cycle e = t + 1 + rng.below(30);
+                container.words[w].append(
+                    {t, e, rng.next() & 0xFF, 0xFF});
+                t = e + 1 + rng.below(10);
+            }
+        }
+    }
+    return store;
+}
+
+TEST(LifetimeIo, RoundTripEmpty)
+{
+    LifetimeStore store(8, 4);
+    std::stringstream buf;
+    saveLifetimeStore(store, buf);
+    LifetimeStore loaded = loadLifetimeStore(buf);
+    EXPECT_TRUE(storesEqual(store, loaded));
+    EXPECT_EQ(loaded.wordWidth(), 8u);
+    EXPECT_EQ(loaded.wordsPerContainer(), 4u);
+}
+
+TEST(LifetimeIo, RoundTripRandom)
+{
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        LifetimeStore store = randomStore(seed);
+        std::stringstream buf;
+        saveLifetimeStore(store, buf);
+        LifetimeStore loaded = loadLifetimeStore(buf);
+        EXPECT_TRUE(storesEqual(store, loaded)) << "seed " << seed;
+    }
+}
+
+TEST(LifetimeIo, BadMagicIsFatal)
+{
+    std::stringstream buf;
+    buf << "NOTMAGIC-and-some-junk";
+    EXPECT_DEATH((void)loadLifetimeStore(buf), "bad magic");
+}
+
+TEST(LifetimeIo, TruncatedInputIsFatal)
+{
+    LifetimeStore store = randomStore(9);
+    std::stringstream buf;
+    saveLifetimeStore(store, buf);
+    std::string bytes = buf.str();
+    std::stringstream cut(bytes.substr(0, bytes.size() / 2));
+    EXPECT_DEATH((void)loadLifetimeStore(cut), "truncated");
+}
+
+TEST(LifetimeIo, FileRoundTrip)
+{
+    LifetimeStore store = randomStore(42);
+    std::string path = ::testing::TempDir() + "/mbavf_lt_test.bin";
+    saveLifetimeStore(store, path);
+    LifetimeStore loaded = loadLifetimeStore(path);
+    EXPECT_TRUE(storesEqual(store, loaded));
+}
+
+} // namespace
+} // namespace mbavf

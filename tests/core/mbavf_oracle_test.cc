@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Property test: the MB-AVF engine against a brute-force oracle.
+ *
+ * The oracle classifies every (group, cycle) pair independently by
+ * direct per-bit classAt() queries and explicit region logic; the
+ * engine's swept totals must match exactly on randomized lifetimes,
+ * layouts, schemes, and fault modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "core/mbavf.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+/** Random flat array: 1 row of bits, 1-bit containers. */
+class FlatArray : public PhysicalArray
+{
+  public:
+    FlatArray(std::uint64_t bits, unsigned domain_bits)
+        : bits_(bits), domainBits_(domain_bits)
+    {}
+
+    std::uint64_t rows() const override { return 1; }
+    std::uint64_t cols() const override { return bits_; }
+
+    PhysBit
+    at(std::uint64_t, std::uint64_t col) const override
+    {
+        return {col, 0, col / domainBits_};
+    }
+
+  private:
+    std::uint64_t bits_;
+    unsigned domainBits_;
+};
+
+AceClass
+bitClassAt(const LifetimeStore &store, std::uint64_t bit, Cycle t)
+{
+    unsigned bit_in_word;
+    const WordLifetime *w = store.findBit(bit, 0, bit_in_word);
+    return w ? w->classAt(bit_in_word, t) : AceClass::Unace;
+}
+
+/** Direct evaluation of the model definition for one group-cycle. */
+Outcome
+oracleOutcome(const FlatArray &array, const LifetimeStore &store,
+              const ProtectionScheme &scheme, const FaultMode &mode,
+              std::uint64_t anchor, Cycle t, bool due_shields_sdc)
+{
+    // Regions by domain.
+    std::map<DomainId, std::vector<std::uint64_t>> regions;
+    for (const PatternOffset &o : mode.offsets()) {
+        PhysBit b = array.at(0, anchor + o.dCol);
+        regions[b.domain].push_back(b.container);
+    }
+    bool has_sdc = false, has_tdue = false, has_fdue = false;
+    for (const auto &[domain, bits] : regions) {
+        FaultAction action =
+            scheme.action(static_cast<unsigned>(bits.size()));
+        bool live = false, read = false;
+        for (std::uint64_t b : bits) {
+            AceClass c = bitClassAt(store, b, t);
+            live |= c == AceClass::AceLive;
+            read |= c != AceClass::Unace;
+        }
+        switch (action) {
+          case FaultAction::Corrected:
+            break;
+          case FaultAction::Detected:
+            if (live)
+                has_tdue = true;
+            else if (read)
+                has_fdue = true;
+            break;
+          case FaultAction::Undetected:
+            if (live)
+                has_sdc = true;
+            break;
+        }
+    }
+    if (has_sdc && has_tdue && due_shields_sdc)
+        return Outcome::TrueDue;
+    if (has_sdc)
+        return Outcome::Sdc;
+    if (has_tdue)
+        return Outcome::TrueDue;
+    if (has_fdue)
+        return Outcome::FalseDue;
+    return Outcome::Unace;
+}
+
+class MbAvfOracleTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MbAvfOracleTest, EngineMatchesBruteForce)
+{
+    Rng rng(GetParam() * 104729 + 17);
+    const std::uint64_t bits = 24;
+    // Deliberately not divisible by the window count to exercise
+    // the exact integer window boundaries.
+    const Cycle horizon = 59;
+    const unsigned domain_bits = 1u << rng.below(3); // 1, 2, or 4
+    const unsigned mode_bits =
+        1 + static_cast<unsigned>(rng.below(6));
+    const bool shields = rng.chance(0.5);
+
+    FlatArray array(bits, domain_bits);
+    LifetimeStore store(1, 1);
+    for (std::uint64_t b = 0; b < bits; ++b) {
+        if (rng.chance(0.25))
+            continue; // untouched bit
+        auto &word = store.container(b).words[0];
+        Cycle t = rng.below(10);
+        while (t < horizon) {
+            Cycle e = t + 1 + rng.below(15);
+            LifeSegment seg{t, e, 0, 0};
+            double roll = rng.uniform();
+            if (roll < 0.4) {
+                seg.aceMask = seg.readMask = 1;
+            } else if (roll < 0.7) {
+                seg.readMask = 1;
+            }
+            word.append(seg);
+            t = e + rng.below(8);
+        }
+    }
+
+    std::unique_ptr<ProtectionScheme> scheme;
+    switch (rng.below(3)) {
+      case 0: scheme = makeScheme("parity"); break;
+      case 1: scheme = makeScheme("secded"); break;
+      default: scheme = makeScheme("none"); break;
+    }
+
+    FaultMode mode = FaultMode::mx1(mode_bits);
+    constexpr unsigned num_windows = 4;
+    MbAvfOptions opt;
+    opt.horizon = horizon;
+    opt.dueShieldsSdc = shields;
+    opt.numWindows = num_windows;
+    MbAvfResult engine =
+        computeMbAvf(array, store, *scheme, mode, opt);
+
+    // Brute force over every (group, cycle), whole-run and windowed.
+    std::uint64_t sdc = 0, tdue = 0, fdue = 0;
+    std::uint64_t win_counts[num_windows][3] = {};
+    std::uint64_t groups = mode.numGroups(1, bits);
+    // Window w covers [w*H/W, (w+1)*H/W) with integer (floor)
+    // boundaries — the engine's partition.
+    auto bound = [&](unsigned w) {
+        return static_cast<Cycle>(horizon * w / num_windows);
+    };
+    auto window_of = [&](Cycle t) {
+        unsigned w = 0;
+        while (w + 1 < num_windows && bound(w + 1) <= t)
+            ++w;
+        return w;
+    };
+    for (std::uint64_t g = 0; g < groups; ++g) {
+        for (Cycle t = 0; t < horizon; ++t) {
+            unsigned w = window_of(t);
+            switch (oracleOutcome(array, store, *scheme, mode, g, t,
+                                  shields)) {
+              case Outcome::Sdc:
+                ++sdc;
+                ++win_counts[w][0];
+                break;
+              case Outcome::TrueDue:
+                ++tdue;
+                ++win_counts[w][1];
+                break;
+              case Outcome::FalseDue:
+                ++fdue;
+                ++win_counts[w][2];
+                break;
+              case Outcome::Unace:
+                break;
+            }
+        }
+    }
+    const double denom =
+        static_cast<double>(groups) * static_cast<double>(horizon);
+    EXPECT_NEAR(engine.avf.sdc, sdc / denom, 1e-12);
+    EXPECT_NEAR(engine.avf.trueDue, tdue / denom, 1e-12);
+    EXPECT_NEAR(engine.avf.falseDue, fdue / denom, 1e-12);
+
+    ASSERT_EQ(engine.windows.size(), num_windows);
+    for (unsigned w = 0; w < num_windows; ++w) {
+        const double win_denom =
+            static_cast<double>(bound(w + 1) - bound(w)) * groups;
+        EXPECT_NEAR(engine.windows[w].sdc,
+                    win_counts[w][0] / win_denom, 1e-12)
+            << "window " << w;
+        EXPECT_NEAR(engine.windows[w].trueDue,
+                    win_counts[w][1] / win_denom, 1e-12)
+            << "window " << w;
+        EXPECT_NEAR(engine.windows[w].falseDue,
+                    win_counts[w][2] / win_denom, 1e-12)
+            << "window " << w;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, MbAvfOracleTest,
+                         ::testing::Range(0, 24));
+
+/** Multi-row patterns against brute force on a small grid. */
+TEST(MbAvfOracle2D, RectAndLShapeMatchBruteForce)
+{
+    // 6 rows x 10 cols grid; each bit its own container; domains
+    // group 2 adjacent columns within a row.
+    class GridArray : public PhysicalArray
+    {
+      public:
+        std::uint64_t rows() const override { return 6; }
+        std::uint64_t cols() const override { return 10; }
+        PhysBit
+        at(std::uint64_t row, std::uint64_t col) const override
+        {
+            std::uint64_t bit = row * 10 + col;
+            return {bit, 0, row * 5 + col / 2};
+        }
+    } grid;
+
+    Rng rng(404);
+    const Cycle horizon = 40;
+    LifetimeStore store(1, 1);
+    for (std::uint64_t b = 0; b < 60; ++b) {
+        if (rng.chance(0.3))
+            continue;
+        Cycle t = rng.below(10);
+        while (t < horizon) {
+            Cycle e = t + 1 + rng.below(12);
+            LifeSegment seg{t, e, 0, 0};
+            if (rng.chance(0.5)) {
+                seg.aceMask = seg.readMask = 1;
+            } else {
+                seg.readMask = 1;
+            }
+            store.container(b).words[0].append(seg);
+            t = e + rng.below(6);
+        }
+    }
+
+    ParityScheme parity;
+    const std::vector<FaultMode> modes = {
+        FaultMode::rect(2, 2),
+        FaultMode("L", {{0, 0}, {1, 0}, {1, 1}}),
+        FaultMode("col3", {{0, 0}, {1, 0}, {2, 0}}),
+    };
+    for (const FaultMode &mode : modes) {
+        MbAvfOptions opt;
+        opt.horizon = horizon;
+        MbAvfResult engine =
+            computeMbAvf(grid, store, parity, mode, opt);
+
+        std::uint64_t sdc = 0, tdue = 0, fdue = 0;
+        std::uint64_t span_r = mode.maxDRow() + 1;
+        std::uint64_t span_c = mode.maxDCol() + 1;
+        std::uint64_t groups = 0;
+        for (std::uint64_t r = 0; r + span_r <= 6; ++r) {
+            for (std::uint64_t c = 0; c + span_c <= 10; ++c) {
+                ++groups;
+                for (Cycle t = 0; t < horizon; ++t) {
+                    // Direct region classification.
+                    std::map<DomainId, std::pair<bool, bool>> regions;
+                    for (const PatternOffset &o : mode.offsets()) {
+                        PhysBit b =
+                            grid.at(r + o.dRow, c + o.dCol);
+                        AceClass cls =
+                            bitClassAt(store, b.container, t);
+                        auto &[live, read] = regions[b.domain];
+                        live |= cls == AceClass::AceLive;
+                        read |= cls != AceClass::Unace;
+                    }
+                    std::map<DomainId, unsigned> sizes;
+                    for (const PatternOffset &o : mode.offsets())
+                        ++sizes[grid.at(r + o.dRow, c + o.dCol)
+                                    .domain];
+                    bool s = false, td = false, fd = false;
+                    for (const auto &[dom, lr] : regions) {
+                        switch (parity.action(sizes[dom])) {
+                          case FaultAction::Corrected:
+                            break;
+                          case FaultAction::Detected:
+                            if (lr.first)
+                                td = true;
+                            else if (lr.second)
+                                fd = true;
+                            break;
+                          case FaultAction::Undetected:
+                            if (lr.first)
+                                s = true;
+                            break;
+                        }
+                    }
+                    if (s)
+                        ++sdc;
+                    else if (td)
+                        ++tdue;
+                    else if (fd)
+                        ++fdue;
+                }
+            }
+        }
+        ASSERT_EQ(engine.numGroups, groups) << mode.name();
+        const double denom = static_cast<double>(groups) * horizon;
+        EXPECT_NEAR(engine.avf.sdc, sdc / denom, 1e-12)
+            << mode.name();
+        EXPECT_NEAR(engine.avf.trueDue, tdue / denom, 1e-12)
+            << mode.name();
+        EXPECT_NEAR(engine.avf.falseDue, fdue / denom, 1e-12)
+            << mode.name();
+    }
+}
+
+TEST(MbAvfThreading, ParallelSweepIsBitExact)
+{
+    Rng rng(20260704);
+    const std::uint64_t bits = 512;
+    FlatArray array(bits, 4);
+    LifetimeStore store(1, 1);
+    for (std::uint64_t b = 0; b < bits; ++b) {
+        if (rng.chance(0.3))
+            continue;
+        auto &word = store.container(b).words[0];
+        Cycle t = rng.below(50);
+        for (int s = 0; s < 10; ++s) {
+            Cycle e = t + 1 + rng.below(40);
+            word.append({t, e, rng.chance(0.5) ? 1u : 0u, 1});
+            t = e + 1 + rng.below(20);
+        }
+    }
+
+    // A multi-row view: reinterpret as 8 rows x 64 cols by wrapping.
+    class GridArray : public PhysicalArray
+    {
+      public:
+        std::uint64_t rows() const override { return 8; }
+        std::uint64_t cols() const override { return 64; }
+        PhysBit
+        at(std::uint64_t row, std::uint64_t col) const override
+        {
+            std::uint64_t bit = row * 64 + col;
+            return {bit, 0, bit / 4};
+        }
+    } grid;
+
+    ParityScheme parity;
+    MbAvfOptions serial;
+    serial.horizon = 400;
+    serial.numWindows = 5;
+    serial.numThreads = 1;
+    MbAvfOptions parallel = serial;
+    parallel.numThreads = 4;
+
+    for (unsigned m : {1u, 3u, 8u}) {
+        MbAvfResult a = computeMbAvf(grid, store, parity,
+                                     FaultMode::mx1(m), serial);
+        MbAvfResult b = computeMbAvf(grid, store, parity,
+                                     FaultMode::mx1(m), parallel);
+        EXPECT_EQ(a.avf.sdc, b.avf.sdc) << m;
+        EXPECT_EQ(a.avf.trueDue, b.avf.trueDue) << m;
+        EXPECT_EQ(a.avf.falseDue, b.avf.falseDue) << m;
+        ASSERT_EQ(a.windows.size(), b.windows.size());
+        for (std::size_t w = 0; w < a.windows.size(); ++w) {
+            EXPECT_EQ(a.windows[w].sdc, b.windows[w].sdc);
+            EXPECT_EQ(a.windows[w].trueDue, b.windows[w].trueDue);
+        }
+    }
+}
+
+} // namespace
+} // namespace mbavf

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for protection schemes: fault actions and check-bit costs
+ * (the paper's quoted overheads).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/protection.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+TEST(Protection, NoProtectionNeverDetects)
+{
+    NoProtection p;
+    EXPECT_EQ(p.action(0), FaultAction::Corrected);
+    for (unsigned n = 1; n <= 8; ++n)
+        EXPECT_EQ(p.action(n), FaultAction::Undetected);
+    EXPECT_EQ(p.checkBits(64), 0u);
+}
+
+TEST(Protection, ParityDetectsOddMissesEven)
+{
+    ParityScheme p;
+    EXPECT_EQ(p.action(0), FaultAction::Corrected);
+    for (unsigned n = 1; n <= 9; n += 2)
+        EXPECT_EQ(p.action(n), FaultAction::Detected) << n;
+    for (unsigned n = 2; n <= 8; n += 2)
+        EXPECT_EQ(p.action(n), FaultAction::Undetected) << n;
+}
+
+TEST(Protection, SecDedLadder)
+{
+    SecDedScheme p;
+    EXPECT_EQ(p.action(0), FaultAction::Corrected);
+    EXPECT_EQ(p.action(1), FaultAction::Corrected);
+    EXPECT_EQ(p.action(2), FaultAction::Detected);
+    for (unsigned n = 3; n <= 8; ++n)
+        EXPECT_EQ(p.action(n), FaultAction::Undetected) << n;
+}
+
+TEST(Protection, DecTedLadder)
+{
+    DecTedScheme p;
+    EXPECT_EQ(p.action(1), FaultAction::Corrected);
+    EXPECT_EQ(p.action(2), FaultAction::Corrected);
+    EXPECT_EQ(p.action(3), FaultAction::Detected);
+    EXPECT_EQ(p.action(4), FaultAction::Undetected);
+}
+
+TEST(Protection, CrcDetectsEverything)
+{
+    CrcDetectScheme p;
+    for (unsigned n = 1; n <= 8; ++n)
+        EXPECT_EQ(p.action(n), FaultAction::Detected) << n;
+}
+
+TEST(Protection, PaperCheckBitCosts)
+{
+    // Introduction: DEC-TED on a 128-bit word needs 17 check bits
+    // (13%) vs 9 (7%) for SEC-DED.
+    SecDedScheme secded;
+    DecTedScheme dected;
+    EXPECT_EQ(secded.checkBits(128), 9u);
+    EXPECT_EQ(dected.checkBits(128), 17u);
+    EXPECT_NEAR(secded.areaOverhead(128), 0.07, 0.01);
+    EXPECT_NEAR(dected.areaOverhead(128), 0.13, 0.01);
+
+    // Section VIII: per-32-bit-register protection costs 21.9%
+    // (SEC-DED) vs 3.1% (parity).
+    ParityScheme parity;
+    EXPECT_EQ(secded.checkBits(32), 7u);
+    EXPECT_NEAR(secded.areaOverhead(32), 0.219, 0.001);
+    EXPECT_NEAR(parity.areaOverhead(32), 0.031, 0.001);
+}
+
+TEST(Protection, FactoryByName)
+{
+    EXPECT_EQ(makeScheme("none")->name(), "none");
+    EXPECT_EQ(makeScheme("parity")->name(), "parity");
+    EXPECT_EQ(makeScheme("secded")->name(), "SEC-DED");
+    EXPECT_EQ(makeScheme("dected")->name(), "DEC-TED");
+    EXPECT_EQ(makeScheme("crc")->name(), "CRC");
+}
+
+} // namespace
+} // namespace mbavf

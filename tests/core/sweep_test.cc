@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the mode-sweep and SER convenience API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sweep.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+/** One-row array of 1-bit containers grouped into 8-bit domains. */
+class FlatArray : public PhysicalArray
+{
+  public:
+    explicit FlatArray(std::uint64_t bits) : bits_(bits) {}
+
+    std::uint64_t rows() const override { return 1; }
+    std::uint64_t cols() const override { return bits_; }
+
+    PhysBit
+    at(std::uint64_t, std::uint64_t col) const override
+    {
+        return {col, 0, col / 8};
+    }
+
+  private:
+    std::uint64_t bits_;
+};
+
+LifetimeStore
+allAceStore(std::uint64_t bits, Cycle horizon)
+{
+    LifetimeStore store(1, 1);
+    for (std::uint64_t b = 0; b < bits; ++b) {
+        store.container(b).words[0].append(
+            {0, horizon, 1, 1});
+    }
+    return store;
+}
+
+TEST(Sweep, SweepsAllModes)
+{
+    FlatArray array(32);
+    LifetimeStore store = allAceStore(32, 100);
+    ParityScheme parity;
+    MbAvfOptions opt;
+    opt.horizon = 100;
+
+    ModeSweep sweep = sweepModes(array, store, parity, opt);
+    ASSERT_EQ(sweep.results.size(), maxTabulatedMode);
+    // Fully-ACE structure: odd modes detected (DUE 1.0), even modes
+    // undetected within one domain... mode 2 inside an 8-bit domain
+    // is 2 flips -> undetected -> SDC.
+    EXPECT_DOUBLE_EQ(sweep.avf(1).due(), 1.0);
+    EXPECT_GT(sweep.avf(2).sdc, 0.9);
+}
+
+TEST(Sweep, SerFoldsRates)
+{
+    FlatArray array(32);
+    LifetimeStore store = allAceStore(32, 100);
+    ParityScheme parity;
+    MbAvfOptions opt;
+    opt.horizon = 100;
+
+    ModeSweep sweep = sweepModes(array, store, parity, opt, 2);
+    std::array<double, 2> fits = {90.0, 10.0};
+    StructureSer ser = sweepSer(sweep, fits);
+    EXPECT_NEAR(ser.due(), 90.0 * sweep.avf(1).due() +
+                               10.0 * sweep.avf(2).due(),
+                1e-9);
+    EXPECT_NEAR(ser.sdc, 10.0 * sweep.avf(2).sdc, 1e-9);
+}
+
+TEST(Sweep, OneCallSerMatchesManual)
+{
+    FlatArray array(32);
+    LifetimeStore store = allAceStore(32, 100);
+    SecDedScheme secded;
+    MbAvfOptions opt;
+    opt.horizon = 100;
+
+    StructureSer one =
+        computeStructureSer(array, store, secded, opt, 100.0);
+    ModeSweep sweep = sweepModes(array, store, secded, opt);
+    auto fits = caseStudyFaultRates(100.0);
+    StructureSer manual = sweepSer(sweep, fits);
+    EXPECT_DOUBLE_EQ(one.sdc, manual.sdc);
+    EXPECT_DOUBLE_EQ(one.trueDue, manual.trueDue);
+    EXPECT_DOUBLE_EQ(one.falseDue, manual.falseDue);
+}
+
+TEST(Sweep, SerScalesWithTotalFit)
+{
+    FlatArray array(32);
+    LifetimeStore store = allAceStore(32, 100);
+    ParityScheme parity;
+    MbAvfOptions opt;
+    opt.horizon = 100;
+
+    StructureSer a =
+        computeStructureSer(array, store, parity, opt, 100.0);
+    StructureSer b =
+        computeStructureSer(array, store, parity, opt, 300.0);
+    EXPECT_NEAR(b.total(), 3.0 * a.total(), 1e-9);
+}
+
+} // namespace
+} // namespace mbavf

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the fault-injection campaign and the ACE-interference
+ * study driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "inject/campaign.hh"
+#include "inject/interference.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+GpuConfig
+cfg()
+{
+    return GpuConfig{};
+}
+
+TEST(Campaign, GoldenRunsOnce)
+{
+    Campaign c("histogram", 1, cfg());
+    EXPECT_GT(c.goldenInstrs(), 0u);
+}
+
+TEST(Campaign, NoFlipIsMasked)
+{
+    Campaign c("histogram", 1, cfg());
+    EXPECT_EQ(c.inject(std::vector<RegInjection>{}),
+              InjectOutcome::Masked);
+}
+
+TEST(Campaign, UnusedRegisterFlipIsMasked)
+{
+    Campaign c("histogram", 1, cfg());
+    RegInjection inj;
+    inj.cu = 0;
+    inj.slot = 0;
+    inj.reg = 31; // kernels never touch r31
+    inj.lane = 0;
+    inj.bitMask = 0xFFFFFFFF;
+    inj.triggerInstr = c.goldenInstrs() / 2;
+    EXPECT_EQ(c.inject(inj), InjectOutcome::Masked);
+}
+
+TEST(Campaign, TargetedInjectionCausesSdc)
+{
+    // recursive_gaussian keeps its IIR accumulator in r3 for the
+    // whole row loop; flipping it mid-loop must corrupt the output.
+    // Its 3 waves run sequentially (CU0, CU1, CU2), so a trigger in
+    // the first sixth of the instruction stream lands inside CU0's
+    // wave.
+    Campaign c("recursive_gaussian", 1, cfg());
+    RegInjection inj;
+    inj.cu = 0;
+    inj.slot = 0;
+    inj.reg = 3;
+    inj.lane = 5;
+    inj.bitMask = 0x4;
+    inj.triggerInstr = c.goldenInstrs() / 6;
+    EXPECT_EQ(c.inject(inj), InjectOutcome::Sdc);
+}
+
+TEST(Campaign, SamplerStaysInBounds)
+{
+    Campaign c("histogram", 1, cfg());
+    Rng rng(5);
+    GpuConfig config = cfg();
+    for (int i = 0; i < 200; ++i) {
+        RegInjection inj = c.sampleSingleBit(rng);
+        EXPECT_LT(inj.cu, config.numCus);
+        EXPECT_LT(inj.slot, config.regs.numSlots);
+        EXPECT_LT(inj.reg, config.regs.numRegs);
+        EXPECT_LT(inj.lane, config.regs.numLanes);
+        EXPECT_NE(inj.bitMask, 0u);
+        EXPECT_EQ(popCount(inj.bitMask), 1);
+        EXPECT_LT(inj.triggerInstr, c.goldenInstrs());
+    }
+}
+
+TEST(Campaign, InjectionIsRepeatable)
+{
+    Campaign c("dct", 1, cfg());
+    Rng rng(17);
+    RegInjection inj = c.sampleSingleBit(rng);
+    InjectOutcome a = c.inject(inj);
+    InjectOutcome b = c.inject(inj);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Campaign, MemInjectionIntoOutputIsSdc)
+{
+    // Flipping a bit of an output-buffer byte after the last write
+    // must show up in the comparison.
+    Campaign c("histogram", 1, cfg());
+    MemInjection inj;
+    // The bins buffer follows the 4096-word data buffer; bin counts
+    // are small, so bit 0 of a low count byte flips the output.
+    inj.addr = 4096 * 4; // first bin counter
+    inj.bitMask = 0x1;
+    inj.triggerInstr = c.goldenInstrs() - 1;
+    EXPECT_EQ(c.injectMem(inj), InjectOutcome::Sdc);
+}
+
+TEST(Campaign, MemInjectionIntoDeadInputIsMasked)
+{
+    // Flipping input data after the last kernel has consumed it has
+    // no effect on the output.
+    Campaign c("matrix_transpose", 1, cfg());
+    MemInjection inj;
+    inj.addr = 0; // input matrix byte
+    inj.bitMask = 0x80;
+    inj.triggerInstr = c.goldenInstrs() - 1;
+    EXPECT_EQ(c.injectMem(inj), InjectOutcome::Masked);
+}
+
+TEST(Campaign, MemInjectionEarlyIntoInputIsSdc)
+{
+    Campaign c("matrix_transpose", 1, cfg());
+    MemInjection inj;
+    inj.addr = 0;
+    inj.bitMask = 0x80;
+    inj.triggerInstr = 0; // before any lane reads it
+    EXPECT_EQ(c.injectMem(inj), InjectOutcome::Sdc);
+}
+
+TEST(Campaign, MemSamplerStaysInFootprint)
+{
+    Campaign c("histogram", 1, cfg());
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        MemInjection inj = c.sampleMemBit(rng);
+        EXPECT_LT(inj.addr, (4096u + 64u) * 4u + 64u);
+        EXPECT_NE(inj.bitMask, 0);
+    }
+}
+
+TEST(Interference, StudyRunsAndCounts)
+{
+    InterferenceStats s =
+        runInterferenceStudy("matrix_transpose", 1, cfg(), 60, 7);
+    EXPECT_EQ(s.singleInjections, 60u);
+    // Every SDC bit produces exactly one group per mode.
+    for (unsigned m = 0; m < 3; ++m) {
+        EXPECT_EQ(s.groupsTested[m], s.sdcAceBits);
+        EXPECT_LE(s.interference[m], s.groupsTested[m]);
+    }
+}
+
+} // namespace
+} // namespace mbavf

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the cache timing model: hits/misses, LRU, write-back
+ * behaviour, listener events, and flush.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/cache.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+struct EventRecorder : public CacheListener
+{
+    struct Ev
+    {
+        char kind; // F, R, W, E
+        unsigned set, way;
+        Addr addr;
+        std::uint64_t dirty;
+        Cycle t;
+    };
+    std::vector<Ev> events;
+
+    void
+    onFill(unsigned set, unsigned way, Addr a, Cycle t) override
+    {
+        events.push_back({'F', set, way, a, 0, t});
+    }
+    void
+    onRead(unsigned set, unsigned way, Addr a, unsigned, Cycle t,
+           DefId) override
+    {
+        events.push_back({'R', set, way, a, 0, t});
+    }
+    void
+    onWrite(unsigned set, unsigned way, Addr a, unsigned,
+            Cycle t) override
+    {
+        events.push_back({'W', set, way, a, 0, t});
+    }
+    void
+    onEvict(unsigned set, unsigned way, Addr a, std::uint64_t dirty,
+            Cycle t) override
+    {
+        events.push_back({'E', set, way, a, dirty, t});
+    }
+};
+
+CacheParams
+tinyCache()
+{
+    // 2 sets x 2 ways x 16B lines, 1-cycle hit.
+    return CacheParams{"t", 2, 2, 16, 1};
+}
+
+TEST(Cache, MissThenHit)
+{
+    Dram dram(100);
+    Cache cache(tinyCache(), dram);
+    MemRequest req{0x40, 4, MemCmd::Read, noDef};
+    Cycle t1 = cache.access(req, 0);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(t1, 101u); // fill at 100 + hit latency 1
+
+    Cycle t2 = cache.access(req, t1);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(t2, t1 + 1);
+}
+
+TEST(Cache, ProbeDoesNotAllocate)
+{
+    Dram dram(10);
+    Cache cache(tinyCache(), dram);
+    EXPECT_FALSE(cache.probe(0x40));
+    cache.access({0x40, 4, MemCmd::Read, noDef}, 0);
+    EXPECT_TRUE(cache.probe(0x40));
+    EXPECT_TRUE(cache.probe(0x4C)); // same line
+    EXPECT_FALSE(cache.probe(0x80));
+}
+
+TEST(Cache, LruEviction)
+{
+    Dram dram(10);
+    Cache cache(tinyCache(), dram);
+    // Three lines mapping to set 0 (16B lines, 2 sets: set =
+    // (addr/16) % 2 -> addresses 0x00, 0x40, 0x80 hit set 0).
+    cache.access({0x00, 4, MemCmd::Read, noDef}, 0);
+    cache.access({0x40, 4, MemCmd::Read, noDef}, 50);
+    cache.access({0x00, 4, MemCmd::Read, noDef}, 100); // touch 0x00
+    cache.access({0x80, 4, MemCmd::Read, noDef}, 150); // evict 0x40
+    EXPECT_TRUE(cache.probe(0x00));
+    EXPECT_FALSE(cache.probe(0x40));
+    EXPECT_TRUE(cache.probe(0x80));
+}
+
+TEST(Cache, WritebackOnlyWhenDirty)
+{
+    Dram dram(10);
+    Cache cache(tinyCache(), dram);
+    cache.access({0x00, 4, MemCmd::Read, noDef}, 0);
+    cache.access({0x40, 4, MemCmd::Write, noDef}, 10);
+    // Evict both by filling two more set-0 lines.
+    cache.access({0x80, 4, MemCmd::Read, noDef}, 20);
+    cache.access({0xC0, 4, MemCmd::Read, noDef}, 30);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, DirtyByteMaskTracksWrites)
+{
+    Dram dram(10);
+    Cache cache(tinyCache(), dram);
+    EventRecorder rec;
+    cache.setListener(&rec);
+    cache.access({0x04, 4, MemCmd::Write, noDef}, 0);
+    cache.flush(100);
+    ASSERT_FALSE(rec.events.empty());
+    const auto &ev = rec.events.back();
+    EXPECT_EQ(ev.kind, 'E');
+    EXPECT_EQ(ev.dirty, std::uint64_t(0xF) << 4);
+}
+
+TEST(Cache, ListenerEventOrderOnMiss)
+{
+    Dram dram(10);
+    Cache cache(tinyCache(), dram);
+    EventRecorder rec;
+    cache.setListener(&rec);
+    cache.access({0x00, 4, MemCmd::Read, noDef}, 0);
+    ASSERT_EQ(rec.events.size(), 2u);
+    EXPECT_EQ(rec.events[0].kind, 'F');
+    EXPECT_EQ(rec.events[1].kind, 'R');
+    EXPECT_EQ(rec.events[0].t, rec.events[1].t);
+}
+
+TEST(Cache, EvictBeforeFillOnConflict)
+{
+    Dram dram(10);
+    Cache cache(tinyCache(), dram);
+    EventRecorder rec;
+    cache.setListener(&rec);
+    cache.access({0x00, 4, MemCmd::Write, noDef}, 0);
+    cache.access({0x40, 4, MemCmd::Read, noDef}, 10);
+    cache.access({0x80, 4, MemCmd::Read, noDef}, 20); // evicts 0x00
+    bool saw_evict = false;
+    for (const auto &ev : rec.events) {
+        if (ev.kind == 'E') {
+            saw_evict = true;
+            EXPECT_EQ(ev.addr, 0x00u);
+            EXPECT_NE(ev.dirty, 0u);
+        }
+    }
+    EXPECT_TRUE(saw_evict);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    Dram dram(10);
+    Cache cache(tinyCache(), dram);
+    cache.access({0x00, 4, MemCmd::Write, noDef}, 0);
+    cache.access({0x10, 4, MemCmd::Read, noDef}, 5);
+    cache.flush(50);
+    EXPECT_FALSE(cache.probe(0x00));
+    EXPECT_FALSE(cache.probe(0x10));
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, MissRateStat)
+{
+    Dram dram(10);
+    Cache cache(tinyCache(), dram);
+    cache.access({0x00, 4, MemCmd::Read, noDef}, 0);
+    cache.access({0x00, 4, MemCmd::Read, noDef}, 20);
+    cache.access({0x04, 4, MemCmd::Read, noDef}, 40);
+    EXPECT_NEAR(cache.stats().missRate(), 1.0 / 3, 1e-12);
+}
+
+TEST(Cache, CrossLineRequestPanics)
+{
+    Dram dram(10);
+    Cache cache(tinyCache(), dram);
+    EXPECT_DEATH(cache.access({0x0E, 4, MemCmd::Read, noDef}, 0),
+                 "crosses");
+}
+
+TEST(Cache, TwoLevelHierarchy)
+{
+    Dram dram(100);
+    Cache l2(CacheParams{"l2", 8, 2, 16, 10}, dram);
+    Cache l1(CacheParams{"l1", 2, 2, 16, 1}, l2);
+    // L1 miss, L2 miss -> DRAM.
+    Cycle t1 = l1.access({0x00, 4, MemCmd::Read, noDef}, 0);
+    EXPECT_EQ(t1, 100 + 10 + 1u);
+    // L1 conflict evicts, but L2 still hits.
+    l1.access({0x40, 4, MemCmd::Read, noDef}, t1);
+    l1.access({0x80, 4, MemCmd::Read, noDef}, t1 + 200);
+    Cycle t2 = l1.access({0x00, 4, MemCmd::Read, noDef}, 1000);
+    EXPECT_EQ(t2, 1000 + 10 + 1u); // L2 hit latency only
+}
+
+} // namespace
+} // namespace mbavf

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for MainMemory and the program-order reference index.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.hh"
+#include "mem/ref_index.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+TEST(MainMemory, ReadWriteRoundTrip)
+{
+    MainMemory mem(1024);
+    mem.write32(16, 0xDEADBEEF);
+    EXPECT_EQ(mem.read32(16), 0xDEADBEEFu);
+    EXPECT_EQ(mem.read8(16), 0xEFu); // little-endian
+    EXPECT_EQ(mem.read8(19), 0xDEu);
+}
+
+TEST(MainMemory, AllocAligns)
+{
+    MainMemory mem(4096);
+    Addr a = mem.alloc(10, 64);
+    Addr b = mem.alloc(10, 64);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 10);
+}
+
+TEST(MainMemory, AllocExhaustionIsFatal)
+{
+    MainMemory mem(128);
+    EXPECT_DEATH(mem.alloc(1024), "exhausted");
+}
+
+TEST(MainMemory, OutOfRangePanics)
+{
+    MainMemory mem(16);
+    EXPECT_DEATH(mem.read32(14), "out of range");
+}
+
+TEST(MainMemory, OriginsLazyAndDefault)
+{
+    MainMemory mem(256);
+    EXPECT_EQ(mem.origin(0).def, noDef);
+    mem.hostWrite32(0, 5); // noDef origin: stays lazy
+    EXPECT_EQ(mem.origin(0).def, noDef);
+    mem.setOrigin(8, 4, 42);
+    EXPECT_EQ(mem.origin(8).def, 42u);
+    EXPECT_EQ(mem.origin(9).byteIdx, 1);
+    EXPECT_EQ(mem.origin(0).def, noDef);
+}
+
+TEST(RefIndex, FirstAfterFindsLoad)
+{
+    MemRefIndex idx;
+    idx.addStore(100, 4, 10);
+    idx.addLoad(100, 4, 50, 7);
+    const ByteRef *r = idx.firstAfter(101, 20);
+    ASSERT_NE(r, nullptr);
+    EXPECT_TRUE(r->isLoad);
+    EXPECT_EQ(r->def, 7u);
+    EXPECT_EQ(r->relShift, 8);
+}
+
+TEST(RefIndex, InclusiveAtTime)
+{
+    MemRefIndex idx;
+    idx.addLoad(100, 4, 50, 7);
+    const ByteRef *r = idx.firstAfter(100, 50);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->time, 50u);
+}
+
+TEST(RefIndex, NoFutureReference)
+{
+    MemRefIndex idx;
+    idx.addLoad(100, 4, 50, 7);
+    EXPECT_EQ(idx.firstAfter(100, 51), nullptr);
+    EXPECT_EQ(idx.firstAfter(999, 0), nullptr);
+}
+
+TEST(RefIndex, StoreShadowsLaterLoad)
+{
+    MemRefIndex idx;
+    idx.addStore(100, 4, 20);
+    idx.addLoad(100, 4, 60, 9);
+    const ByteRef *r = idx.firstAfter(100, 10);
+    ASSERT_NE(r, nullptr);
+    EXPECT_FALSE(r->isLoad); // the store comes first
+}
+
+} // namespace
+} // namespace mbavf

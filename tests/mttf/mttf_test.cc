@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the temporal/spatial MTTF models (Figure 2 substrate).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mttf/mttf.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+MttfParams
+base()
+{
+    MttfParams p;
+    p.fitPerBit = 1e-6;
+    p.lifetimeHours = 100.0 * 24 * 365;
+    p.smbfFraction = 0.001;
+    return p;
+}
+
+TEST(Mttf, SmbfScalesInverselyWithRate)
+{
+    MttfParams p = base();
+    double m1 = smbfMttfHours(p);
+    p.fitPerBit *= 10;
+    double m2 = smbfMttfHours(p);
+    EXPECT_NEAR(m1 / m2, 10.0, 1e-9);
+}
+
+TEST(Mttf, TmbfScalesInverselyWithRateSquared)
+{
+    MttfParams p = base();
+    double m1 = tmbfMttfHours(p);
+    p.fitPerBit *= 10;
+    double m2 = tmbfMttfHours(p);
+    EXPECT_NEAR(m1 / m2, 100.0, 1e-6);
+}
+
+TEST(Mttf, ShorterLifetimeRaisesTmbfMttf)
+{
+    MttfParams p = base();
+    double long_life = tmbfMttfHours(p);
+    p.lifetimeHours /= 1000;
+    double short_life = tmbfMttfHours(p);
+    EXPECT_NEAR(short_life / long_life, 1000.0, 1e-6);
+}
+
+TEST(Mttf, HigherSmbfFractionLowersMttf)
+{
+    MttfParams p = base();
+    double m01 = smbfMttfHours(p);
+    p.smbfFraction = 0.05;
+    double m5 = smbfMttfHours(p);
+    // The paper: a 5% sMBF rate costs ~2 orders of magnitude vs 0.1%.
+    EXPECT_NEAR(m01 / m5, 50.0, 1e-9);
+}
+
+TEST(Mttf, PaperShapeSmbfDominatesAtRealisticRates)
+{
+    // At realistic raw rates and a 100-year lifetime, spatial-MBF
+    // MTTF is orders of magnitude below temporal-MBF MTTF.
+    MttfParams p = base();
+    for (double fit : {1e-8, 1e-7, 1e-6}) {
+        p.fitPerBit = fit;
+        EXPECT_LT(smbfMttfHours(p), tmbfMttfHours(p) * 1e-4)
+            << "fit " << fit;
+    }
+}
+
+TEST(Mttf, InfiniteLifetimeStillFavorsSmbf)
+{
+    // "sMBF MTTF is lower than tMBF MTTF even when assuming infinite
+    // cache lifetimes" at realistic rates.
+    MttfParams p = base();
+    for (double fit : {1e-8, 1e-7, 1e-6, 1e-5}) {
+        p.fitPerBit = fit;
+        EXPECT_LT(smbfMttfHours(p), tmbfMttfInfiniteHours(p))
+            << "fit " << fit;
+    }
+}
+
+TEST(Mttf, InvalidParamsAreFatal)
+{
+    MttfParams p = base();
+    p.fitPerBit = 0;
+    EXPECT_DEATH((void)tmbfMttfHours(p), "non-positive");
+    EXPECT_DEATH((void)smbfMttfHours(p), "non-positive");
+}
+
+} // namespace
+} // namespace mbavf

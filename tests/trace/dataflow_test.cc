@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the dataflow trace and the backward liveness/relevance
+ * analysis (transitive dynamic-dead detection, logic masking).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "trace/dataflow.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+DefId
+def0(DataflowLog &log)
+{
+    return log.record({});
+}
+
+DefId
+use(DataflowLog &log, DefId src, std::uint32_t rel, bool positional)
+{
+    std::array<SrcUse, 1> s{SrcUse{src, rel, positional}};
+    return log.record(s);
+}
+
+TEST(Dataflow, UnusedDefIsDead)
+{
+    DataflowLog log;
+    DefId a = def0(log);
+    Liveness live(log);
+    EXPECT_FALSE(live.live(a));
+    EXPECT_EQ(live.numDead(), 1u);
+}
+
+TEST(Dataflow, OutputIsLive)
+{
+    DataflowLog log;
+    DefId a = def0(log);
+    log.markOutput(a, 0xFF);
+    Liveness live(log);
+    EXPECT_TRUE(live.live(a));
+    EXPECT_EQ(live.relevance(a), 0xFFu);
+}
+
+TEST(Dataflow, LivenessPropagatesThroughChain)
+{
+    DataflowLog log;
+    DefId a = def0(log);
+    DefId b = use(log, a, ~0u, false);
+    DefId c = use(log, b, ~0u, false);
+    log.markOutput(c);
+    Liveness live(log);
+    EXPECT_TRUE(live.live(a));
+    EXPECT_TRUE(live.live(b));
+}
+
+TEST(Dataflow, TransitiveDeadChain)
+{
+    // a -> b -> c, c never used: the whole chain is dead
+    // (first-level and transitive dynamic-dead instructions).
+    DataflowLog log;
+    DefId a = def0(log);
+    DefId b = use(log, a, ~0u, false);
+    DefId c = use(log, b, ~0u, false);
+    (void)c;
+    Liveness live(log);
+    EXPECT_FALSE(live.live(a));
+    EXPECT_FALSE(live.live(b));
+    EXPECT_FALSE(live.live(c));
+    EXPECT_EQ(live.numDead(), 3u);
+}
+
+TEST(Dataflow, PositionalRelevanceComposesThroughBitwiseChain)
+{
+    // a --(AND 0x0F)--> b --> output with mask 0x03:
+    // only bits 0-1 of a matter.
+    DataflowLog log;
+    DefId a = def0(log);
+    DefId b = use(log, a, 0x0F, true);
+    log.markOutput(b, 0x03);
+    Liveness live(log);
+    EXPECT_EQ(live.relevance(b), 0x03u);
+    EXPECT_EQ(live.relevance(a), 0x03u);
+}
+
+TEST(Dataflow, NonPositionalUseSpreadsFullRelevance)
+{
+    // An arithmetic consumer makes all declared source bits relevant
+    // as soon as it is live at all.
+    DataflowLog log;
+    DefId a = def0(log);
+    DefId b = use(log, a, 0xF0, false);
+    log.markOutput(b, 0x01);
+    Liveness live(log);
+    EXPECT_EQ(live.relevance(a), 0xF0u);
+}
+
+TEST(Dataflow, RelevanceUnionsOverUses)
+{
+    DataflowLog log;
+    DefId a = def0(log);
+    DefId u1 = use(log, a, 0x0F, true);
+    DefId u2 = use(log, a, 0xF0, true);
+    log.markOutput(u1, 0x0F);
+    log.markOutput(u2, 0xF0);
+    Liveness live(log);
+    EXPECT_EQ(live.relevance(a), 0xFFu);
+}
+
+TEST(Dataflow, DeadBranchContributesNothing)
+{
+    DataflowLog log;
+    DefId a = def0(log);
+    DefId dead = use(log, a, 0xFF00, true);
+    (void)dead;
+    DefId alive = use(log, a, 0x00FF, true);
+    log.markOutput(alive, 0xFF);
+    Liveness live(log);
+    EXPECT_EQ(live.relevance(a), 0x00FFu);
+}
+
+TEST(Dataflow, MultipleSources)
+{
+    DataflowLog log;
+    DefId a = def0(log);
+    DefId b = def0(log);
+    std::array<SrcUse, 2> srcs{SrcUse{a, 0x0F, true},
+                               SrcUse{b, 0xF0, true}};
+    DefId c = log.record(srcs);
+    log.markOutput(c);
+    Liveness live(log);
+    EXPECT_EQ(live.relevance(a), 0x0Fu);
+    EXPECT_EQ(live.relevance(b), 0xF0u);
+}
+
+TEST(Dataflow, ForwardReferencePanics)
+{
+    DataflowLog log;
+    std::array<SrcUse, 1> srcs{SrcUse{5, ~0u, false}};
+    EXPECT_DEATH(log.record(srcs), "forward");
+}
+
+TEST(Dataflow, ClearResets)
+{
+    DataflowLog log;
+    def0(log);
+    log.clear();
+    EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(Dataflow, UnknownDefRelevanceIsZero)
+{
+    DataflowLog log;
+    Liveness live(log);
+    EXPECT_EQ(live.relevance(42), 0u);
+    EXPECT_FALSE(live.live(noDef));
+}
+
+} // namespace
+} // namespace mbavf

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Workload ACE-characteristic tests: each synthetic stand-in must
+ * exhibit the property the paper's corresponding benchmark is used
+ * for (dead data in comd, divergence in prefix_sum, phases in
+ * minife, ...), since the figure reproductions depend on them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mbavf.hh"
+#include "core/protection.hh"
+#include "workloads/ace_runner.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+MbAvfResult
+l1Avf(const AceRun &run, unsigned mode_bits, unsigned windows = 0)
+{
+    CacheGeometry geom{run.config.l1.sets, run.config.l1.ways,
+                       run.config.l1.lineBytes};
+    auto array = makeCacheArray(geom, CacheInterleave::WayPhysical, 2);
+    ParityScheme parity;
+    MbAvfOptions opt;
+    opt.horizon = run.horizon;
+    opt.numWindows = windows;
+    return computeMbAvf(*array, run.l1, parity,
+                        FaultMode::mx1(mode_bits), opt);
+}
+
+TEST(WorkloadAce, ComdHasSubstantialDeadData)
+{
+    AceRun run = runAceAnalysis("comd");
+    // The cutoff test discards far neighbours: >5% dead defs.
+    EXPECT_GT(static_cast<double>(run.numDeadDefs) / run.numDefs,
+              0.05);
+}
+
+TEST(WorkloadAce, ComdHasFalseDue)
+{
+    AceRun run = runAceAnalysis("comd");
+    MbAvfResult sb = l1Avf(run, 1);
+    EXPECT_GT(sb.avf.falseDue, 0.01);
+    // And a meaningful share of total DUE (the paper's Figure 10).
+    EXPECT_GT(sb.avf.falseDue / sb.avf.due(), 0.1);
+}
+
+TEST(WorkloadAce, MinifeHasPhases)
+{
+    AceRun run = runAceAnalysis("minife");
+    MbAvfResult sb = l1Avf(run, 1, 8);
+    double lo = 1.0, hi = 0.0;
+    for (const AvfFractions &w : sb.windows) {
+        lo = std::min(lo, w.due());
+        hi = std::max(hi, w.due());
+    }
+    // AVF must move substantially across phases.
+    EXPECT_GT(hi, 1.5 * lo);
+}
+
+TEST(WorkloadAce, EveryWorkloadHasNonzeroL1Avf)
+{
+    for (const std::string &name : workloadNames()) {
+        AceRun run = runAceAnalysis(name);
+        MbAvfResult sb = l1Avf(run, 1);
+        EXPECT_GT(sb.avf.total(), 0.0) << name;
+        EXPECT_LT(sb.avf.total(), 1.0) << name;
+    }
+}
+
+TEST(WorkloadAce, MbAvfWithinFirstPrinciplesBand)
+{
+    // The central invariant on real (not synthetic) lifetimes.
+    for (const char *name : {"minife", "srad", "fast_walsh",
+                             "matmul"}) {
+        AceRun run = runAceAnalysis(name);
+        MbAvfResult sb = l1Avf(run, 1);
+        MbAvfResult mb = l1Avf(run, 2);
+        ASSERT_GT(sb.avf.total(), 0.0) << name;
+        double ratio = mb.avf.total() / sb.avf.total();
+        EXPECT_GE(ratio, 1.0 - 1e-9) << name;
+        EXPECT_LE(ratio, 2.0 + 1e-9) << name;
+    }
+}
+
+TEST(WorkloadAce, VgprAvfIsSmallButNonzero)
+{
+    AceRun run = runAceAnalysis("matmul");
+    auto array = makeRegFileArray(run.config.regs,
+                                  RegInterleave::IntraThread, 1);
+    NoProtection none;
+    MbAvfOptions opt;
+    opt.horizon = run.horizon;
+    MbAvfResult sb = computeSbAvf(*array, run.vgpr, none, opt);
+    EXPECT_GT(sb.avf.sdc, 0.0);
+    EXPECT_LT(sb.avf.sdc, 0.3); // registers are mostly short-lived
+}
+
+TEST(WorkloadAce, InterThreadShieldingConvertsSdcToDue)
+{
+    // The Section VIII mechanism on real VGPR lifetimes.
+    AceRun run = runAceAnalysis("dct");
+    auto array = makeRegFileArray(run.config.regs,
+                                  RegInterleave::InterThread, 2);
+    ParityScheme parity;
+    MbAvfOptions opt;
+    opt.horizon = run.horizon;
+    MbAvfResult plain = computeMbAvf(*array, run.vgpr, parity,
+                                     FaultMode::mx1(2), opt);
+    opt.dueShieldsSdc = true;
+    MbAvfResult shielded = computeMbAvf(*array, run.vgpr, parity,
+                                        FaultMode::mx1(2), opt);
+    EXPECT_LE(shielded.avf.sdc, plain.avf.sdc);
+    EXPECT_GE(shielded.avf.trueDue, plain.avf.trueDue);
+    // Total vulnerability is conserved: shielding reclassifies.
+    EXPECT_NEAR(shielded.avf.total(), plain.avf.total(), 1e-9);
+}
+
+TEST(WorkloadAce, LogicalInterleavingIsAtTheFloor)
+{
+    // Same-line check words: 2x1 MB-AVF == SB-AVF to within noise
+    // for every workload (maximum ACE locality).
+    for (const char *name : {"srad", "histogram"}) {
+        AceRun run = runAceAnalysis(name);
+        CacheGeometry geom{run.config.l1.sets, run.config.l1.ways,
+                           run.config.l1.lineBytes};
+        auto array =
+            makeCacheArray(geom, CacheInterleave::Logical, 2);
+        ParityScheme parity;
+        MbAvfOptions opt;
+        opt.horizon = run.horizon;
+        double sb = computeSbAvf(*array, run.l1, parity, opt)
+                        .avf.due();
+        double mb = computeMbAvf(*array, run.l1, parity,
+                                 FaultMode::mx1(2), opt)
+                        .avf.due();
+        EXPECT_NEAR(mb / sb, 1.0, 0.02) << name;
+    }
+}
+
+} // namespace
+} // namespace mbavf

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * mbavf — command-line driver for MB-AVF analysis.
+ *
+ * Runs a workload on the APU model (or loads previously saved
+ * lifetimes), then reports single- and multi-bit AVFs and SER for a
+ * chosen structure, protection scheme, and interleaving.
+ *
+ *   mbavf --workload=minife --structure=l1 --scheme=parity \
+ *         --style=way --interleave=2 --modes=4 [--windows=8]
+ *         [--total-fit=100] [--save-lifetimes=F] [--load-lifetimes=F]
+ *
+ * Structures: l1 | l2 | vgpr.
+ * Schemes: none | parity | secded | dected | crc.
+ * Styles: logical | way | index (caches); intra | inter (vgpr).
+ *
+ * --save-lifetimes writes the structure's ACE lifetimes (plus the
+ * horizon) so later invocations with --load-lifetimes can sweep
+ * designs without re-simulating.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "common/args.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/lifetime_io.hh"
+#include "core/mbavf.hh"
+#include "core/protection.hh"
+#include "core/sweep.hh"
+#include "workloads/ace_runner.hh"
+
+using namespace mbavf;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "usage: mbavf --workload=NAME [options]\n"
+        "       mbavf --load-lifetimes=FILE [options]\n\n"
+        "options:\n"
+        "  --structure=l1|l2|vgpr   structure to analyze (l1)\n"
+        "  --scheme=NAME            none|parity|secded|dected|crc\n"
+        "  --style=NAME             logical|way|index | intra|inter\n"
+        "  --interleave=N           interleave factor (2)\n"
+        "  --modes=M                analyze 1x1..Mx1 (8)\n"
+        "  --windows=N              AVF-over-time windows (0)\n"
+        "  --total-fit=F            raw structure fault rate (100)\n"
+        "  --scale=N                workload problem-size multiplier\n"
+        "  --shield-due             DUE detection shields SDC\n"
+        "  --save-lifetimes=FILE    persist lifetimes + horizon\n"
+        "  --load-lifetimes=FILE    reuse persisted lifetimes\n"
+        "  --list-workloads         print workload names\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv);
+    if (args.getBool("help")) {
+        usage();
+        return 0;
+    }
+    if (args.getBool("list-workloads")) {
+        for (const std::string &name : workloadNames())
+            std::cout << name << "\n";
+        return 0;
+    }
+
+    const std::string structure = args.getString("structure", "l1");
+    const std::string scheme_name = args.getString("scheme", "parity");
+    const std::string style = args.getString(
+        "style", structure == "vgpr" ? "inter" : "way");
+    const unsigned interleave =
+        static_cast<unsigned>(args.getInt("interleave", 2));
+    const unsigned max_mode =
+        static_cast<unsigned>(args.getInt("modes", 8));
+    const unsigned windows =
+        static_cast<unsigned>(args.getInt("windows", 0));
+    const double total_fit = args.getDouble("total-fit", 100.0);
+
+    GpuConfig config;
+    LifetimeStore life(8, 64);
+    Cycle horizon = 0;
+
+    const std::string load_path = args.getString("load-lifetimes", "");
+    if (!load_path.empty()) {
+        std::ifstream is(load_path, std::ios::binary);
+        if (!is)
+            fatal("cannot open '", load_path, "'");
+        // The file carries the horizon ahead of the store.
+        std::uint64_t h = 0;
+        is.read(reinterpret_cast<char *>(&h), sizeof(h));
+        if (!is)
+            fatal("truncated lifetime file");
+        horizon = h;
+        life = loadLifetimeStore(is);
+        std::cout << "loaded lifetimes from " << load_path
+                  << " (horizon " << horizon << ")\n";
+    } else {
+        const std::string workload = args.getString("workload", "");
+        if (workload.empty()) {
+            usage();
+            return 1;
+        }
+        const unsigned scale =
+            static_cast<unsigned>(args.getInt("scale", 1));
+        std::cout << "simulating '" << workload << "' ...\n";
+        AceRun run = runAceAnalysis(workload, scale, config,
+                                    structure == "l2");
+        horizon = run.horizon;
+        if (structure == "l1")
+            life = std::move(run.l1);
+        else if (structure == "l2")
+            life = std::move(run.l2);
+        else if (structure == "vgpr")
+            life = std::move(run.vgpr);
+        else
+            fatal("unknown structure '", structure, "'");
+    }
+
+    const std::string save_path = args.getString("save-lifetimes", "");
+    if (!save_path.empty()) {
+        std::ofstream os(save_path, std::ios::binary);
+        if (!os)
+            fatal("cannot open '", save_path, "' for writing");
+        std::uint64_t h = horizon;
+        os.write(reinterpret_cast<const char *>(&h), sizeof(h));
+        saveLifetimeStore(life, os);
+        std::cout << "saved lifetimes to " << save_path << "\n";
+    }
+
+    // Guard against pairing saved lifetimes with the wrong
+    // structure: VGPR stores are 32-bit words, cache stores 8-bit.
+    unsigned expected_width = structure == "vgpr" ? 32 : 8;
+    if (life.wordWidth() != expected_width) {
+        fatal("lifetime store word width ", life.wordWidth(),
+              " does not match structure '", structure, "'");
+    }
+
+    // Build the physical array.
+    std::unique_ptr<PhysicalArray> array;
+    if (structure == "vgpr") {
+        RegInterleave ri = style == "intra"
+            ? RegInterleave::IntraThread
+            : RegInterleave::InterThread;
+        if (style != "intra" && style != "inter")
+            fatal("vgpr style must be intra|inter");
+        array = makeRegFileArray(config.regs, ri, interleave);
+    } else {
+        const CacheParams &cp =
+            structure == "l2" ? config.l2 : config.l1;
+        CacheGeometry geom{cp.sets, cp.ways, cp.lineBytes};
+        array = makeCacheArray(geom, parseCacheInterleave(style),
+                               interleave);
+    }
+
+    auto scheme = makeScheme(scheme_name);
+    MbAvfOptions opt;
+    opt.horizon = horizon;
+    opt.numWindows = windows;
+    opt.dueShieldsSdc = args.getBool("shield-due") ||
+        (structure == "vgpr" && style == "inter");
+
+    std::cout << "\n" << structure << ", " << scheme->name() << ", "
+              << style << " x" << interleave << ", horizon "
+              << horizon << "\n\n";
+
+    ModeSweep sweep = sweepModes(*array, life, *scheme, opt, max_mode);
+
+    Table table({"mode", "SDC AVF", "trueDUE AVF", "falseDUE AVF",
+                 "total"});
+    for (unsigned m = 1; m <= max_mode; ++m) {
+        const AvfFractions &avf = sweep.avf(m);
+        table.beginRow()
+            .cell(std::to_string(m) + "x1")
+            .cell(avf.sdc, 5)
+            .cell(avf.trueDue, 5)
+            .cell(avf.falseDue, 5)
+            .cell(avf.total(), 5);
+    }
+    table.printText(std::cout);
+
+    auto fits = caseStudyFaultRates(total_fit);
+    StructureSer ser = sweepSer(sweep, fits);
+    std::cout << "\nSER @ " << total_fit << " FIT raw:  SDC "
+              << formatFixed(ser.sdc, 4) << "  DUE "
+              << formatFixed(ser.due(), 4) << "  (check bits: +"
+              << formatFixed(100.0 * scheme->areaOverhead(
+                                 structure == "vgpr"
+                                     ? config.regs.regBits
+                                     : config.l1.lineBytes * 8),
+                             1)
+              << "% area)\n";
+
+    if (windows) {
+        std::cout << "\nAVF over time ("
+                  << std::to_string(windows) << " windows, mode "
+                  << max_mode << "x1):\n";
+        const MbAvfResult &last = sweep.results[max_mode - 1];
+        Table wt({"window", "SDC", "DUE"});
+        for (unsigned w = 0; w < windows; ++w) {
+            wt.beginRow()
+                .cell(std::to_string(w))
+                .cell(last.windows[w].sdc, 4)
+                .cell(last.windows[w].due(), 4);
+        }
+        wt.printText(std::cout);
+    }
+    return 0;
+}
