@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ace_locality"
+  "../bench/ablation_ace_locality.pdb"
+  "CMakeFiles/ablation_ace_locality.dir/ablation_ace_locality.cc.o"
+  "CMakeFiles/ablation_ace_locality.dir/ablation_ace_locality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ace_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fault_geometry"
+  "../bench/ablation_fault_geometry.pdb"
+  "CMakeFiles/ablation_fault_geometry.dir/ablation_fault_geometry.cc.o"
+  "CMakeFiles/ablation_fault_geometry.dir/ablation_fault_geometry.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fault_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_l2_avf"
+  "../bench/ext_l2_avf.pdb"
+  "CMakeFiles/ext_l2_avf.dir/ext_l2_avf.cc.o"
+  "CMakeFiles/ext_l2_avf.dir/ext_l2_avf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_l2_avf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

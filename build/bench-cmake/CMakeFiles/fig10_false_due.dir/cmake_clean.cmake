@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_false_due"
+  "../bench/fig10_false_due.pdb"
+  "CMakeFiles/fig10_false_due.dir/fig10_false_due.cc.o"
+  "CMakeFiles/fig10_false_due.dir/fig10_false_due.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_false_due.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

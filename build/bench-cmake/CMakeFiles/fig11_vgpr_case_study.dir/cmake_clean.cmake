@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_vgpr_case_study"
+  "../bench/fig11_vgpr_case_study.pdb"
+  "CMakeFiles/fig11_vgpr_case_study.dir/fig11_vgpr_case_study.cc.o"
+  "CMakeFiles/fig11_vgpr_case_study.dir/fig11_vgpr_case_study.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vgpr_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

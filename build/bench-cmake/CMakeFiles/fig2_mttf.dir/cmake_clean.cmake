@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_mttf"
+  "../bench/fig2_mttf.pdb"
+  "CMakeFiles/fig2_mttf.dir/fig2_mttf.cc.o"
+  "CMakeFiles/fig2_mttf.dir/fig2_mttf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_mttf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_due_interleaving"
+  "../bench/fig4_due_interleaving.pdb"
+  "CMakeFiles/fig4_due_interleaving.dir/fig4_due_interleaving.cc.o"
+  "CMakeFiles/fig4_due_interleaving.dir/fig4_due_interleaving.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_due_interleaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

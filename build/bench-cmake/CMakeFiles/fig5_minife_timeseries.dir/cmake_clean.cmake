@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_minife_timeseries"
+  "../bench/fig5_minife_timeseries.pdb"
+  "CMakeFiles/fig5_minife_timeseries.dir/fig5_minife_timeseries.cc.o"
+  "CMakeFiles/fig5_minife_timeseries.dir/fig5_minife_timeseries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_minife_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

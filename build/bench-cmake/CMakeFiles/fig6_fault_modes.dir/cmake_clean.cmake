@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_fault_modes"
+  "../bench/fig6_fault_modes.pdb"
+  "CMakeFiles/fig6_fault_modes.dir/fig6_fault_modes.cc.o"
+  "CMakeFiles/fig6_fault_modes.dir/fig6_fault_modes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fault_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_sdc_3x1"
+  "../bench/fig8_sdc_3x1.pdb"
+  "CMakeFiles/fig8_sdc_3x1.dir/fig8_sdc_3x1.cc.o"
+  "CMakeFiles/fig8_sdc_3x1.dir/fig8_sdc_3x1.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sdc_3x1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

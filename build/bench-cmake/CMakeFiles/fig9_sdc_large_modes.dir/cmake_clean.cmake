@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_sdc_large_modes"
+  "../bench/fig9_sdc_large_modes.pdb"
+  "CMakeFiles/fig9_sdc_large_modes.dir/fig9_sdc_large_modes.cc.o"
+  "CMakeFiles/fig9_sdc_large_modes.dir/fig9_sdc_large_modes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sdc_large_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_fault_modes"
+  "../bench/table1_fault_modes.pdb"
+  "CMakeFiles/table1_fault_modes.dir/table1_fault_modes.cc.o"
+  "CMakeFiles/table1_fault_modes.dir/table1_fault_modes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fault_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_ace_interference"
+  "../bench/table2_ace_interference.pdb"
+  "CMakeFiles/table2_ace_interference.dir/table2_ace_interference.cc.o"
+  "CMakeFiles/table2_ace_interference.dir/table2_ace_interference.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ace_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

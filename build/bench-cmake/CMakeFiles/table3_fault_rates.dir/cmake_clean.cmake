@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_fault_rates"
+  "../bench/table3_fault_rates.pdb"
+  "CMakeFiles/table3_fault_rates.dir/table3_fault_rates.cc.o"
+  "CMakeFiles/table3_fault_rates.dir/table3_fault_rates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_fault_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_ser.dir/chip_ser.cpp.o"
+  "CMakeFiles/chip_ser.dir/chip_ser.cpp.o.d"
+  "chip_ser"
+  "chip_ser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_ser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

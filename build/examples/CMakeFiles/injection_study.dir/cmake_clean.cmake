@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/injection_study.dir/injection_study.cpp.o"
+  "CMakeFiles/injection_study.dir/injection_study.cpp.o.d"
+  "injection_study"
+  "injection_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/injection_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbavf_common.dir/args.cc.o"
+  "CMakeFiles/mbavf_common.dir/args.cc.o.d"
+  "CMakeFiles/mbavf_common.dir/interval_set.cc.o"
+  "CMakeFiles/mbavf_common.dir/interval_set.cc.o.d"
+  "CMakeFiles/mbavf_common.dir/table.cc.o"
+  "CMakeFiles/mbavf_common.dir/table.cc.o.d"
+  "libmbavf_common.a"
+  "libmbavf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbavf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fault_mode.cc" "src/core/CMakeFiles/mbavf_core.dir/fault_mode.cc.o" "gcc" "src/core/CMakeFiles/mbavf_core.dir/fault_mode.cc.o.d"
+  "/root/repo/src/core/fault_rates.cc" "src/core/CMakeFiles/mbavf_core.dir/fault_rates.cc.o" "gcc" "src/core/CMakeFiles/mbavf_core.dir/fault_rates.cc.o.d"
+  "/root/repo/src/core/layout.cc" "src/core/CMakeFiles/mbavf_core.dir/layout.cc.o" "gcc" "src/core/CMakeFiles/mbavf_core.dir/layout.cc.o.d"
+  "/root/repo/src/core/lifetime.cc" "src/core/CMakeFiles/mbavf_core.dir/lifetime.cc.o" "gcc" "src/core/CMakeFiles/mbavf_core.dir/lifetime.cc.o.d"
+  "/root/repo/src/core/lifetime_builder.cc" "src/core/CMakeFiles/mbavf_core.dir/lifetime_builder.cc.o" "gcc" "src/core/CMakeFiles/mbavf_core.dir/lifetime_builder.cc.o.d"
+  "/root/repo/src/core/lifetime_io.cc" "src/core/CMakeFiles/mbavf_core.dir/lifetime_io.cc.o" "gcc" "src/core/CMakeFiles/mbavf_core.dir/lifetime_io.cc.o.d"
+  "/root/repo/src/core/mbavf.cc" "src/core/CMakeFiles/mbavf_core.dir/mbavf.cc.o" "gcc" "src/core/CMakeFiles/mbavf_core.dir/mbavf.cc.o.d"
+  "/root/repo/src/core/protection.cc" "src/core/CMakeFiles/mbavf_core.dir/protection.cc.o" "gcc" "src/core/CMakeFiles/mbavf_core.dir/protection.cc.o.d"
+  "/root/repo/src/core/ser.cc" "src/core/CMakeFiles/mbavf_core.dir/ser.cc.o" "gcc" "src/core/CMakeFiles/mbavf_core.dir/ser.cc.o.d"
+  "/root/repo/src/core/sweep.cc" "src/core/CMakeFiles/mbavf_core.dir/sweep.cc.o" "gcc" "src/core/CMakeFiles/mbavf_core.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mbavf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbavf_core.dir/fault_mode.cc.o"
+  "CMakeFiles/mbavf_core.dir/fault_mode.cc.o.d"
+  "CMakeFiles/mbavf_core.dir/fault_rates.cc.o"
+  "CMakeFiles/mbavf_core.dir/fault_rates.cc.o.d"
+  "CMakeFiles/mbavf_core.dir/layout.cc.o"
+  "CMakeFiles/mbavf_core.dir/layout.cc.o.d"
+  "CMakeFiles/mbavf_core.dir/lifetime.cc.o"
+  "CMakeFiles/mbavf_core.dir/lifetime.cc.o.d"
+  "CMakeFiles/mbavf_core.dir/lifetime_builder.cc.o"
+  "CMakeFiles/mbavf_core.dir/lifetime_builder.cc.o.d"
+  "CMakeFiles/mbavf_core.dir/lifetime_io.cc.o"
+  "CMakeFiles/mbavf_core.dir/lifetime_io.cc.o.d"
+  "CMakeFiles/mbavf_core.dir/mbavf.cc.o"
+  "CMakeFiles/mbavf_core.dir/mbavf.cc.o.d"
+  "CMakeFiles/mbavf_core.dir/protection.cc.o"
+  "CMakeFiles/mbavf_core.dir/protection.cc.o.d"
+  "CMakeFiles/mbavf_core.dir/ser.cc.o"
+  "CMakeFiles/mbavf_core.dir/ser.cc.o.d"
+  "CMakeFiles/mbavf_core.dir/sweep.cc.o"
+  "CMakeFiles/mbavf_core.dir/sweep.cc.o.d"
+  "libmbavf_core.a"
+  "libmbavf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbavf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbavf_gpu.dir/gpu.cc.o"
+  "CMakeFiles/mbavf_gpu.dir/gpu.cc.o.d"
+  "CMakeFiles/mbavf_gpu.dir/regfile.cc.o"
+  "CMakeFiles/mbavf_gpu.dir/regfile.cc.o.d"
+  "CMakeFiles/mbavf_gpu.dir/wave.cc.o"
+  "CMakeFiles/mbavf_gpu.dir/wave.cc.o.d"
+  "libmbavf_gpu.a"
+  "libmbavf_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbavf_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbavf_inject.dir/campaign.cc.o"
+  "CMakeFiles/mbavf_inject.dir/campaign.cc.o.d"
+  "CMakeFiles/mbavf_inject.dir/interference.cc.o"
+  "CMakeFiles/mbavf_inject.dir/interference.cc.o.d"
+  "libmbavf_inject.a"
+  "libmbavf_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbavf_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

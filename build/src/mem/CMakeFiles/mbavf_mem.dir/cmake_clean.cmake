@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbavf_mem.dir/cache.cc.o"
+  "CMakeFiles/mbavf_mem.dir/cache.cc.o.d"
+  "CMakeFiles/mbavf_mem.dir/cache_probe.cc.o"
+  "CMakeFiles/mbavf_mem.dir/cache_probe.cc.o.d"
+  "CMakeFiles/mbavf_mem.dir/memory.cc.o"
+  "CMakeFiles/mbavf_mem.dir/memory.cc.o.d"
+  "CMakeFiles/mbavf_mem.dir/ref_index.cc.o"
+  "CMakeFiles/mbavf_mem.dir/ref_index.cc.o.d"
+  "libmbavf_mem.a"
+  "libmbavf_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbavf_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmbavf_mem.a"
+)

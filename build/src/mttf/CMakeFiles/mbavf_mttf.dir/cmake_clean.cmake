@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbavf_mttf.dir/mttf.cc.o"
+  "CMakeFiles/mbavf_mttf.dir/mttf.cc.o.d"
+  "libmbavf_mttf.a"
+  "libmbavf_mttf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbavf_mttf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbavf_trace.dir/dataflow.cc.o"
+  "CMakeFiles/mbavf_trace.dir/dataflow.cc.o.d"
+  "libmbavf_trace.a"
+  "libmbavf_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbavf_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/ace_runner.cc" "src/workloads/CMakeFiles/mbavf_workloads.dir/ace_runner.cc.o" "gcc" "src/workloads/CMakeFiles/mbavf_workloads.dir/ace_runner.cc.o.d"
+  "/root/repo/src/workloads/appsdk_dense.cc" "src/workloads/CMakeFiles/mbavf_workloads.dir/appsdk_dense.cc.o" "gcc" "src/workloads/CMakeFiles/mbavf_workloads.dir/appsdk_dense.cc.o.d"
+  "/root/repo/src/workloads/appsdk_scan.cc" "src/workloads/CMakeFiles/mbavf_workloads.dir/appsdk_scan.cc.o" "gcc" "src/workloads/CMakeFiles/mbavf_workloads.dir/appsdk_scan.cc.o.d"
+  "/root/repo/src/workloads/mantevo.cc" "src/workloads/CMakeFiles/mbavf_workloads.dir/mantevo.cc.o" "gcc" "src/workloads/CMakeFiles/mbavf_workloads.dir/mantevo.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/mbavf_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/mbavf_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/rodinia.cc" "src/workloads/CMakeFiles/mbavf_workloads.dir/rodinia.cc.o" "gcc" "src/workloads/CMakeFiles/mbavf_workloads.dir/rodinia.cc.o.d"
+  "/root/repo/src/workloads/rodinia_extra.cc" "src/workloads/CMakeFiles/mbavf_workloads.dir/rodinia_extra.cc.o" "gcc" "src/workloads/CMakeFiles/mbavf_workloads.dir/rodinia_extra.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mbavf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mbavf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/mbavf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mbavf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mbavf_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbavf_workloads.dir/ace_runner.cc.o"
+  "CMakeFiles/mbavf_workloads.dir/ace_runner.cc.o.d"
+  "CMakeFiles/mbavf_workloads.dir/appsdk_dense.cc.o"
+  "CMakeFiles/mbavf_workloads.dir/appsdk_dense.cc.o.d"
+  "CMakeFiles/mbavf_workloads.dir/appsdk_scan.cc.o"
+  "CMakeFiles/mbavf_workloads.dir/appsdk_scan.cc.o.d"
+  "CMakeFiles/mbavf_workloads.dir/mantevo.cc.o"
+  "CMakeFiles/mbavf_workloads.dir/mantevo.cc.o.d"
+  "CMakeFiles/mbavf_workloads.dir/registry.cc.o"
+  "CMakeFiles/mbavf_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/mbavf_workloads.dir/rodinia.cc.o"
+  "CMakeFiles/mbavf_workloads.dir/rodinia.cc.o.d"
+  "CMakeFiles/mbavf_workloads.dir/rodinia_extra.cc.o"
+  "CMakeFiles/mbavf_workloads.dir/rodinia_extra.cc.o.d"
+  "libmbavf_workloads.a"
+  "libmbavf_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbavf_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_probe_test.dir/mem/cache_probe_test.cc.o"
+  "CMakeFiles/cache_probe_test.dir/mem/cache_probe_test.cc.o.d"
+  "cache_probe_test"
+  "cache_probe_test.pdb"
+  "cache_probe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

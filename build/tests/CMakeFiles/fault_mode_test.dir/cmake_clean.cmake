@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_mode_test.dir/core/fault_mode_test.cc.o"
+  "CMakeFiles/fault_mode_test.dir/core/fault_mode_test.cc.o.d"
+  "fault_mode_test"
+  "fault_mode_test.pdb"
+  "fault_mode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_rates_ser_test.dir/core/fault_rates_ser_test.cc.o"
+  "CMakeFiles/fault_rates_ser_test.dir/core/fault_rates_ser_test.cc.o.d"
+  "fault_rates_ser_test"
+  "fault_rates_ser_test.pdb"
+  "fault_rates_ser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_rates_ser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2_probe_test.dir/mem/l2_probe_test.cc.o"
+  "CMakeFiles/l2_probe_test.dir/mem/l2_probe_test.cc.o.d"
+  "l2_probe_test"
+  "l2_probe_test.pdb"
+  "l2_probe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime_builder_test.dir/core/lifetime_builder_test.cc.o"
+  "CMakeFiles/lifetime_builder_test.dir/core/lifetime_builder_test.cc.o.d"
+  "lifetime_builder_test"
+  "lifetime_builder_test.pdb"
+  "lifetime_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime_io_test.dir/core/lifetime_io_test.cc.o"
+  "CMakeFiles/lifetime_io_test.dir/core/lifetime_io_test.cc.o.d"
+  "lifetime_io_test"
+  "lifetime_io_test.pdb"
+  "lifetime_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbavf_engine_test.dir/core/mbavf_engine_test.cc.o"
+  "CMakeFiles/mbavf_engine_test.dir/core/mbavf_engine_test.cc.o.d"
+  "mbavf_engine_test"
+  "mbavf_engine_test.pdb"
+  "mbavf_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbavf_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

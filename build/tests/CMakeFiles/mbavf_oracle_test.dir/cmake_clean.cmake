@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbavf_oracle_test.dir/core/mbavf_oracle_test.cc.o"
+  "CMakeFiles/mbavf_oracle_test.dir/core/mbavf_oracle_test.cc.o.d"
+  "mbavf_oracle_test"
+  "mbavf_oracle_test.pdb"
+  "mbavf_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbavf_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mttf_test.dir/mttf/mttf_test.cc.o"
+  "CMakeFiles/mttf_test.dir/mttf/mttf_test.cc.o.d"
+  "mttf_test"
+  "mttf_test.pdb"
+  "mttf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mttf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protection_test.dir/core/protection_test.cc.o"
+  "CMakeFiles/protection_test.dir/core/protection_test.cc.o.d"
+  "protection_test"
+  "protection_test.pdb"
+  "protection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

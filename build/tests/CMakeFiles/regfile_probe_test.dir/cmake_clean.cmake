@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regfile_probe_test.dir/gpu/regfile_probe_test.cc.o"
+  "CMakeFiles/regfile_probe_test.dir/gpu/regfile_probe_test.cc.o.d"
+  "regfile_probe_test"
+  "regfile_probe_test.pdb"
+  "regfile_probe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regfile_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

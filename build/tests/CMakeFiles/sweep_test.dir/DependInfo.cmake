@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/sweep_test.cc" "tests/CMakeFiles/sweep_test.dir/core/sweep_test.cc.o" "gcc" "tests/CMakeFiles/sweep_test.dir/core/sweep_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mbavf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mbavf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mbavf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mbavf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/mbavf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/inject/CMakeFiles/mbavf_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/mttf/CMakeFiles/mbavf_mttf.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mbavf_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

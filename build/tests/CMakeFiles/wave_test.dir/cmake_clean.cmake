@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_test.dir/gpu/wave_test.cc.o"
+  "CMakeFiles/wave_test.dir/gpu/wave_test.cc.o.d"
+  "wave_test"
+  "wave_test.pdb"
+  "wave_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_ace_test.dir/workloads/workload_ace_test.cc.o"
+  "CMakeFiles/workload_ace_test.dir/workloads/workload_ace_test.cc.o.d"
+  "workload_ace_test"
+  "workload_ace_test.pdb"
+  "workload_ace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_ace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/interval_set_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_mode_test[1]_include.cmake")
+include("/root/repo/build/tests/protection_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_test[1]_include.cmake")
+include("/root/repo/build/tests/lifetime_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/mbavf_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_rates_ser_test[1]_include.cmake")
+include("/root/repo/build/tests/dataflow_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/memory_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_probe_test[1]_include.cmake")
+include("/root/repo/build/tests/wave_test[1]_include.cmake")
+include("/root/repo/build/tests/regfile_probe_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/campaign_test[1]_include.cmake")
+include("/root/repo/build/tests/mttf_test[1]_include.cmake")
+include("/root/repo/build/tests/mbavf_oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/lifetime_io_test[1]_include.cmake")
+include("/root/repo/build/tests/l2_probe_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_ace_test[1]_include.cmake")
+include("/root/repo/build/tests/masking_test[1]_include.cmake")

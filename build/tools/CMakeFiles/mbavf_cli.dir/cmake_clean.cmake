@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbavf_cli.dir/mbavf_cli.cc.o"
+  "CMakeFiles/mbavf_cli.dir/mbavf_cli.cc.o.d"
+  "mbavf"
+  "mbavf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbavf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

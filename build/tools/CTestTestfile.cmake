@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_cli_l1 "/root/repo/build/tools/mbavf" "--workload=histogram" "--modes=4")
+set_tests_properties(tool_cli_l1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_cli_vgpr "/root/repo/build/tools/mbavf" "--workload=histogram" "--structure=vgpr" "--scheme=secded" "--style=intra" "--modes=4")
+set_tests_properties(tool_cli_vgpr PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_cli_help "/root/repo/build/tools/mbavf" "--help")
+set_tests_properties(tool_cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
