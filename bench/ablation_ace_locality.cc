@@ -54,6 +54,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
 
@@ -73,6 +74,7 @@ main(int argc, char **argv)
                            run.config.l1.lineBytes};
         MbAvfOptions opt;
         opt.horizon = run.horizon;
+        opt.numThreads = threads;
 
         auto log = makeCacheArray(geom, CacheInterleave::Logical, 2);
         auto way =

@@ -25,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
 
@@ -58,6 +59,7 @@ main(int argc, char **argv)
             makeCacheArray(geom, CacheInterleave::WayPhysical, 2);
         MbAvfOptions opt;
         opt.horizon = run.horizon;
+        opt.numThreads = threads;
 
         for (const ProtectionScheme *scheme :
              {static_cast<const ProtectionScheme *>(&parity),

@@ -4,7 +4,7 @@
  *
  * Every harness prints the paper-style rows/series as an aligned
  * text table followed by a CSV block ("== csv ==") for scripting.
- * Common flags: --workloads=a,b,c  --scale=N  --quick.
+ * Common flags: --workloads=a,b,c  --scale=N  --quick  --threads=N.
  */
 
 #ifndef MBAVF_BENCH_BENCH_UTIL_HH
@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/args.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "workloads/workload.hh"
 
@@ -45,6 +46,21 @@ selectedWorkloads(const Args &args)
     if (args.getBool("quick"))
         return {"minife", "comd", "srad", "histogram"};
     return workloadNames();
+}
+
+/**
+ * Apply --threads=N (0 = all hardware threads) to the shared pool
+ * and return the value for MbAvfOptions::numThreads. Unset keeps the
+ * pool at its MBAVF_THREADS / hardware default and returns 0 (use
+ * the pool); results are bit-identical at any setting.
+ */
+inline unsigned
+configureThreads(const Args &args)
+{
+    unsigned n = static_cast<unsigned>(args.getInt("threads", 0));
+    if (args.has("threads"))
+        setParallelThreads(n);
+    return n;
 }
 
 /** Print the table as text plus a CSV block. */

@@ -24,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
 
@@ -39,6 +40,7 @@ main(int argc, char **argv)
         AceRun run = runAceAnalysis(name, scale, GpuConfig{}, true);
         MbAvfOptions opt;
         opt.horizon = run.horizon;
+        opt.numThreads = threads;
 
         CacheGeometry l1_geom{run.config.l1.sets, run.config.l1.ways,
                               run.config.l1.lineBytes};

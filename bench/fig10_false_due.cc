@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
     const std::vector<unsigned> modes = {1, 2, 4};
@@ -50,6 +51,7 @@ main(int argc, char **argv)
             makeCacheArray(geom, CacheInterleave::WayPhysical, 4);
         MbAvfOptions opt;
         opt.horizon = run.horizon;
+        opt.numThreads = threads;
 
         table.beginRow().cell(name);
         for (unsigned m : modes) {

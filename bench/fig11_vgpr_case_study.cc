@@ -67,6 +67,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
     const unsigned max_mode =
@@ -113,7 +114,7 @@ main(int argc, char **argv)
             auto array = makeRegFileArray(run.config.regs, cfg.style,
                                           cfg.interleave);
             MbAvfOptions opt = base;
-            opt.numThreads = 0; // all hardware threads
+            opt.numThreads = threads;
             opt.dueShieldsSdc =
                 cfg.style == RegInterleave::InterThread;
 

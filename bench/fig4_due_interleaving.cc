@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
 
@@ -41,6 +42,7 @@ main(int argc, char **argv)
                            run.config.l1.lineBytes};
         MbAvfOptions opt;
         opt.horizon = run.horizon;
+        opt.numThreads = threads;
 
         auto ratio = [&](CacheInterleave style) {
             auto array = makeCacheArray(geom, style, 2);

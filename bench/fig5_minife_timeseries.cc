@@ -22,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
     const unsigned windows =
@@ -38,6 +39,7 @@ main(int argc, char **argv)
     ParityScheme parity;
     MbAvfOptions opt;
     opt.horizon = run.horizon;
+    opt.numThreads = threads;
     opt.numWindows = windows;
 
     auto windowed = [&](CacheInterleave style, unsigned mode_bits) {

@@ -24,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
     const unsigned windows =
@@ -40,6 +41,7 @@ main(int argc, char **argv)
     ParityScheme parity;
     MbAvfOptions opt;
     opt.horizon = run.horizon;
+    opt.numThreads = threads;
     opt.numWindows = windows;
 
     auto idx = makeCacheArray(geom, CacheInterleave::IndexPhysical, 2);

@@ -25,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
     const std::vector<unsigned> modes = {5, 6, 7, 8};
@@ -51,6 +52,7 @@ main(int argc, char **argv)
             makeCacheArray(geom, CacheInterleave::WayPhysical, 2);
         MbAvfOptions opt;
         opt.horizon = run.horizon;
+        opt.numThreads = threads;
 
         double sb =
             computeSbAvf(*array, run.l1, parity, opt).avf.due();

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Parallel-scaling microbenchmark for the shared execution layer.
+ *
+ * Measures the two fan-out shapes the pool serves — an 8-mode
+ * sweepModes() over a structure's lifetimes, and an injection
+ * campaign batch (Campaign::runTrials) — at 1/2/4/N threads, and
+ * checks that every thread count produces bit-identical AVF
+ * fractions and per-trial outcomes.
+ *
+ *   micro_parallel_scaling [--workload=histogram] [--scale=N]
+ *                          [--trials=256] [--modes=8] [--max-threads=N]
+ *
+ * Exit status is nonzero if any thread count diverges from the
+ * serial reference.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/parallel.hh"
+#include "core/protection.hh"
+#include "core/sweep.hh"
+#include "inject/campaign.hh"
+#include "workloads/ace_runner.hh"
+
+using namespace mbavf;
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+bool
+sameSweep(const ModeSweep &a, const ModeSweep &b)
+{
+    if (a.results.size() != b.results.size())
+        return false;
+    for (std::size_t m = 0; m < a.results.size(); ++m) {
+        const MbAvfResult &x = a.results[m];
+        const MbAvfResult &y = b.results[m];
+        if (x.avf.sdc != y.avf.sdc || x.avf.trueDue != y.avf.trueDue ||
+            x.avf.falseDue != y.avf.falseDue ||
+            x.windows.size() != y.windows.size()) {
+            return false;
+        }
+        for (std::size_t w = 0; w < x.windows.size(); ++w) {
+            if (x.windows[w].sdc != y.windows[w].sdc ||
+                x.windows[w].trueDue != y.windows[w].trueDue ||
+                x.windows[w].falseDue != y.windows[w].falseDue) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv);
+    const std::string workload =
+        args.getString("workload", "histogram");
+    const unsigned scale =
+        static_cast<unsigned>(args.getInt("scale", 1));
+    const unsigned trials =
+        static_cast<unsigned>(args.getInt("trials", 256));
+    const unsigned max_mode =
+        static_cast<unsigned>(args.getInt("modes", 8));
+    unsigned max_threads =
+        static_cast<unsigned>(args.getInt("max-threads", 0));
+    if (max_threads == 0)
+        max_threads = std::max(1u, std::thread::hardware_concurrency());
+
+    std::vector<unsigned> counts = {1};
+    for (unsigned t : {2u, 4u})
+        if (t <= max_threads)
+            counts.push_back(t);
+    if (max_threads != 1 && max_threads != 2 && max_threads != 4)
+        counts.push_back(max_threads);
+
+    note("simulating " + workload + " for lifetimes");
+    AceRun run = runAceAnalysis(workload, scale);
+    CacheGeometry geom{run.config.l1.sets, run.config.l1.ways,
+                       run.config.l1.lineBytes};
+    auto array = makeCacheArray(geom, CacheInterleave::WayPhysical, 4);
+    ParityScheme parity;
+
+    note("golden run of " + workload + " for the campaign");
+    Campaign campaign(workload, scale, run.config);
+    const std::uint64_t seed = 12345;
+
+    MbAvfOptions opt;
+    opt.horizon = run.horizon;
+    opt.numWindows = 8;
+
+    Table table({"threads", "sweep s", "sweep x", "campaign s",
+                 "campaign x", "trials/s"});
+    ModeSweep ref_sweep;
+    std::vector<InjectOutcome> ref_outcomes;
+    double sweep1 = 0.0, camp1 = 0.0;
+    bool identical = true;
+
+    for (unsigned t : counts) {
+        setParallelThreads(t);
+        opt.numThreads = t == 1 ? 1 : 0;
+
+        auto s0 = std::chrono::steady_clock::now();
+        ModeSweep sweep =
+            sweepModes(*array, run.l1, parity, opt, max_mode);
+        double sweep_s = secondsSince(s0);
+
+        auto c0 = std::chrono::steady_clock::now();
+        std::vector<InjectOutcome> outcomes =
+            campaign.runTrials(trials, seed, TrialKind::Register);
+        double camp_s = secondsSince(c0);
+
+        if (t == counts.front()) {
+            ref_sweep = std::move(sweep);
+            ref_outcomes = std::move(outcomes);
+            sweep1 = sweep_s;
+            camp1 = camp_s;
+        } else {
+            if (!sameSweep(ref_sweep, sweep)) {
+                std::cerr << "FAIL: sweep results diverge at "
+                          << t << " threads\n";
+                identical = false;
+            }
+            if (outcomes != ref_outcomes) {
+                std::cerr << "FAIL: trial outcomes diverge at "
+                          << t << " threads\n";
+                identical = false;
+            }
+        }
+
+        table.beginRow()
+            .cell(std::to_string(t))
+            .cell(sweep_s, 3)
+            .cell(sweep_s > 0 ? sweep1 / sweep_s : 0.0, 2)
+            .cell(camp_s, 3)
+            .cell(camp_s > 0 ? camp1 / camp_s : 0.0, 2)
+            .cell(camp_s > 0 ? trials / camp_s : 0.0, 1);
+    }
+
+    std::cout << "parallel scaling: " << workload << ", " << max_mode
+              << " modes, " << trials << " trials\n\n";
+    emit(table);
+    std::cout << (identical
+                      ? "\nresults bit-identical at every thread "
+                        "count\n"
+                      : "\nRESULT MISMATCH between thread counts\n");
+    return identical ? 0 : 1;
+}

@@ -25,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    configureThreads(args);
     const unsigned n =
         static_cast<unsigned>(args.getInt("n", 2000));
     const unsigned scale =

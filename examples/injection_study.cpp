@@ -12,10 +12,10 @@
  *   ./injection_study [--workload=dct] [--n=1500]
  */
 
+#include <cmath>
 #include <iostream>
 
 #include "common/args.hh"
-#include "common/rng.hh"
 #include "common/table.hh"
 #include "core/mbavf.hh"
 #include "core/protection.hh"
@@ -47,16 +47,16 @@ main(int argc, char **argv)
     double predicted = computeSbAvf(*array, run.vgpr, none, opt)
                            .avf.sdc;
 
-    // Injection campaign measurement.
+    // Injection campaign measurement: n independent trials executed
+    // concurrently on the shared pool, trial t seeded from
+    // splitMix64(seed, t) so the study is reproducible at any
+    // thread count.
     Campaign campaign(workload, 1, run.config);
-    Rng rng(seed);
+    std::vector<InjectOutcome> outcomes =
+        campaign.runTrials(n, seed, TrialKind::Register);
     unsigned sdc = 0;
-    for (unsigned i = 0; i < n; ++i) {
-        if (campaign.inject(campaign.sampleSingleBit(rng)) ==
-            InjectOutcome::Sdc) {
-            ++sdc;
-        }
-    }
+    for (InjectOutcome outcome : outcomes)
+        sdc += outcome == InjectOutcome::Sdc;
     double measured = static_cast<double>(sdc) / n;
 
     Table table({"quantity", "value"});
@@ -73,7 +73,11 @@ main(int argc, char **argv)
     std::cout << "\nACE analysis proves state unACE and assumes the "
                  "rest is ACE, so the\nprediction upper-bounds the "
                  "injection measurement (paper Section II-B).\n";
-    if (measured > predicted + 0.02) {
+    // Allow three binomial standard deviations of sampling noise on
+    // top of the bound so small-n smoke runs don't flag spuriously.
+    double margin =
+        3.0 * std::sqrt(predicted * (1.0 - predicted) / n);
+    if (measured > predicted + margin) {
         std::cout << "WARNING: measured rate exceeds the ACE bound; "
                      "this should not happen.\n";
         return 1;

@@ -16,6 +16,32 @@ namespace mbavf
 {
 
 /**
+ * One SplitMix64 mixing step: a bijective avalanche of @p x. Used to
+ * derive independent per-trial RNG seeds from (base seed, index) —
+ * see splitMix64(base, index) — and internally by Rng seeding.
+ */
+inline std::uint64_t
+splitMix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Deterministic per-index seed stream: the seed of trial @p index
+ * under campaign base seed @p base. Any single trial is reproducible
+ * in isolation from (base, index) alone, independent of how many
+ * trials run or in what order.
+ */
+inline std::uint64_t
+splitMix64(std::uint64_t base, std::uint64_t index)
+{
+    return splitMix64(base + index * 0x9e3779b97f4a7c15ull);
+}
+
+/**
  * xorshift128+ generator: fast, simple, and adequate for workload
  * synthesis and injection-site sampling.
  */

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <array>
-#include <thread>
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "core/ace_class.hh"
 
 namespace mbavf
@@ -318,6 +318,15 @@ computeMbAvf(const PhysicalArray &array, const LifetimeStore &store,
     MbAvfResult result;
     result.horizon = opt.horizon;
     result.numGroups = mode.numGroups(rows, cols);
+    // A footprint taller or wider than the array admits no anchor
+    // position at all; bail out before `rows - span_r + 1` below can
+    // underflow. (numGroups is 0 in exactly this case, but guard on
+    // the spans explicitly rather than relying on that coincidence.)
+    if (span_r > rows || span_c > cols) {
+        if (result.numGroups != 0)
+            panic("fault mode exceeds array but numGroups != 0");
+        return result;
+    }
     if (result.numGroups == 0)
         return result;
 
@@ -365,32 +374,29 @@ computeMbAvf(const PhysicalArray &array, const LifetimeStore &store,
     };
 
     const std::uint64_t anchor_rows = rows - span_r + 1;
-    unsigned threads = opt.numThreads;
-    if (threads == 0)
-        threads = std::max(1u, std::thread::hardware_concurrency());
-    threads = static_cast<unsigned>(
-        std::min<std::uint64_t>(threads, anchor_rows));
 
-    if (threads <= 1) {
+    if (opt.numThreads == 1) {
         sweep_rows(0, anchor_rows, acc);
     } else {
-        // Integer cycle counts sum exactly, so the partition does
-        // not change results.
-        std::vector<OutcomeAccumulator> partials(
-            threads, OutcomeAccumulator(opt.horizon, opt.numWindows));
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (unsigned t = 0; t < threads; ++t) {
-            std::uint64_t lo = anchor_rows * t / threads;
-            std::uint64_t hi = anchor_rows * (t + 1) / threads;
-            pool.emplace_back([&, lo, hi, t] {
-                sweep_rows(lo, hi, partials[t]);
+        // Shared-pool path. Band granularity depends only on the
+        // range (not the thread count), and mapReduce() merges the
+        // per-band accumulators in band order, so results are
+        // bit-identical at any pool width — doubly so here, since
+        // cycle counts are exact integers.
+        ensureParallelThreads(opt.numThreads);
+        const std::uint64_t grain =
+            std::max<std::uint64_t>(1, anchor_rows / 64);
+        acc = mapReduce(
+            std::uint64_t(0), anchor_rows, grain,
+            OutcomeAccumulator(opt.horizon, opt.numWindows),
+            [&](std::uint64_t lo, std::uint64_t hi) {
+                OutcomeAccumulator part(opt.horizon, opt.numWindows);
+                sweep_rows(lo, hi, part);
+                return part;
+            },
+            [](OutcomeAccumulator &into, OutcomeAccumulator &&part) {
+                into.mergeFrom(part);
             });
-        }
-        for (std::thread &worker : pool)
-            worker.join();
-        for (const OutcomeAccumulator &partial : partials)
-            acc.mergeFrom(partial);
     }
 
     const double denom =

@@ -61,9 +61,13 @@ struct MbAvfOptions
     unsigned numWindows = 0;
 
     /**
-     * Worker threads for the group sweep (rows are partitioned
-     * across threads; results are exactly deterministic regardless).
-     * 0 = use the hardware concurrency, 1 = serial.
+     * Worker threads for the group sweep. 1 = serial, inline.
+     * Anything else runs row bands on the shared process-wide pool
+     * (common/parallel.hh): 0 uses the pool as sized by
+     * MBAVF_THREADS / the hardware, N > 1 first grows the pool to at
+     * least N. Results are bit-identical at every setting — the band
+     * partition is thread-count independent and partials merge in
+     * band order.
      */
     unsigned numThreads = 1;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/parallel.hh"
+
 namespace mbavf
 {
 
@@ -11,12 +13,24 @@ sweepModes(const PhysicalArray &array, const LifetimeStore &store,
            unsigned max_mode)
 {
     ModeSweep sweep;
-    sweep.results.reserve(max_mode);
-    for (unsigned m = 1; m <= max_mode; ++m) {
-        sweep.results.push_back(
-            computeMbAvf(array, store, scheme, FaultMode::mx1(m),
-                         opt));
+    sweep.results.resize(max_mode);
+    if (opt.numThreads == 1) {
+        for (unsigned m = 1; m <= max_mode; ++m) {
+            sweep.results[m - 1] = computeMbAvf(
+                array, store, scheme, FaultMode::mx1(m), opt);
+        }
+        return sweep;
     }
+    // Modes run concurrently on the shared pool; each mode task fans
+    // out its own row-band tasks (nested submission is supported), so
+    // the pool sees mode x band parallelism instead of an 8-step
+    // serial sweep. Results land in fixed slots — no ordering effect.
+    ensureParallelThreads(opt.numThreads);
+    runTasks(max_mode, [&](std::size_t m) {
+        sweep.results[m] = computeMbAvf(
+            array, store, scheme,
+            FaultMode::mx1(static_cast<unsigned>(m) + 1), opt);
+    });
     return sweep;
 }
 

@@ -74,6 +74,15 @@ Gpu::finish()
     l2_->flush(horizon_);
 }
 
+unsigned
+Gpu::cusWithWaves() const
+{
+    unsigned used = 0;
+    for (unsigned count : cuWaveCount_)
+        used += count > 0;
+    return used;
+}
+
 void
 Gpu::addOutputRange(Addr addr, std::uint64_t bytes)
 {

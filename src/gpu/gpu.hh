@@ -127,6 +127,13 @@ class Gpu
     /** Dynamic wave-instruction counter. */
     std::uint64_t instrCount() const { return instrCount_; }
 
+    /**
+     * Number of CUs that actually received at least one wave. With
+     * round-robin assignment these are CUs [0, cusWithWaves()); a
+     * short launch leaves the tail of the device idle.
+     */
+    unsigned cusWithWaves() const;
+
     /** Arm one or more register bit flips. */
     void armInjections(std::vector<RegInjection> injections);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace mbavf
 {
@@ -11,15 +12,23 @@ Campaign::Campaign(std::string workload, unsigned scale,
                    GpuConfig config)
     : workload_(std::move(workload)), scale_(scale), config_(config)
 {
-    goldenOutput_ = execute({}, {}, &goldenInstrs_);
-    if (goldenInstrs_ == 0)
+    ExecResult golden = execute({}, {});
+    if (golden.instrs == 0)
         fatal("golden run of '", workload_, "' executed nothing");
+    goldenOutput_ = std::move(golden.output);
+    goldenInstrs_ = golden.instrs;
+    // Remember how many CUs actually received waves and the memory
+    // footprint so the samplers target state that can matter. A
+    // launch shorter than the device leaves tail CUs with untouched
+    // register files; sampling those would silently deflate the
+    // measured SDC probability.
+    cusUsed_ = std::max(1u, golden.cusUsed);
+    footprint_ = golden.footprint;
 }
 
-std::vector<std::uint8_t>
+Campaign::ExecResult
 Campaign::execute(const std::vector<RegInjection> &flips,
-                  const std::vector<MemInjection> &mem_flips,
-                  std::uint64_t *instrs)
+                  const std::vector<MemInjection> &mem_flips) const
 {
     Gpu gpu(config_);
     gpu.setTracking(false);
@@ -32,35 +41,61 @@ Campaign::execute(const std::vector<RegInjection> &flips,
     workload->run(gpu);
     gpu.finish();
 
-    if (instrs)
-        *instrs = gpu.instrCount();
+    ExecResult result;
+    result.instrs = gpu.instrCount();
+    result.cusUsed = gpu.cusWithWaves();
+    result.footprint = gpu.mem().allocatedBytes();
 
-    std::vector<std::uint8_t> bytes;
-    for (const Workload::Range &range : workload->outputs()) {
-        for (std::uint64_t i = 0; i < range.bytes; ++i)
-            bytes.push_back(gpu.mem().read8(range.addr + i));
+    std::uint64_t total = 0;
+    for (const Workload::Range &range : workload->outputs())
+        total += range.bytes;
+    result.output.reserve(total);
+    for (const Workload::Range &range : workload->outputs())
+        gpu.mem().readBlock(range.addr, range.bytes, result.output);
+    return result;
+}
+
+std::vector<InjectOutcome>
+Campaign::runBatch(const std::vector<TrialSpec> &specs) const
+{
+    std::vector<InjectOutcome> outcomes(specs.size(),
+                                        InjectOutcome::Masked);
+    runTasks(specs.size(), [&](std::size_t i) {
+        ExecResult r = execute(specs[i].regFlips, specs[i].memFlips);
+        outcomes[i] = r.output == goldenOutput_ ? InjectOutcome::Masked
+                                                : InjectOutcome::Sdc;
+    });
+    return outcomes;
+}
+
+std::vector<InjectOutcome>
+Campaign::runTrials(std::size_t n, std::uint64_t base_seed,
+                    TrialKind kind) const
+{
+    // Sites are sampled up front — one private Rng per trial index —
+    // so the specs (and therefore the outcomes) are a pure function
+    // of (base_seed, n), not of scheduling.
+    std::vector<TrialSpec> specs(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        Rng rng(splitMix64(base_seed, t));
+        if (kind == TrialKind::Register)
+            specs[t].regFlips.push_back(sampleSingleBit(rng));
+        else
+            specs[t].memFlips.push_back(sampleMemBit(rng));
     }
-    // Remember how many CUs actually received waves and the memory
-    // footprint so the samplers target state that can matter.
-    cusUsed_ = config_.numCus;
-    footprint_ = gpu.mem().allocatedBytes();
-    return bytes;
+    return runBatch(specs);
 }
 
 InjectOutcome
-Campaign::inject(const std::vector<RegInjection> &flips)
+Campaign::inject(const std::vector<RegInjection> &flips) const
 {
-    std::vector<std::uint8_t> out = execute(flips, {}, nullptr);
-    return out == goldenOutput_ ? InjectOutcome::Masked
-                                : InjectOutcome::Sdc;
+    return runBatch({TrialSpec{flips, {}}}).front();
 }
 
 InjectOutcome
-Campaign::injectMem(const std::vector<MemInjection> &flips)
+Campaign::injectMem(const std::vector<MemInjection> &flips) const
 {
-    std::vector<std::uint8_t> out = execute({}, flips, nullptr);
-    return out == goldenOutput_ ? InjectOutcome::Masked
-                                : InjectOutcome::Sdc;
+    return runBatch({TrialSpec{{}, flips}}).front();
 }
 
 RegInjection

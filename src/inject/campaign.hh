@@ -8,6 +8,13 @@
  * with one or more register-file bit flips armed at a dynamic
  * instruction trigger; the outcome is SDC when the final output
  * bytes differ from the golden snapshot, masked otherwise.
+ *
+ * Trials are independent — each builds its own Gpu — so batches run
+ * concurrently on the shared pool (common/parallel.hh) via
+ * runTrials() / runBatch(). Trial t of a runTrials() batch draws its
+ * injection site from an Rng seeded with splitMix64(base_seed, t),
+ * so any single trial reproduces in isolation regardless of batch
+ * size, thread count, or scheduling.
  */
 
 #ifndef MBAVF_INJECT_CAMPAIGN_HH
@@ -31,6 +38,20 @@ enum class InjectOutcome : std::uint8_t
     Sdc,
 };
 
+/** Which state runTrials() samples injection sites from. */
+enum class TrialKind : std::uint8_t
+{
+    Register, ///< uniform single-bit VGPR flips (sampleSingleBit)
+    Memory,   ///< uniform single-bit memory flips (sampleMemBit)
+};
+
+/** One independent trial: the flips to arm in a fresh execution. */
+struct TrialSpec
+{
+    std::vector<RegInjection> regFlips;
+    std::vector<MemInjection> memFlips;
+};
+
 /** Injection campaign over one workload configuration. */
 class Campaign
 {
@@ -48,28 +69,49 @@ class Campaign
     std::uint64_t goldenInstrs() const { return goldenInstrs_; }
 
     /** Inject the given flips and classify the outcome. */
-    InjectOutcome inject(const std::vector<RegInjection> &flips);
+    InjectOutcome inject(const std::vector<RegInjection> &flips) const;
 
     /** Inject memory bit flips and classify the outcome. */
-    InjectOutcome injectMem(const std::vector<MemInjection> &flips);
+    InjectOutcome
+    injectMem(const std::vector<MemInjection> &flips) const;
 
     /** Single-flip convenience. */
     InjectOutcome
-    inject(const RegInjection &flip)
+    inject(const RegInjection &flip) const
     {
         return inject(std::vector<RegInjection>{flip});
     }
 
     InjectOutcome
-    injectMem(const MemInjection &flip)
+    injectMem(const MemInjection &flip) const
     {
         return injectMem(std::vector<MemInjection>{flip});
     }
 
     /**
+     * Execute the given trials concurrently on the shared pool (each
+     * with its own Gpu) and classify each against the golden output.
+     * results[i] corresponds to specs[i]; ordering of results never
+     * depends on scheduling.
+     */
+    std::vector<InjectOutcome>
+    runBatch(const std::vector<TrialSpec> &specs) const;
+
+    /**
+     * Run @p n statistically independent single-bit trials of
+     * @p kind concurrently. Trial t samples its site from
+     * Rng(splitMix64(base_seed, t)); results[t] is that trial's
+     * outcome, bit-identical at any thread count.
+     */
+    std::vector<InjectOutcome> runTrials(std::size_t n,
+                                         std::uint64_t base_seed,
+                                         TrialKind kind) const;
+
+    /**
      * Sample a uniform single-bit VGPR injection site: a (cu, slot,
      * register, lane, bit) coordinate and a dynamic-instruction
-     * trigger.
+     * trigger. Only CUs that executed waves in the golden run are
+     * targeted.
      */
     RegInjection sampleSingleBit(Rng &rng) const;
 
@@ -79,14 +121,27 @@ class Campaign
      */
     MemInjection sampleMemBit(Rng &rng) const;
 
+    /** CUs that received waves in the golden run. */
+    unsigned cusUsed() const { return cusUsed_; }
+
     const std::string &workloadName() const { return workload_; }
 
   private:
-    /** Run the workload; returns the concatenated output bytes. */
-    std::vector<std::uint8_t>
-    execute(const std::vector<RegInjection> &flips,
-            const std::vector<MemInjection> &mem_flips,
-            std::uint64_t *instrs);
+    /** One fresh execution's observable results. */
+    struct ExecResult
+    {
+        std::vector<std::uint8_t> output;
+        std::uint64_t instrs = 0;
+        unsigned cusUsed = 0;
+        Addr footprint = 0;
+    };
+
+    /**
+     * Run the workload from scratch with the given flips armed.
+     * Touches no Campaign state, so concurrent calls are safe.
+     */
+    ExecResult execute(const std::vector<RegInjection> &flips,
+                       const std::vector<MemInjection> &mem_flips) const;
 
     std::string workload_;
     unsigned scale_;

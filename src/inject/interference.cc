@@ -21,11 +21,21 @@ runInterferenceStudy(const std::string &workload, unsigned scale,
     Rng rng(seed);
 
     // Phase 1: find SDC ACE bits with random single-bit injections.
+    // Sites are drawn serially from one RNG (so the study is the
+    // same experiment at any thread count), then executed as one
+    // concurrent batch.
+    std::vector<RegInjection> sites(num_injections);
+    std::vector<TrialSpec> specs(num_injections);
+    for (unsigned i = 0; i < num_injections; ++i) {
+        sites[i] = campaign.sampleSingleBit(rng);
+        specs[i].regFlips.push_back(sites[i]);
+    }
+    std::vector<InjectOutcome> outcomes = campaign.runBatch(specs);
+
     std::vector<RegInjection> sdc_sites;
     for (unsigned i = 0; i < num_injections; ++i) {
-        RegInjection inj = campaign.sampleSingleBit(rng);
-        if (campaign.inject(inj) == InjectOutcome::Sdc)
-            sdc_sites.push_back(inj);
+        if (outcomes[i] == InjectOutcome::Sdc)
+            sdc_sites.push_back(sites[i]);
     }
     stats.sdcAceBits = static_cast<unsigned>(sdc_sites.size());
 
@@ -33,6 +43,8 @@ runInterferenceStudy(const std::string &workload, unsigned scale,
     // adjacent bits in the same register at the same trigger. The
     // group is predicted SDC (it contains a known SDC ACE bit);
     // interference is a non-SDC outcome.
+    std::vector<TrialSpec> group_specs;
+    group_specs.reserve(sdc_sites.size() * 3);
     for (const RegInjection &site : sdc_sites) {
         unsigned bit = 0;
         while (!(site.bitMask >> bit & 1))
@@ -43,10 +55,16 @@ runInterferenceStudy(const std::string &workload, unsigned scale,
             RegInjection multi = site;
             multi.bitMask = static_cast<std::uint32_t>(
                 ((std::uint64_t(1) << m) - 1) << start);
-            ++stats.groupsTested[m - 2];
-            if (campaign.inject(multi) == InjectOutcome::Masked)
-                ++stats.interference[m - 2];
+            group_specs.push_back(TrialSpec{{multi}, {}});
         }
+    }
+    std::vector<InjectOutcome> group_outcomes =
+        campaign.runBatch(group_specs);
+    for (std::size_t g = 0; g < group_outcomes.size(); ++g) {
+        unsigned m = static_cast<unsigned>(g % 3);
+        ++stats.groupsTested[m];
+        if (group_outcomes[g] == InjectOutcome::Masked)
+            ++stats.interference[m];
     }
     return stats;
 }

@@ -50,6 +50,18 @@ MainMemory::read32(Addr addr) const
 }
 
 void
+MainMemory::readBlock(Addr addr, std::uint64_t bytes,
+                      std::vector<std::uint8_t> &out) const
+{
+    if (bytes == 0)
+        return;
+    if (addr + bytes > data_.size())
+        panic("memory access out of range: ", addr, "+", bytes);
+    out.insert(out.end(), data_.begin() + addr,
+               data_.begin() + addr + bytes);
+}
+
+void
 MainMemory::write8(Addr addr, std::uint8_t value)
 {
     checkRange(addr, 1);

@@ -45,6 +45,10 @@ class MainMemory
     std::uint8_t read8(Addr addr) const;
     std::uint32_t read32(Addr addr) const;
 
+    /** Bulk copy of [addr, addr+bytes) appended onto @p out. */
+    void readBlock(Addr addr, std::uint64_t bytes,
+                   std::vector<std::uint8_t> &out) const;
+
     void write8(Addr addr, std::uint8_t value);
     void write32(Addr addr, std::uint32_t value);
 

@@ -331,5 +331,32 @@ TEST(MbAvfEngine, HorizonClampsSegments)
     EXPECT_NEAR(sb.avf.total(), 1.0 / 8, 1e-12);
 }
 
+TEST(MbAvfEngine, ModeTallerThanArrayHasNoGroups)
+{
+    // A footprint taller than the array admits no anchor at all;
+    // the engine must return zero groups (and must not let
+    // `rows - span_r + 1` underflow), not crash or report garbage.
+    FlatArray array(8, 8); // 1 row
+    LifetimeStore store(1, 1);
+    addSegment(store, 0, 0, 100, AceClass::AceLive);
+    ParityScheme parity;
+    MbAvfResult mb = computeMbAvf(array, store, parity,
+                                  FaultMode::rect(4, 1), opts(100));
+    EXPECT_EQ(mb.numGroups, 0u);
+    EXPECT_DOUBLE_EQ(mb.avf.total(), 0.0);
+}
+
+TEST(MbAvfEngine, ModeWiderThanArrayHasNoGroups)
+{
+    FlatArray array(4, 4); // 1 row x 4 cols
+    LifetimeStore store(1, 1);
+    addSegment(store, 0, 0, 100, AceClass::AceLive);
+    ParityScheme parity;
+    MbAvfResult mb = computeMbAvf(array, store, parity,
+                                  FaultMode::mx1(8), opts(100));
+    EXPECT_EQ(mb.numGroups, 0u);
+    EXPECT_DOUBLE_EQ(mb.avf.total(), 0.0);
+}
+
 } // namespace
 } // namespace mbavf

@@ -94,6 +94,56 @@ TEST(Sweep, OneCallSerMatchesManual)
     EXPECT_DOUBLE_EQ(one.falseDue, manual.falseDue);
 }
 
+TEST(Sweep, ParallelSweepIsBitIdenticalToSerial)
+{
+    // A mixed store (some bits dead, varied segment shapes) swept
+    // serially and on the shared pool must agree exactly — AVF
+    // fractions and the per-window series.
+    FlatArray array(64);
+    LifetimeStore store(1, 1);
+    for (std::uint64_t b = 0; b < 64; b += 3) {
+        store.container(b).words[0].append(
+            {b, 60 + b, (b % 2) ? 1u : 0u, 1});
+    }
+    ParityScheme parity;
+    MbAvfOptions serial;
+    serial.horizon = 128;
+    serial.numWindows = 4;
+    serial.numThreads = 1;
+    MbAvfOptions parallel = serial;
+    parallel.numThreads = 4;
+
+    ModeSweep a = sweepModes(array, store, parity, serial);
+    ModeSweep b = sweepModes(array, store, parity, parallel);
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t m = 0; m < a.results.size(); ++m) {
+        EXPECT_EQ(a.results[m].avf.sdc, b.results[m].avf.sdc) << m;
+        EXPECT_EQ(a.results[m].avf.trueDue, b.results[m].avf.trueDue)
+            << m;
+        EXPECT_EQ(a.results[m].avf.falseDue,
+                  b.results[m].avf.falseDue)
+            << m;
+        ASSERT_EQ(a.results[m].windows.size(),
+                  b.results[m].windows.size());
+        for (std::size_t w = 0; w < a.results[m].windows.size();
+             ++w) {
+            EXPECT_EQ(a.results[m].windows[w].sdc,
+                      b.results[m].windows[w].sdc);
+            EXPECT_EQ(a.results[m].windows[w].trueDue,
+                      b.results[m].windows[w].trueDue);
+            EXPECT_EQ(a.results[m].windows[w].falseDue,
+                      b.results[m].windows[w].falseDue);
+        }
+    }
+
+    auto fits = caseStudyFaultRates(100.0);
+    StructureSer sa = sweepSer(a, fits);
+    StructureSer sb = sweepSer(b, fits);
+    EXPECT_EQ(sa.sdc, sb.sdc);
+    EXPECT_EQ(sa.trueDue, sb.trueDue);
+    EXPECT_EQ(sa.falseDue, sb.falseDue);
+}
+
 TEST(Sweep, SerScalesWithTotalFit)
 {
     FlatArray array(32);

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/bits.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "inject/campaign.hh"
 #include "inject/interference.hh"
@@ -138,6 +139,77 @@ TEST(Campaign, MemSamplerStaysInFootprint)
         EXPECT_LT(inj.addr, (4096u + 64u) * 4u + 64u);
         EXPECT_NE(inj.bitMask, 0);
     }
+}
+
+TEST(Campaign, SamplerTargetsOnlyCusWithWaves)
+{
+    // recursive_gaussian launches 3 waves; with more CUs than waves
+    // the tail CUs execute nothing, and sampling them would deflate
+    // the measured SDC probability. The sampler must stay within the
+    // CUs that actually received waves.
+    GpuConfig config = cfg();
+    config.numCus = 8;
+    Campaign c("recursive_gaussian", 1, config);
+    EXPECT_EQ(c.cusUsed(), 3u);
+    Rng rng(11);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_LT(c.sampleSingleBit(rng).cu, 3u);
+}
+
+TEST(Campaign, RunTrialsBitIdenticalAcrossThreadCounts)
+{
+    Campaign c("histogram", 1, cfg());
+    setParallelThreads(1);
+    std::vector<InjectOutcome> serial_reg =
+        c.runTrials(12, 99, TrialKind::Register);
+    std::vector<InjectOutcome> serial_mem =
+        c.runTrials(8, 7, TrialKind::Memory);
+    setParallelThreads(4);
+    std::vector<InjectOutcome> pool_reg =
+        c.runTrials(12, 99, TrialKind::Register);
+    std::vector<InjectOutcome> pool_mem =
+        c.runTrials(8, 7, TrialKind::Memory);
+    EXPECT_EQ(serial_reg, pool_reg);
+    EXPECT_EQ(serial_mem, pool_mem);
+    setParallelThreads(0);
+}
+
+TEST(Campaign, TrialReproducesInIsolation)
+{
+    // Any trial t of a batch is reproducible alone from
+    // (base_seed, t): per-trial seeds are splitMix64(base, t), not a
+    // shared RNG stream.
+    Campaign c("histogram", 1, cfg());
+    std::vector<InjectOutcome> all =
+        c.runTrials(8, 21, TrialKind::Register);
+    Rng rng(splitMix64(21, 5));
+    RegInjection site = c.sampleSingleBit(rng);
+    EXPECT_EQ(c.inject(site), all[5]);
+}
+
+TEST(Campaign, RunBatchPreservesSpecOrder)
+{
+    Campaign c("histogram", 1, cfg());
+    // Spec 0 is a guaranteed-masked flip (r31 is never touched);
+    // spec 1 corrupts an output bin directly.
+    TrialSpec masked;
+    RegInjection reg;
+    reg.reg = 31;
+    reg.bitMask = 0xFFFFFFFF;
+    reg.triggerInstr = c.goldenInstrs() / 2;
+    masked.regFlips.push_back(reg);
+
+    TrialSpec sdc;
+    MemInjection mem;
+    mem.addr = 4096 * 4; // first bin counter
+    mem.bitMask = 0x1;
+    mem.triggerInstr = c.goldenInstrs() - 1;
+    sdc.memFlips.push_back(mem);
+
+    std::vector<InjectOutcome> out = c.runBatch({masked, sdc});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], InjectOutcome::Masked);
+    EXPECT_EQ(out[1], InjectOutcome::Sdc);
 }
 
 TEST(Interference, StudyRunsAndCounts)

@@ -24,6 +24,7 @@
 
 #include "common/args.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "core/lifetime_io.hh"
 #include "core/mbavf.hh"
@@ -49,6 +50,10 @@ usage()
         "  --interleave=N           interleave factor (2)\n"
         "  --modes=M                analyze 1x1..Mx1 (8)\n"
         "  --windows=N              AVF-over-time windows (0)\n"
+        "  --threads=N              worker threads; 0 = all hardware\n"
+        "                           threads (default MBAVF_THREADS\n"
+        "                           or all); results are identical\n"
+        "                           at any thread count\n"
         "  --total-fit=F            raw structure fault rate (100)\n"
         "  --scale=N                workload problem-size multiplier\n"
         "  --shield-due             DUE detection shields SDC\n"
@@ -84,6 +89,14 @@ main(int argc, char **argv)
     const unsigned windows =
         static_cast<unsigned>(args.getInt("windows", 0));
     const double total_fit = args.getDouble("total-fit", 100.0);
+
+    // 0 = all hardware threads; unset = MBAVF_THREADS or hardware.
+    unsigned num_threads = 0;
+    if (args.has("threads")) {
+        num_threads =
+            static_cast<unsigned>(args.getInt("threads", 0));
+        setParallelThreads(num_threads == 0 ? 0 : num_threads);
+    }
 
     GpuConfig config;
     LifetimeStore life(8, 64);
@@ -165,6 +178,7 @@ main(int argc, char **argv)
     MbAvfOptions opt;
     opt.horizon = horizon;
     opt.numWindows = windows;
+    opt.numThreads = num_threads;
     opt.dueShieldsSdc = args.getBool("shield-due") ||
         (structure == "vgpr" && style == "inter");
 
