@@ -1,0 +1,165 @@
+#include "check/event_lint.hh"
+
+#include <string>
+
+#include "common/bits.hh"
+
+namespace mbavf
+{
+
+void
+CacheTraceRecorder::onFill(unsigned set, unsigned way, Addr line_addr,
+                           Cycle t)
+{
+    trace_.events.push_back(
+        {CacheEvent::Kind::Fill, set, way, line_addr, 0, 0, t, noDef});
+}
+
+void
+CacheTraceRecorder::onRead(unsigned set, unsigned way, Addr addr,
+                           unsigned size, Cycle t, DefId def)
+{
+    trace_.events.push_back(
+        {CacheEvent::Kind::Read, set, way, addr, size, 0, t, def});
+}
+
+void
+CacheTraceRecorder::onWrite(unsigned set, unsigned way, Addr addr,
+                            unsigned size, Cycle t)
+{
+    trace_.events.push_back(
+        {CacheEvent::Kind::Write, set, way, addr, size, 0, t, noDef});
+}
+
+void
+CacheTraceRecorder::onEvict(unsigned set, unsigned way, Addr line_addr,
+                            std::uint64_t dirty_bytes, Cycle t)
+{
+    trace_.events.push_back({CacheEvent::Kind::Evict, set, way,
+                             line_addr, 0, dirty_bytes, t, noDef});
+}
+
+const char *
+cacheEventKindName(CacheEvent::Kind kind)
+{
+    switch (kind) {
+      case CacheEvent::Kind::Fill: return "fill";
+      case CacheEvent::Kind::Read: return "read";
+      case CacheEvent::Kind::Write: return "write";
+      case CacheEvent::Kind::Evict: return "evict";
+    }
+    return "?";
+}
+
+void
+lintCacheEvents(const CacheEventTrace &trace, CheckReport &report)
+{
+    const CacheGeometry &geom = trace.geom;
+
+    /** Replay state of one physical line slot. */
+    struct SlotState
+    {
+        bool resident = false;
+        bool everFilled = false;
+        Cycle lastEvictTime = 0;
+        bool everEvicted = false;
+    };
+    std::vector<SlotState> slots(std::size_t(geom.sets) * geom.ways);
+
+    for (std::size_t i = 0; i < trace.events.size(); ++i) {
+        const CacheEvent &e = trace.events[i];
+        const std::string where =
+            std::string(cacheEventKindName(e.kind)) + " #" +
+            std::to_string(i) + " (set " + std::to_string(e.set) +
+            " way " + std::to_string(e.way) + " @" +
+            std::to_string(e.time) + ")";
+
+        if (e.set >= geom.sets || e.way >= geom.ways) {
+            report.error("event.bad-slot", where,
+                         "slot outside " + std::to_string(geom.sets) +
+                             "x" + std::to_string(geom.ways) +
+                             " geometry");
+            continue;
+        }
+        SlotState &slot =
+            slots[std::size_t(e.set) * geom.ways + e.way];
+
+        // Access events are stamped at their data-ready time
+        // (request + miss latency), so within a slot they are not
+        // monotonic in callback order: a missing read completes
+        // after same-cycle hits on the line it brought in. Two
+        // orderings ARE invariant: evicts carry the request-time
+        // clock, which only moves forward, and a fill's data-ready
+        // time cannot precede the eviction that freed its slot.
+        switch (e.kind) {
+          case CacheEvent::Kind::Fill:
+            if (slot.everEvicted && e.time < slot.lastEvictTime) {
+                report.error("event.time-order", where,
+                             "fill completes before the eviction that "
+                             "freed the slot (at " +
+                                 std::to_string(slot.lastEvictTime) +
+                                 ")");
+            }
+            if (slot.resident) {
+                report.error("event.fill-while-resident", where,
+                             "fill into a slot still holding a line "
+                             "(missing eviction)");
+            }
+            slot.resident = true;
+            slot.everFilled = true;
+            break;
+
+          case CacheEvent::Kind::Read:
+          case CacheEvent::Kind::Write: {
+            const bool is_read = e.kind == CacheEvent::Kind::Read;
+            if (!slot.resident) {
+                report.error(is_read ? "event.read-before-fill"
+                                     : "event.write-before-fill",
+                             where,
+                             "access to a slot holding no line");
+            }
+            const Addr offset = e.addr % geom.lineBytes;
+            if (e.size == 0 || offset + e.size > geom.lineBytes) {
+                report.error("event.access-too-wide", where,
+                             "access of " + std::to_string(e.size) +
+                                 " byte(s) at line offset " +
+                                 std::to_string(offset) +
+                                 " spills past the " +
+                                 std::to_string(geom.lineBytes) +
+                                 "-byte line");
+            }
+            break;
+          }
+
+          case CacheEvent::Kind::Evict:
+            if (slot.everEvicted && e.time < slot.lastEvictTime) {
+                report.error("event.time-order", where,
+                             "evict clock moves backwards (previous "
+                             "eviction at " +
+                                 std::to_string(slot.lastEvictTime) +
+                                 ")");
+            }
+            slot.lastEvictTime = e.time;
+            slot.everEvicted = true;
+            if (!slot.resident) {
+                report.error(slot.everFilled
+                                 ? "event.double-evict"
+                                 : "event.evict-without-fill",
+                             where,
+                             slot.everFilled
+                                 ? "slot already evicted"
+                                 : "slot was never filled");
+            }
+            if (e.dirtyBytes & ~lowMask(geom.lineBytes)) {
+                report.error("event.mask-too-wide", where,
+                             "dirty mask has bytes beyond the " +
+                                 std::to_string(geom.lineBytes) +
+                                 "-byte line");
+            }
+            slot.resident = false;
+            break;
+        }
+    }
+}
+
+} // namespace mbavf

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Cache event-stream recording and replay lint.
+ *
+ * CacheTraceRecorder captures the raw CacheListener callback stream
+ * of one cache (in callback order, which is the order the ACE probes
+ * consume it). lintCacheEvents then replays the stream through a
+ * per-slot residency state machine and flags sequences no correct
+ * write-allocate cache can emit: an access or eviction on a slot that
+ * holds no line, a fill into an occupied slot, masks or coordinates
+ * wider than the configured geometry.
+ *
+ * Codes reported:
+ * - event.bad-slot           set/way outside the geometry
+ * - event.read-before-fill   read from a slot holding no line
+ * - event.write-before-fill  write into a slot holding no line
+ * - event.fill-while-resident fill into an occupied slot
+ * - event.double-evict       evict of a slot already evicted
+ * - event.evict-without-fill evict of a slot never filled
+ * - event.access-too-wide    access spills past the line end
+ * - event.mask-too-wide      evict dirty mask wider than the line
+ * - event.time-order         a slot's evict clock moves backwards, or
+ *                            a fill completes before the eviction
+ *                            that freed its slot (access events are
+ *                            stamped at data-ready time and carry no
+ *                            per-slot ordering invariant)
+ */
+
+#ifndef MBAVF_CHECK_EVENT_LINT_HH
+#define MBAVF_CHECK_EVENT_LINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "check/report.hh"
+#include "core/layout.hh"
+#include "mem/cache.hh"
+
+namespace mbavf
+{
+
+/** One recorded cache listener callback. */
+struct CacheEvent
+{
+    enum class Kind : std::uint8_t { Fill, Read, Write, Evict };
+
+    Kind kind = Kind::Fill;
+    unsigned set = 0;
+    unsigned way = 0;
+    /** Line address (Fill/Evict) or byte address (Read/Write). */
+    Addr addr = 0;
+    /** Access size in bytes (Read/Write only). */
+    unsigned size = 0;
+    /** Per-byte dirty mask (Evict only). */
+    std::uint64_t dirtyBytes = 0;
+    Cycle time = 0;
+    DefId def = noDef;
+};
+
+/** The raw event stream of one cache, in callback order. */
+struct CacheEventTrace
+{
+    CacheGeometry geom;
+    std::vector<CacheEvent> events;
+};
+
+/** CacheListener that appends every callback to a CacheEventTrace. */
+class CacheTraceRecorder : public CacheListener
+{
+  public:
+    explicit CacheTraceRecorder(const CacheGeometry &geom)
+    {
+        trace_.geom = geom;
+    }
+
+    void onFill(unsigned set, unsigned way, Addr line_addr,
+                Cycle t) override;
+    void onRead(unsigned set, unsigned way, Addr addr, unsigned size,
+                Cycle t, DefId def) override;
+    void onWrite(unsigned set, unsigned way, Addr addr, unsigned size,
+                 Cycle t) override;
+    void onEvict(unsigned set, unsigned way, Addr line_addr,
+                 std::uint64_t dirty_bytes, Cycle t) override;
+
+    const CacheEventTrace &trace() const { return trace_; }
+    CacheEventTrace &trace() { return trace_; }
+
+  private:
+    CacheEventTrace trace_;
+};
+
+/** Display name of an event kind ("fill", "read", ...). */
+const char *cacheEventKindName(CacheEvent::Kind kind);
+
+/** Replay @p trace and report protocol violations. */
+void lintCacheEvents(const CacheEventTrace &trace, CheckReport &report);
+
+} // namespace mbavf
+
+#endif // MBAVF_CHECK_EVENT_LINT_HH

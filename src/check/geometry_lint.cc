@@ -1,0 +1,284 @@
+#include "check/geometry_lint.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mbavf
+{
+
+namespace
+{
+
+std::string
+cellLoc(const std::string &where, std::uint64_t row, std::uint64_t col)
+{
+    return where + " (row " + std::to_string(row) + " col " +
+           std::to_string(col) + ")";
+}
+
+/** First-seen position and population of one protection domain. */
+struct DomainInfo
+{
+    std::uint64_t firstRow = 0;
+    std::uint64_t firstCol = 0;
+    std::uint64_t bits = 0;
+};
+
+} // namespace
+
+void
+lintPhysicalArray(const PhysicalArray &array,
+                  const GeometryLintOptions &opts,
+                  const std::string &where, CheckReport &report)
+{
+    const std::uint64_t rows = array.rows();
+    const std::uint64_t cols = array.cols();
+    const unsigned ileave = std::max(1u, opts.interleave);
+
+    if (rows == 0 || cols == 0) {
+        report.error("geometry.empty-array", where,
+                     std::to_string(rows) + "x" + std::to_string(cols) +
+                         " array has no cells");
+        return;
+    }
+    if (cols % ileave != 0) {
+        report.error("geometry.interleave-row-width", where,
+                     "interleave " + std::to_string(ileave) +
+                         " does not divide row width " +
+                         std::to_string(cols));
+    }
+
+    const std::uint64_t scan_rows = std::min(rows, opts.maxRows);
+    const bool truncated = scan_rows < rows;
+
+    std::unordered_map<DomainId, DomainInfo> domains;
+    for (std::uint64_t r = 0; r < scan_rows; ++r) {
+        for (std::uint64_t c = 0; c < cols; ++c) {
+            const PhysBit bit = array.at(r, c);
+
+            if (bit.domain == invalidDomain) {
+                report.error("geometry.invalid-domain", cellLoc(where, r, c),
+                             "cell maps to no protection domain");
+                continue;
+            }
+            if (opts.containerBits &&
+                bit.bitInContainer >= opts.containerBits) {
+                report.error("geometry.bit-out-of-container",
+                             cellLoc(where, r, c),
+                             "bit " + std::to_string(bit.bitInContainer) +
+                                 " outside the " +
+                                 std::to_string(opts.containerBits) +
+                                 "-bit container");
+            }
+
+            auto [it, fresh] =
+                domains.try_emplace(bit.domain, DomainInfo{r, c, 0});
+            DomainInfo &info = it->second;
+            ++info.bits;
+            if (fresh)
+                continue;
+            if (info.firstRow != r) {
+                report.error("geometry.domain-split-rows",
+                             cellLoc(where, r, c),
+                             "domain " + std::to_string(bit.domain) +
+                                 " already seen in row " +
+                                 std::to_string(info.firstRow));
+                // Re-anchor so one split domain is flagged once per
+                // row, not once per cell.
+                info.firstRow = r;
+                info.firstCol = c;
+                continue;
+            }
+            if ((c - info.firstCol) % ileave != 0) {
+                report.error(
+                    "geometry.domain-straddle", cellLoc(where, r, c),
+                    "domain " + std::to_string(bit.domain) +
+                        " also owns col " +
+                        std::to_string(info.firstCol) +
+                        "; bits of one domain must sit " +
+                        std::to_string(ileave) + " columns apart");
+            }
+        }
+    }
+
+    if (truncated) {
+        // The per-cell checks above still covered the scanned prefix.
+        return;
+    }
+    std::uint64_t expected = domains.empty()
+        ? 0
+        : domains.begin()->second.bits;
+    for (const auto &[id, info] : domains) {
+        if (info.bits != expected) {
+            report.error("geometry.domain-size-mismatch", where,
+                         "domain " + std::to_string(id) + " has " +
+                             std::to_string(info.bits) +
+                             " bit(s), others have " +
+                             std::to_string(expected));
+            break; // one mismatch implies many; keep the report short
+        }
+    }
+}
+
+void
+lintFaultModePlacement(const FaultMode &mode, const PhysicalArray &array,
+                       const std::string &where, CheckReport &report)
+{
+    const std::string loc = where + " mode " + mode.name();
+
+    std::int32_t min_r = 0, min_c = 0, max_r = 0, max_c = 0;
+    bool first = true;
+    for (const PatternOffset &o : mode.offsets()) {
+        if (first) {
+            min_r = max_r = o.dRow;
+            min_c = max_c = o.dCol;
+            first = false;
+            continue;
+        }
+        min_r = std::min(min_r, o.dRow);
+        min_c = std::min(min_c, o.dCol);
+        max_r = std::max(max_r, o.dRow);
+        max_c = std::max(max_c, o.dCol);
+    }
+    if (min_r != 0 || min_c != 0 || max_r != mode.maxDRow() ||
+        max_c != mode.maxDCol()) {
+        report.error("geometry.mode-offsets", loc,
+                     "pattern offsets are not normalized to a zero "
+                     "minimum / reported maximum");
+    }
+
+    const std::uint64_t rows = array.rows();
+    const std::uint64_t cols = array.cols();
+    const std::uint64_t span_r = std::uint64_t(mode.maxDRow()) + 1;
+    const std::uint64_t span_c = std::uint64_t(mode.maxDCol()) + 1;
+    const std::uint64_t groups = mode.numGroups(rows, cols);
+
+    if (span_r > rows || span_c > cols) {
+        if (groups != 0) {
+            report.error("geometry.mode-groups-mismatch", loc,
+                         "mode does not fit the array but reports " +
+                             std::to_string(groups) + " group(s)");
+        } else {
+            report.warning("geometry.mode-no-groups", loc,
+                           "mode is larger than the " +
+                               std::to_string(rows) + "x" +
+                               std::to_string(cols) + " array");
+        }
+        return;
+    }
+    const std::uint64_t expected =
+        (rows - span_r + 1) * (cols - span_c + 1);
+    if (groups != expected) {
+        report.error("geometry.mode-groups-mismatch", loc,
+                     "numGroups reports " + std::to_string(groups) +
+                         ", placement arithmetic expects " +
+                         std::to_string(expected));
+    }
+}
+
+void
+lintProtectionScheme(const ProtectionScheme &scheme,
+                     unsigned domain_bits, const std::string &where,
+                     CheckReport &report)
+{
+    const std::string loc = where + " scheme " + scheme.name();
+    if (domain_bits == 0) {
+        report.error("geometry.scheme-domain", loc,
+                     "protection domain holds no bits");
+        return;
+    }
+    if (scheme.action(0) != FaultAction::Corrected) {
+        report.error("geometry.scheme-zero-flips", loc,
+                     "scheme reacts to zero flipped bits");
+    }
+}
+
+void
+lintGeometryCombos(const ComboLintConfig &config, CheckReport &report)
+{
+    struct Combo
+    {
+        std::string name;
+        std::unique_ptr<PhysicalArray> array;
+        unsigned interleave;
+        unsigned containerBits;
+        unsigned domainBits;
+    };
+    std::vector<Combo> combos;
+
+    const CacheGeometry &cg = config.cacheGeom;
+    for (CacheInterleave style :
+         {CacheInterleave::Logical, CacheInterleave::WayPhysical,
+          CacheInterleave::IndexPhysical}) {
+        for (unsigned ileave : config.interleaves) {
+            const std::string name = config.cacheLabel + " " +
+                cacheInterleaveName(style) + " x" +
+                std::to_string(ileave);
+            if (ileave == 0 ||
+                (style == CacheInterleave::WayPhysical &&
+                 cg.ways % ileave != 0) ||
+                (style == CacheInterleave::IndexPhysical &&
+                 cg.sets % ileave != 0) ||
+                (style == CacheInterleave::Logical &&
+                 cg.lineBits() % ileave != 0)) {
+                report.error("geometry.interleave-divide", name,
+                             "interleave factor incompatible with the "
+                             "cache geometry");
+                continue;
+            }
+            // Under logical interleaving each line carries I check
+            // words, so one domain covers lineBits / I bits; the
+            // physical styles keep one domain per whole line.
+            unsigned domain_bits = style == CacheInterleave::Logical
+                ? cg.lineBits() / ileave
+                : cg.lineBits();
+            combos.push_back({name, makeCacheArray(cg, style, ileave),
+                              ileave, cg.lineBits(), domain_bits});
+        }
+    }
+
+    const RegFileGeometry &rg = config.regGeom;
+    for (RegInterleave style :
+         {RegInterleave::IntraThread, RegInterleave::InterThread}) {
+        const bool intra = style == RegInterleave::IntraThread;
+        for (unsigned ileave : config.interleaves) {
+            const std::string name = std::string("vgpr ") +
+                (intra ? "intra" : "inter") + " x" +
+                std::to_string(ileave);
+            if (ileave == 0 ||
+                (intra ? rg.numRegs % ileave : rg.numLanes % ileave)) {
+                report.error("geometry.interleave-divide", name,
+                             "interleave factor incompatible with the "
+                             "register file geometry");
+                continue;
+            }
+            combos.push_back({name,
+                              makeRegFileArray(rg, style, ileave),
+                              ileave, rg.regBits, rg.regBits});
+        }
+    }
+
+    std::vector<FaultMode> modes;
+    for (unsigned m = 1; m <= std::max(1u, config.maxMode); ++m)
+        modes.push_back(FaultMode::mx1(m));
+    modes.push_back(FaultMode::rect(2, 2));
+
+    for (const Combo &combo : combos) {
+        GeometryLintOptions opts;
+        opts.interleave = combo.interleave;
+        opts.containerBits = combo.containerBits;
+        lintPhysicalArray(*combo.array, opts, combo.name, report);
+
+        for (const FaultMode &mode : modes)
+            lintFaultModePlacement(mode, *combo.array, combo.name,
+                                   report);
+
+        for (const std::string &scheme_name : config.schemes) {
+            auto scheme = makeScheme(scheme_name);
+            lintProtectionScheme(*scheme, combo.domainBits,
+                                 combo.name, report);
+        }
+    }
+}
+
+} // namespace mbavf

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Geometry lint: layouts, fault modes, and protection domains.
+ *
+ * The paper's interleaving study (Fig. 4) rests on one geometric
+ * contract: with interleave factor I, the bits of one protection
+ * domain occupy physical columns that are congruent mod I, so an
+ * m-bit contiguous strike with m <= I touches each domain at most
+ * once. A layout whose domains straddle an interleave boundary
+ * silently re-creates the multi-bit exposure interleaving was meant
+ * to remove. These passes walk a PhysicalArray cell by cell and
+ * verify that contract, plus basic sanity of fault-mode placement
+ * and protection-scheme behavior.
+ *
+ * Codes reported:
+ * - geometry.empty-array        zero rows or columns
+ * - geometry.interleave-row-width  I does not divide the row width
+ * - geometry.bit-out-of-container  bitInContainer >= container bits
+ * - geometry.invalid-domain     cell maps to invalidDomain
+ * - geometry.domain-straddle    domain bits not congruent mod I
+ * - geometry.domain-split-rows  one domain spread over several rows
+ * - geometry.domain-size-mismatch  domains of unequal bit counts
+ * - geometry.mode-offsets       fault pattern not normalized
+ * - geometry.mode-groups-mismatch  numGroups() arithmetic is wrong
+ * - geometry.mode-no-groups     mode does not fit the array (warning)
+ * - geometry.scheme-zero-flips  scheme does not treat 0 flips as ok
+ * - geometry.scheme-domain      empty protection domain
+ */
+
+#ifndef MBAVF_CHECK_GEOMETRY_LINT_HH
+#define MBAVF_CHECK_GEOMETRY_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "check/report.hh"
+#include "core/fault_mode.hh"
+#include "core/layout.hh"
+#include "core/protection.hh"
+
+namespace mbavf
+{
+
+/** Knobs for the physical-array lint pass. */
+struct GeometryLintOptions
+{
+    /** Interleave factor the layout was built with. */
+    unsigned interleave = 1;
+    /** Bits per lifetime container; 0 disables the range check. */
+    unsigned containerBits = 0;
+    /**
+     * Cap on rows scanned (huge register files); domain-size and
+     * split-row checks are skipped when the cap truncates the scan.
+     */
+    std::uint64_t maxRows = 1 << 14;
+};
+
+/**
+ * Walk @p array and verify the domain/interleave contract. @p where
+ * prefixes finding locations (e.g. "l1 way x2").
+ */
+void lintPhysicalArray(const PhysicalArray &array,
+                       const GeometryLintOptions &opts,
+                       const std::string &where, CheckReport &report);
+
+/** Verify @p mode's pattern normalization and group arithmetic. */
+void lintFaultModePlacement(const FaultMode &mode,
+                            const PhysicalArray &array,
+                            const std::string &where,
+                            CheckReport &report);
+
+/** Verify @p scheme sanity against a @p domain_bits -bit domain. */
+void lintProtectionScheme(const ProtectionScheme &scheme,
+                          unsigned domain_bits,
+                          const std::string &where, CheckReport &report);
+
+/** Configuration of the exhaustive combo sweep. */
+struct ComboLintConfig
+{
+    /** Prefix for cache combo names (e.g. "l1", "l2"). */
+    std::string cacheLabel = "cache";
+    CacheGeometry cacheGeom;
+    RegFileGeometry regGeom;
+    std::vector<unsigned> interleaves = {1, 2, 4};
+    /** Lint fault modes 1x1 .. maxMode x1 plus a 2x2 rect. */
+    unsigned maxMode = 4;
+    std::vector<std::string> schemes = {"none", "parity", "secded",
+                                        "dected", "crc"};
+};
+
+/**
+ * Lint every FaultMode x Layout x ProtectionScheme combination the
+ * config spans (all cache styles and register interleavings).
+ * Interleave factors that do not divide the relevant dimension are
+ * reported (geometry.interleave-divide) and skipped rather than
+ * aborting the process.
+ */
+void lintGeometryCombos(const ComboLintConfig &config,
+                        CheckReport &report);
+
+} // namespace mbavf
+
+#endif // MBAVF_CHECK_GEOMETRY_LINT_HH

@@ -1,0 +1,70 @@
+#include "check/report.hh"
+
+#include <algorithm>
+#include <ostream>
+
+namespace mbavf
+{
+
+void
+CheckReport::add(LintSeverity severity, std::string code,
+                 std::string where, std::string message)
+{
+    ++total_;
+    if (severity == LintSeverity::Error)
+        ++errors_;
+
+    auto it = std::find_if(codeCounts_.begin(), codeCounts_.end(),
+                           [&](const auto &entry) {
+                               return entry.first == code;
+                           });
+    if (it == codeCounts_.end()) {
+        codeCounts_.emplace_back(code, 1);
+        it = codeCounts_.end() - 1;
+    } else {
+        ++it->second;
+    }
+
+    if (perCodeLimit_ && it->second > perCodeLimit_)
+        return; // counted above, not stored
+    findings_.push_back({severity, std::move(code), std::move(where),
+                         std::move(message)});
+}
+
+std::size_t
+CheckReport::countOf(const std::string &code) const
+{
+    for (const auto &[name, count] : codeCounts_) {
+        if (name == code)
+            return count;
+    }
+    return 0;
+}
+
+void
+CheckReport::print(std::ostream &os) const
+{
+    for (const Finding &f : findings_) {
+        os << lintSeverityName(f.severity) << " [" << f.code << "] "
+           << f.where << ": " << f.message << "\n";
+    }
+    if (clean()) {
+        os << "lint: clean (0 findings)\n";
+        return;
+    }
+    os << "lint: " << errorCount() << " error(s), " << warningCount()
+       << " warning(s)";
+    if (total_ > findings_.size())
+        os << " (" << total_ - findings_.size() << " not shown)";
+    os << "\n";
+    for (const auto &[code, count] : codeCounts_)
+        os << "  " << code << ": " << count << "\n";
+}
+
+const char *
+lintSeverityName(LintSeverity severity)
+{
+    return severity == LintSeverity::Error ? "error" : "warning";
+}
+
+} // namespace mbavf

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Diagnostic collection for the mbavf static lint passes.
+ *
+ * Every lint check reports through a CheckReport: a flat list of
+ * findings, each carrying a stable dotted code (e.g.
+ * "lifetime.overlap"), the location of the offending artifact, and a
+ * human-readable message. Stable codes let tests assert on the exact
+ * diagnostic produced and let the CLI summarize per-code counts
+ * without string matching on prose.
+ */
+
+#ifndef MBAVF_CHECK_REPORT_HH
+#define MBAVF_CHECK_REPORT_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mbavf
+{
+
+/** Severity of a lint finding. */
+enum class LintSeverity : std::uint8_t
+{
+    /** Suspicious but not provably wrong; does not fail a lint run. */
+    Warning,
+    /** Violates a model invariant; fails the lint run. */
+    Error,
+};
+
+/** One lint diagnostic. */
+struct Finding
+{
+    LintSeverity severity = LintSeverity::Error;
+    /** Stable dotted identifier, e.g. "event.read-before-fill". */
+    std::string code;
+    /** Artifact location, e.g. "container 12 word 3 segment 5". */
+    std::string where;
+    std::string message;
+};
+
+/** Accumulator for lint findings across passes. */
+class CheckReport
+{
+  public:
+    /**
+     * Record a finding. Per-code recording is capped (see
+     * setPerCodeLimit); findings beyond the cap are counted but not
+     * stored, so a systemic corruption cannot flood memory.
+     */
+    void add(LintSeverity severity, std::string code,
+             std::string where, std::string message);
+
+    void
+    error(std::string code, std::string where, std::string message)
+    {
+        add(LintSeverity::Error, std::move(code), std::move(where),
+            std::move(message));
+    }
+
+    void
+    warning(std::string code, std::string where, std::string message)
+    {
+        add(LintSeverity::Warning, std::move(code), std::move(where),
+            std::move(message));
+    }
+
+    /** Stored findings (up to the per-code cap each). */
+    const std::vector<Finding> &findings() const { return findings_; }
+
+    /** Total findings seen, including ones dropped by the cap. */
+    std::size_t totalCount() const { return total_; }
+    std::size_t errorCount() const { return errors_; }
+    std::size_t warningCount() const { return total_ - errors_; }
+
+    bool clean() const { return total_ == 0; }
+
+    /** Total findings recorded under @p code (dropped ones included). */
+    std::size_t countOf(const std::string &code) const;
+
+    /** True when at least one finding carries @p code. */
+    bool has(const std::string &code) const { return countOf(code) > 0; }
+
+    /**
+     * Cap on stored findings per code (default 16). The per-code
+     * totals keep counting past the cap.
+     */
+    void setPerCodeLimit(std::size_t limit) { perCodeLimit_ = limit; }
+
+    /** Print all stored findings plus a per-code summary. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<Finding> findings_;
+    /** code -> (total, errors) for every code ever reported. */
+    std::vector<std::pair<std::string, std::size_t>> codeCounts_;
+    std::size_t total_ = 0;
+    std::size_t errors_ = 0;
+    std::size_t perCodeLimit_ = 16;
+};
+
+/** Display name of a severity ("warning" / "error"). */
+const char *lintSeverityName(LintSeverity severity);
+
+} // namespace mbavf
+
+#endif // MBAVF_CHECK_REPORT_HH

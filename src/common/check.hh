@@ -1,0 +1,65 @@
+/**
+ * @file
+ * MBAVF_CHECK: cheap, compile-time-gated runtime invariant checks.
+ *
+ * The static lint passes in src/check validate the simulator's
+ * intermediate artifacts after the fact; MBAVF_CHECK guards the same
+ * invariants at the call sites that produce them (lifetime builder,
+ * cache event emission, injection sampling). The checks compile away
+ * entirely unless the build sets -DMBAVF_CHECKS=ON (which defines
+ * MBAVF_RUNTIME_CHECKS), so hot paths pay nothing in release builds.
+ *
+ * A failed check is an internal invariant violation and aborts via
+ * panic(), naming the expression and source location.
+ */
+
+#ifndef MBAVF_COMMON_CHECK_HH
+#define MBAVF_COMMON_CHECK_HH
+
+#include "common/logging.hh"
+
+namespace mbavf
+{
+
+/** True in builds compiled with -DMBAVF_CHECKS=ON. */
+constexpr bool
+runtimeChecksEnabled()
+{
+#ifdef MBAVF_RUNTIME_CHECKS
+    return true;
+#else
+    return false;
+#endif
+}
+
+namespace detail
+{
+
+template <typename... Args>
+[[noreturn]] void
+checkFailed(const char *file, int line, const char *expr,
+            Args &&...args)
+{
+    panic("MBAVF_CHECK failed at ", file, ":", line, ": (", expr, ") ",
+          detail::composeMessage(args...));
+}
+
+} // namespace detail
+
+} // namespace mbavf
+
+#ifdef MBAVF_RUNTIME_CHECKS
+#define MBAVF_CHECK(cond, ...)                                        \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::mbavf::detail::checkFailed(                             \
+                __FILE__, __LINE__, #cond __VA_OPT__(, ) __VA_ARGS__); \
+        }                                                             \
+    } while (0)
+#else
+// Unevaluated operand: no code is generated, but names in the
+// condition still count as used (no -Wunused warnings in release).
+#define MBAVF_CHECK(cond, ...) ((void)sizeof(!(cond)))
+#endif
+
+#endif // MBAVF_COMMON_CHECK_HH

@@ -25,7 +25,9 @@ std::string
 composeMessage(Args &&...args)
 {
     std::ostringstream os;
-    (os << ... << args);
+    // The void cast keeps the empty-pack instantiation (fold
+    // collapses to plain `os`) from tripping -Wunused-value.
+    (void)(os << ... << args);
     return os.str();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bits.hh"
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace mbavf
@@ -11,8 +12,21 @@ namespace mbavf
 void
 WordLifetime::append(const LifeSegment &seg)
 {
-    if (seg.end <= seg.begin)
+    // A backwards segment is always a caller bug: before this was
+    // rejected it slipped through as a silent no-op in release
+    // builds and corrupted aceCycles() totals when callers relied on
+    // it being kept.
+    MBAVF_CHECK(seg.end >= seg.begin, "backwards segment [", seg.begin,
+                ", ", seg.end, ")");
+    if (seg.end < seg.begin) {
+        panic("WordLifetime::append backwards segment [", seg.begin,
+              ", ", seg.end, ")");
+    }
+    if (seg.end == seg.begin)
         return;
+    MBAVF_CHECK(segs_.empty() || seg.begin >= segs_.back().end,
+                "segment [", seg.begin, ", ", seg.end,
+                ") overlaps current end ", segs_.back().end);
     if (!segs_.empty() && seg.begin < segs_.back().end)
         panic("WordLifetime::append out of order");
     // Coalesce identical adjacent segments.

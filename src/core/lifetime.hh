@@ -46,8 +46,22 @@ struct LifeSegment
 class WordLifetime
 {
   public:
-    /** Append a segment; must start at or after the current end. */
+    /**
+     * Append a segment; must start at or after the current end.
+     * Backwards (end < begin) or overlapping segments are rejected
+     * with panic() in every build type; empty segments are dropped.
+     */
     void append(const LifeSegment &seg);
+
+    /**
+     * Append without precondition checks. Only for deserialization
+     * and lint paths that must be able to materialize malformed
+     * data for inspection; everything else uses append().
+     */
+    void appendUnchecked(const LifeSegment &seg)
+    {
+        segs_.push_back(seg);
+    }
 
     const std::vector<LifeSegment> &segments() const { return segs_; }
 

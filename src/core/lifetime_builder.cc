@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bits.hh"
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace mbavf
@@ -17,12 +18,14 @@ buildWordLifetime(const WordEventLog &log, Cycle end_time, unsigned width,
     if (events.empty())
         return out;
 
-    for (std::size_t i = 1; i < events.size(); ++i) {
-        if (events[i].time < events[i - 1].time)
-            panic("WordEventLog out of time order");
-    }
-
     const std::uint64_t all = lowMask(width);
+
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i > 0 && events[i].time < events[i - 1].time)
+            panic("WordEventLog out of time order");
+        MBAVF_CHECK((events[i].mask & ~all) == 0, "event #", i,
+                    " mask wider than the ", width, "-bit word");
+    }
 
     // Backward pass. State masks describe the future as seen from just
     // before the segment being emitted: liveAhead(b) = a live

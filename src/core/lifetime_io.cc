@@ -33,6 +33,22 @@ readScalar(std::istream &is)
     return value;
 }
 
+/** Non-fatal scalar read; false = truncated. */
+template <typename T>
+bool
+tryReadScalar(std::istream &is, T &value)
+{
+    is.read(reinterpret_cast<char *>(&value), sizeof(value));
+    return static_cast<bool>(is);
+}
+
+/**
+ * Cap on words per container accepted from untrusted input: real
+ * stores use 64 (cache lines) or 1 (registers); a corrupt header
+ * must not be able to demand a multi-gigabyte allocation.
+ */
+constexpr std::uint32_t maxWordsPerContainer = 1u << 20;
+
 } // namespace
 
 void
@@ -61,35 +77,97 @@ saveLifetimeStore(const LifetimeStore &store, std::ostream &os)
         fatal("lifetime store: write failed");
 }
 
-LifetimeStore
-loadLifetimeStore(std::istream &is)
+std::optional<LifetimeStore>
+tryLoadLifetimeStore(std::istream &is, std::string &error)
 {
     char header[8];
     is.read(header, sizeof(header));
-    if (!is || std::memcmp(header, magic, sizeof(magic)) != 0)
-        fatal("lifetime store: bad magic");
+    if (!is || std::memcmp(header, magic, sizeof(magic)) != 0) {
+        error = "bad magic";
+        return std::nullopt;
+    }
 
-    auto word_width = readScalar<std::uint32_t>(is);
-    auto words_per = readScalar<std::uint32_t>(is);
-    auto num_containers = readScalar<std::uint64_t>(is);
+    std::uint32_t word_width = 0;
+    std::uint32_t words_per = 0;
+    std::uint64_t num_containers = 0;
+    if (!tryReadScalar(is, word_width) ||
+        !tryReadScalar(is, words_per) ||
+        !tryReadScalar(is, num_containers)) {
+        error = "truncated header";
+        return std::nullopt;
+    }
+    if (word_width == 0 || word_width > 64) {
+        error = "word width " + std::to_string(word_width) +
+                " outside [1, 64]";
+        return std::nullopt;
+    }
+    if (words_per == 0 || words_per > maxWordsPerContainer) {
+        error = "implausible words-per-container " +
+                std::to_string(words_per);
+        return std::nullopt;
+    }
 
     LifetimeStore store(word_width, words_per);
     for (std::uint64_t c = 0; c < num_containers; ++c) {
-        auto id = readScalar<std::uint64_t>(is);
+        std::uint64_t id = 0;
+        if (!tryReadScalar(is, id)) {
+            error = "truncated at container " + std::to_string(c) +
+                    " of " + std::to_string(num_containers);
+            return std::nullopt;
+        }
         ContainerLifetime &container = store.container(id);
         for (std::uint32_t w = 0; w < words_per; ++w) {
-            auto num_segs = readScalar<std::uint32_t>(is);
+            std::uint32_t num_segs = 0;
+            if (!tryReadScalar(is, num_segs)) {
+                error = "truncated in container " + std::to_string(id);
+                return std::nullopt;
+            }
             for (std::uint32_t s = 0; s < num_segs; ++s) {
                 LifeSegment seg;
-                seg.begin = readScalar<std::uint64_t>(is);
-                seg.end = readScalar<std::uint64_t>(is);
-                seg.aceMask = readScalar<std::uint64_t>(is);
-                seg.readMask = readScalar<std::uint64_t>(is);
-                container.words[w].append(seg);
+                if (!tryReadScalar(is, seg.begin) ||
+                    !tryReadScalar(is, seg.end) ||
+                    !tryReadScalar(is, seg.aceMask) ||
+                    !tryReadScalar(is, seg.readMask)) {
+                    error = "truncated in container " +
+                            std::to_string(id) + " word " +
+                            std::to_string(w);
+                    return std::nullopt;
+                }
+                // Keep malformed segments verbatim: the lifetime
+                // lint diagnoses them; trusting callers go through
+                // loadLifetimeStore, which rejects them.
+                container.words[w].appendUnchecked(seg);
             }
         }
     }
     return store;
+}
+
+LifetimeStore
+loadLifetimeStore(std::istream &is)
+{
+    std::string error;
+    std::optional<LifetimeStore> store = tryLoadLifetimeStore(is, error);
+    if (!store)
+        fatal("lifetime store: ", error);
+
+    // Trusting callers get the append() guarantees back: reject any
+    // store whose segments are empty, backwards, or overlapping.
+    for (const auto &[id, container] : store->containers()) {
+        for (std::size_t w = 0; w < container.words.size(); ++w) {
+            Cycle prev_end = 0;
+            for (const LifeSegment &seg :
+                 container.words[w].segments()) {
+                if (seg.end <= seg.begin || seg.begin < prev_end) {
+                    fatal("lifetime store: corrupt segments in "
+                          "container ", id, " word ", w,
+                          " (run mbavf_lint for details)");
+                }
+                prev_end = seg.end;
+            }
+        }
+    }
+    return std::move(*store);
 }
 
 void

@@ -13,6 +13,7 @@
 #define MBAVF_CORE_LIFETIME_IO_HH
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "core/lifetime.hh"
@@ -25,6 +26,17 @@ void saveLifetimeStore(const LifetimeStore &store, std::ostream &os);
 
 /** Deserialize a store from a stream; fatal on malformed input. */
 LifetimeStore loadLifetimeStore(std::istream &is);
+
+/**
+ * Non-fatal deserialization for tools that must survive corrupt
+ * input (mbavf_lint). Stream-format problems — bad magic, truncation,
+ * header fields outside sane bounds — return nullopt and set
+ * @p error. Structurally suspect *segments* (overlapping, backwards)
+ * are loaded verbatim so the lifetime lint can diagnose them; run
+ * lintLifetimeStore over the result before trusting it.
+ */
+std::optional<LifetimeStore> tryLoadLifetimeStore(std::istream &is,
+                                                  std::string &error);
 
 /** File convenience wrappers; fatal on I/O failure. */
 void saveLifetimeStore(const LifetimeStore &store,

@@ -11,6 +11,8 @@
 
 #include <unordered_map>
 
+#include "common/bits.hh"
+#include "common/check.hh"
 #include "core/lifetime.hh"
 #include "core/lifetime_builder.hh"
 #include "gpu/regfile.hh"
@@ -36,6 +38,9 @@ class RegFileAvfProbe : public RegFileListener
     onRegRead(std::uint64_t container, Cycle t,
               std::uint32_t consume_mask, DefId def, bool exact) override
     {
+        MBAVF_CHECK((consume_mask & ~lowMask(geom_.regBits)) == 0,
+                    "consume mask wider than the ", geom_.regBits,
+                    "-bit register");
         if (exact)
             logs_[container].readExact(t, consume_mask, def, 0);
         else

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/bits.hh"
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 
@@ -30,6 +32,25 @@ Campaign::ExecResult
 Campaign::execute(const std::vector<RegInjection> &flips,
                   const std::vector<MemInjection> &mem_flips) const
 {
+    // An injection outside the device geometry would either hit a
+    // register that no wave can ever touch (silently deflating the
+    // measured SDC rate) or index out of the register file. The
+    // samplers below construct in-range sites; this guards externally
+    // supplied flips in checked builds.
+    for (const RegInjection &inj : flips) {
+        MBAVF_CHECK(inj.cu < config_.numCus, "cu ", inj.cu);
+        MBAVF_CHECK(inj.slot < config_.regs.numSlots, "slot ",
+                    inj.slot);
+        MBAVF_CHECK(inj.reg < config_.regs.numRegs, "reg ", inj.reg);
+        MBAVF_CHECK(inj.lane < config_.regs.numLanes, "lane ",
+                    inj.lane);
+        MBAVF_CHECK((inj.bitMask &
+                     ~lowMask(config_.regs.regBits)) == 0,
+                    "bit mask wider than the register");
+    }
+    for (const MemInjection &inj : mem_flips)
+        MBAVF_CHECK(inj.addr < config_.memBytes, "addr ", inj.addr);
+
     Gpu gpu(config_);
     gpu.setTracking(false);
     if (!flips.empty())

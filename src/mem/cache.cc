@@ -1,6 +1,7 @@
 #include "mem/cache.hh"
 
 #include "common/bits.hh"
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace mbavf
@@ -93,6 +94,10 @@ Cache::access(const MemRequest &req, Cycle now)
             ++stats_.evictions;
             Addr victim_addr = (victim.tag * params_.sets + set) *
                 params_.lineBytes;
+            MBAVF_CHECK((victim.dirtyBytes &
+                         ~lowMask(params_.lineBytes)) == 0,
+                        params_.name,
+                        ": dirty mask wider than the line");
             if (listener_) {
                 listener_->onEvict(set, way, victim_addr,
                                    victim.dirtyBytes, t);
@@ -149,6 +154,10 @@ Cache::flush(Cycle now)
             Addr line_addr =
                 (l.tag * params_.sets + set) * params_.lineBytes;
             ++stats_.evictions;
+            MBAVF_CHECK((l.dirtyBytes &
+                         ~lowMask(params_.lineBytes)) == 0,
+                        params_.name,
+                        ": dirty mask wider than the line");
             if (listener_)
                 listener_->onEvict(set, way, line_addr, l.dirtyBytes,
                                    now);

@@ -90,6 +90,62 @@ class CacheListener
                          std::uint64_t dirty_bytes, Cycle t) = 0;
 };
 
+/**
+ * Fan-out listener: forwards every event to two listeners (either
+ * may be null). Lets a diagnostic recorder observe the same stream
+ * an ACE probe consumes without the cache knowing about either.
+ */
+class CacheListenerTee : public CacheListener
+{
+  public:
+    CacheListenerTee(CacheListener *first, CacheListener *second)
+        : first_(first), second_(second)
+    {}
+
+    void
+    onFill(unsigned set, unsigned way, Addr line_addr, Cycle t) override
+    {
+        if (first_)
+            first_->onFill(set, way, line_addr, t);
+        if (second_)
+            second_->onFill(set, way, line_addr, t);
+    }
+
+    void
+    onRead(unsigned set, unsigned way, Addr addr, unsigned size,
+           Cycle t, DefId def) override
+    {
+        if (first_)
+            first_->onRead(set, way, addr, size, t, def);
+        if (second_)
+            second_->onRead(set, way, addr, size, t, def);
+    }
+
+    void
+    onWrite(unsigned set, unsigned way, Addr addr, unsigned size,
+            Cycle t) override
+    {
+        if (first_)
+            first_->onWrite(set, way, addr, size, t);
+        if (second_)
+            second_->onWrite(set, way, addr, size, t);
+    }
+
+    void
+    onEvict(unsigned set, unsigned way, Addr line_addr,
+            std::uint64_t dirty_bytes, Cycle t) override
+    {
+        if (first_)
+            first_->onEvict(set, way, line_addr, dirty_bytes, t);
+        if (second_)
+            second_->onEvict(set, way, line_addr, dirty_bytes, t);
+    }
+
+  private:
+    CacheListener *first_;
+    CacheListener *second_;
+};
+
 /** Cache configuration. */
 struct CacheParams
 {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bits.hh"
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace mbavf
@@ -18,6 +19,8 @@ CacheAvfProbe::CacheAvfProbe(const CacheGeometry &geom,
 CacheAvfProbe::SlotLog &
 CacheAvfProbe::slot(unsigned set, unsigned way)
 {
+    MBAVF_CHECK(set < geom_.sets && way < geom_.ways, "slot (", set,
+                ", ", way, ") outside the probe geometry");
     SlotLog &s = slots_[std::size_t(set) * geom_.ways + way];
     if (!s.touched) {
         s.bytes.resize(geom_.lineBytes);
@@ -39,6 +42,9 @@ CacheAvfProbe::onRead(unsigned set, unsigned way, Addr addr,
     SlotLog &s = slot(set, way);
     s.lineReads.push_back(t);
     unsigned offset = static_cast<unsigned>(addr % geom_.lineBytes);
+    MBAVF_CHECK(size > 0 && offset + size <= geom_.lineBytes,
+                "read of ", size, " byte(s) at line offset ", offset,
+                " spills past the line");
     for (unsigned i = 0; i < size; ++i) {
         ByteAccess access{t, false, def,
                           static_cast<std::uint8_t>(8 * i), false, 0};
@@ -61,6 +67,9 @@ CacheAvfProbe::onWrite(unsigned set, unsigned way, Addr addr,
     // out for the read-modify-write of its check bits; model it as a
     // pure overwrite of the written bytes (see DESIGN.md).
     unsigned offset = static_cast<unsigned>(addr % geom_.lineBytes);
+    MBAVF_CHECK(size > 0 && offset + size <= geom_.lineBytes,
+                "write of ", size, " byte(s) at line offset ", offset,
+                " spills past the line");
     for (unsigned i = 0; i < size; ++i)
         s.bytes[offset + i].push_back({t, true, noDef, 0});
 }

@@ -1,5 +1,6 @@
 #include "trace/dataflow.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace mbavf
@@ -68,6 +69,11 @@ Liveness::Liveness(const DataflowLog &log)
             DefId s = log.srcDef_[e * DataflowLog::maxSrcs + i];
             if (s == noDef)
                 continue;
+            // record() rejects forward references; a violation here
+            // means the log was corrupted after recording, and the
+            // backward pass would silently mis-propagate liveness.
+            MBAVF_CHECK(s < e, "def ", e, " source ", i,
+                        " refers forward to ", s);
             std::uint32_t m = log.srcRel_[e * DataflowLog::maxSrcs + i];
             rel_[s] |= (positional >> i & 1) ? (m & rel_e) : m;
         }

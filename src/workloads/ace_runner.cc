@@ -8,9 +8,12 @@ namespace mbavf
 {
 
 AceRun
-runAceAnalysis(const std::string &workload_name, unsigned scale,
-               GpuConfig config, bool measure_l2)
+runAceAnalysis(const std::string &workload_name,
+               const AceRunOptions &options)
 {
+    const GpuConfig &config = options.config;
+    const bool measure_l2 = options.measureL2;
+
     AceRun out;
     out.workload = workload_name;
     out.config = config;
@@ -20,19 +23,22 @@ runAceAnalysis(const std::string &workload_name, unsigned scale,
     CacheGeometry l1_geom{config.l1.sets, config.l1.ways,
                           config.l1.lineBytes};
     CacheAvfProbe l1_probe(l1_geom, gpu.refIndex());
-    gpu.l1(0).setListener(&l1_probe);
+    CacheListenerTee l1_tee(&l1_probe, options.l1Tap);
+    gpu.l1(0).setListener(&l1_tee);
 
     CacheGeometry l2_geom{config.l2.sets, config.l2.ways,
                           config.l2.lineBytes};
     CacheAvfProbe l2_probe(l2_geom, gpu.refIndex());
     l2_probe.setResolveReadsViaRefIndex(true);
-    if (measure_l2)
-        gpu.l2().setListener(&l2_probe);
+    CacheListenerTee l2_tee(measure_l2 ? &l2_probe : nullptr,
+                            options.l2Tap);
+    if (measure_l2 || options.l2Tap)
+        gpu.l2().setListener(&l2_tee);
 
     RegFileAvfProbe vgpr_probe(config.regs);
     gpu.regFile(0).setListener(&vgpr_probe);
 
-    auto workload = makeWorkload(workload_name, scale);
+    auto workload = makeWorkload(workload_name, options.scale);
     workload->run(gpu);
     gpu.finish();
 
@@ -52,6 +58,17 @@ runAceAnalysis(const std::string &workload_name, unsigned scale,
     if (measure_l2)
         out.l2 = l2_probe.finalize(out.horizon, resolver);
     return out;
+}
+
+AceRun
+runAceAnalysis(const std::string &workload_name, unsigned scale,
+               GpuConfig config, bool measure_l2)
+{
+    AceRunOptions options;
+    options.scale = scale;
+    options.config = config;
+    options.measureL2 = measure_l2;
+    return runAceAnalysis(workload_name, options);
 }
 
 } // namespace mbavf

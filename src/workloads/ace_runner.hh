@@ -41,16 +41,34 @@ struct AceRun
     AceRun() : l1(8, 64), vgpr(32, 1), l2(8, 64) {}
 };
 
+/** Optional knobs for runAceAnalysis. */
+struct AceRunOptions
+{
+    /** Problem-size multiplier (0/1 = default). */
+    unsigned scale = 1;
+    GpuConfig config = {};
+    /**
+     * Also probe the shared L2 (fill consumption resolved through
+     * the reference index).
+     */
+    bool measureL2 = false;
+    /**
+     * Extra listeners tee'd with the ACE probes on CU0's L1 / the
+     * shared L2; mbavf_lint hangs its event recorders here. May be
+     * null. The L2 tap observes events even when measureL2 is off.
+     */
+    CacheListener *l1Tap = nullptr;
+    CacheListener *l2Tap = nullptr;
+};
+
 /**
  * Run @p workload_name with ACE instrumentation on CU0's L1 and
  * VGPR (and optionally the shared L2).
- *
- * @param workload_name registry name
- * @param scale         problem-size multiplier (0/1 = default)
- * @param config        device configuration
- * @param measure_l2    also probe the shared L2 (fill consumption
- *                      resolved through the reference index)
  */
+AceRun runAceAnalysis(const std::string &workload_name,
+                      const AceRunOptions &options);
+
+/** Convenience overload matching the historical signature. */
 AceRun runAceAnalysis(const std::string &workload_name,
                       unsigned scale = 1, GpuConfig config = {},
                       bool measure_l2 = false);

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests of the geometry lint passes: physical-array domain contract,
+ * fault-mode placement arithmetic, protection-scheme sanity, and the
+ * exhaustive combo sweep against the real layout factories.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/geometry_lint.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+/**
+ * Synthetic array: rows x cols grid where each domain owns
+ * `interleave` cells of one row at stride `interleave`, i.e. the
+ * canonical correctly-interleaved layout.
+ */
+class GridArray : public PhysicalArray
+{
+  public:
+    GridArray(std::uint64_t rows, std::uint64_t cols,
+              unsigned interleave)
+        : rows_(rows), cols_(cols), ileave_(interleave)
+    {}
+
+    std::uint64_t rows() const override { return rows_; }
+    std::uint64_t cols() const override { return cols_; }
+
+    PhysBit
+    at(std::uint64_t row, std::uint64_t col) const override
+    {
+        PhysBit bit;
+        bit.container = row;
+        bit.bitInContainer = static_cast<std::uint32_t>(col);
+        bit.domain = row * ileave_ + col % ileave_;
+        return bit;
+    }
+
+  private:
+    std::uint64_t rows_, cols_;
+    unsigned ileave_;
+};
+
+/** Wrapper overriding a single cell's resolution. */
+class PatchedArray : public PhysicalArray
+{
+  public:
+    PatchedArray(const PhysicalArray &inner, std::uint64_t row,
+                 std::uint64_t col, PhysBit bit)
+        : inner_(inner), row_(row), col_(col), bit_(bit)
+    {}
+
+    std::uint64_t rows() const override { return inner_.rows(); }
+    std::uint64_t cols() const override { return inner_.cols(); }
+
+    PhysBit
+    at(std::uint64_t row, std::uint64_t col) const override
+    {
+        if (row == row_ && col == col_)
+            return bit_;
+        return inner_.at(row, col);
+    }
+
+  private:
+    const PhysicalArray &inner_;
+    std::uint64_t row_, col_;
+    PhysBit bit_;
+};
+
+TEST(GeometryLint, CleanInterleavedArray)
+{
+    GridArray array(4, 16, 4);
+    GeometryLintOptions opts;
+    opts.interleave = 4;
+    opts.containerBits = 16;
+    CheckReport report;
+    lintPhysicalArray(array, opts, "grid", report);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(GeometryLint, FlagsEmptyArray)
+{
+    GridArray array(0, 16, 1);
+    CheckReport report;
+    lintPhysicalArray(array, {}, "grid", report);
+    EXPECT_TRUE(report.has("geometry.empty-array"));
+}
+
+TEST(GeometryLint, FlagsInterleaveNotDividingRowWidth)
+{
+    GridArray array(2, 10, 4);
+    GeometryLintOptions opts;
+    opts.interleave = 4;
+    CheckReport report;
+    lintPhysicalArray(array, opts, "grid", report);
+    EXPECT_TRUE(report.has("geometry.interleave-row-width"));
+}
+
+TEST(GeometryLint, FlagsDomainStraddle)
+{
+    GridArray grid(2, 16, 4);
+    // Remap one cell into its neighbor's domain: that domain now owns
+    // two adjacent columns, defeating the interleave.
+    PhysBit bad = grid.at(0, 0);
+    bad.bitInContainer = 1;
+    PatchedArray array(grid, 0, 1, bad);
+    GeometryLintOptions opts;
+    opts.interleave = 4;
+    CheckReport report;
+    lintPhysicalArray(array, opts, "grid", report);
+    EXPECT_TRUE(report.has("geometry.domain-straddle"));
+}
+
+TEST(GeometryLint, FlagsInvalidDomain)
+{
+    GridArray grid(2, 8, 2);
+    PhysBit bad = grid.at(1, 3);
+    bad.domain = invalidDomain;
+    PatchedArray array(grid, 1, 3, bad);
+    GeometryLintOptions opts;
+    opts.interleave = 2;
+    CheckReport report;
+    lintPhysicalArray(array, opts, "grid", report);
+    EXPECT_TRUE(report.has("geometry.invalid-domain"));
+    // ... and the missing cell unbalances its domain.
+    EXPECT_TRUE(report.has("geometry.domain-size-mismatch"));
+}
+
+TEST(GeometryLint, FlagsBitOutsideContainer)
+{
+    GridArray grid(2, 8, 1);
+    PhysBit bad = grid.at(0, 0);
+    bad.bitInContainer = 99;
+    PatchedArray array(grid, 0, 0, bad);
+    GeometryLintOptions opts;
+    opts.containerBits = 8;
+    CheckReport report;
+    lintPhysicalArray(array, opts, "grid", report);
+    EXPECT_TRUE(report.has("geometry.bit-out-of-container"));
+}
+
+TEST(GeometryLint, FlagsDomainSplitAcrossRows)
+{
+    GridArray grid(2, 8, 2);
+    PhysBit bad = grid.at(1, 0);
+    bad.domain = grid.at(0, 0).domain;
+    PatchedArray array(grid, 1, 0, bad);
+    GeometryLintOptions opts;
+    opts.interleave = 2;
+    CheckReport report;
+    lintPhysicalArray(array, opts, "grid", report);
+    EXPECT_TRUE(report.has("geometry.domain-split-rows"));
+}
+
+TEST(GeometryLint, RealLayoutFactoriesAreClean)
+{
+    CacheGeometry geom{16, 4, 64};
+    for (CacheInterleave style :
+         {CacheInterleave::Logical, CacheInterleave::WayPhysical,
+          CacheInterleave::IndexPhysical}) {
+        for (unsigned ileave : {1u, 2u, 4u}) {
+            auto array = makeCacheArray(geom, style, ileave);
+            GeometryLintOptions opts;
+            opts.interleave = ileave;
+            opts.containerBits = geom.lineBits();
+            CheckReport report;
+            lintPhysicalArray(*array, opts,
+                              cacheInterleaveName(style), report);
+            EXPECT_TRUE(report.clean())
+                << cacheInterleaveName(style) << " x" << ileave;
+        }
+    }
+}
+
+TEST(GeometryLint, ModePlacementArithmeticIsConsistent)
+{
+    GridArray array(8, 32, 1);
+    CheckReport report;
+    for (unsigned m = 1; m <= 8; ++m)
+        lintFaultModePlacement(FaultMode::mx1(m), array, "grid",
+                               report);
+    lintFaultModePlacement(FaultMode::rect(2, 2), array, "grid",
+                           report);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(GeometryLint, WarnsWhenModeIsLargerThanArray)
+{
+    GridArray array(1, 4, 1);
+    CheckReport report;
+    lintFaultModePlacement(FaultMode::mx1(8), array, "grid", report);
+    EXPECT_TRUE(report.has("geometry.mode-no-groups"));
+    EXPECT_EQ(report.errorCount(), 0u);
+}
+
+TEST(GeometryLint, FlagsEmptyProtectionDomain)
+{
+    auto scheme = makeScheme("secded");
+    CheckReport report;
+    lintProtectionScheme(*scheme, 0, "combo", report);
+    EXPECT_TRUE(report.has("geometry.scheme-domain"));
+}
+
+TEST(GeometryLint, RealSchemesAreClean)
+{
+    CheckReport report;
+    for (const char *name : {"none", "parity", "secded", "dected",
+                             "crc"}) {
+        auto scheme = makeScheme(name);
+        lintProtectionScheme(*scheme, 512, name, report);
+    }
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(GeometryLint, ComboSweepOverRealModelIsClean)
+{
+    ComboLintConfig config;
+    config.cacheGeom = {16, 4, 64};
+    config.regGeom = {32, 64, 4, 32};
+    CheckReport report;
+    lintGeometryCombos(config, report);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(GeometryLint, ComboSweepReportsNonDividingInterleave)
+{
+    ComboLintConfig config;
+    config.cacheGeom = {16, 4, 64};
+    config.regGeom = {32, 64, 4, 32};
+    config.interleaves = {3}; // divides neither ways, sets, nor bits
+    CheckReport report;
+    lintGeometryCombos(config, report);
+    EXPECT_TRUE(report.has("geometry.interleave-divide"));
+}
+
+} // namespace
+} // namespace mbavf

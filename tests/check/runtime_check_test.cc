@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests of the MBAVF_CHECK runtime hook and the hardened
+ * WordLifetime::append preconditions.
+ *
+ * append() regressions run in every build type: accepting a
+ * backwards or overlapping segment in a release build is exactly the
+ * silent-corruption bug the lint subsystem exists to catch. The
+ * MBAVF_CHECK death tests only run when the build defines
+ * MBAVF_RUNTIME_CHECKS (-DMBAVF_CHECKS=ON).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/check.hh"
+#include "core/lifetime.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+TEST(WordLifetimeAppend, RejectsBackwardsSegmentInEveryBuild)
+{
+    WordLifetime word;
+    EXPECT_DEATH(word.append({20, 10, 0, 0}), "backwards");
+}
+
+TEST(WordLifetimeAppend, RejectsOverlappingSegmentInEveryBuild)
+{
+    WordLifetime word;
+    // Release builds panic "out of order"; checks-on builds trip the
+    // MBAVF_CHECK first, which reports the overlapping interval.
+    word.append({0, 10, 0x1, 0x1});
+    EXPECT_DEATH(word.append({5, 15, 0x1, 0x1}),
+                 "out of order|overlaps current end");
+}
+
+TEST(WordLifetimeAppend, DropsEmptySegment)
+{
+    WordLifetime word;
+    word.append({10, 10, 0x1, 0x1});
+    EXPECT_TRUE(word.empty());
+}
+
+TEST(WordLifetimeAppend, AcceptsTouchingSegments)
+{
+    WordLifetime word;
+    word.append({0, 10, 0x1, 0x1});
+    word.append({10, 20, 0x2, 0x2});
+    ASSERT_EQ(word.segments().size(), 2u);
+}
+
+TEST(WordLifetimeAppend, UncheckedBypassesValidation)
+{
+    // The lint/deserialization escape hatch must materialize
+    // malformed data verbatim so the lint passes can inspect it.
+    WordLifetime word;
+    word.appendUnchecked({20, 10, 0, 0});
+    word.appendUnchecked({5, 15, 0, 0});
+    EXPECT_EQ(word.segments().size(), 2u);
+}
+
+TEST(RuntimeCheck, PassingCheckIsSilent)
+{
+    MBAVF_CHECK(1 + 1 == 2, "arithmetic still works");
+    SUCCEED();
+}
+
+TEST(RuntimeCheck, ConditionNotEvaluatedWhenDisabled)
+{
+    int evaluations = 0;
+    auto probe = [&]() {
+        ++evaluations;
+        return true;
+    };
+    MBAVF_CHECK(probe(), "side effect probe");
+    if (runtimeChecksEnabled())
+        EXPECT_EQ(evaluations, 1);
+    else
+        EXPECT_EQ(evaluations, 0);
+}
+
+#ifdef MBAVF_RUNTIME_CHECKS
+TEST(RuntimeCheck, FailingCheckAbortsWithLocation)
+{
+    EXPECT_DEATH(MBAVF_CHECK(false, "must not hold"),
+                 "runtime_check_test.*false.*must not hold");
+}
+
+TEST(RuntimeCheck, FailingCheckWithoutMessageAborts)
+{
+    EXPECT_DEATH(MBAVF_CHECK(2 < 1), "2 < 1");
+}
+#endif
+
+} // namespace
+} // namespace mbavf

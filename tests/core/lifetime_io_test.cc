@@ -122,5 +122,103 @@ TEST(LifetimeIo, FileRoundTrip)
     EXPECT_TRUE(storesEqual(store, loaded));
 }
 
+TEST(LifetimeIo, TryLoadRoundTrip)
+{
+    LifetimeStore store = randomStore(7);
+    std::stringstream buf;
+    saveLifetimeStore(store, buf);
+    std::string error;
+    std::optional<LifetimeStore> loaded =
+        tryLoadLifetimeStore(buf, error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_TRUE(storesEqual(store, *loaded));
+}
+
+TEST(LifetimeIo, TryLoadRejectsBadMagic)
+{
+    std::stringstream buf;
+    buf << "NOTMAGIC-and-some-junk";
+    std::string error;
+    EXPECT_FALSE(tryLoadLifetimeStore(buf, error).has_value());
+    EXPECT_NE(error.find("bad magic"), std::string::npos);
+}
+
+TEST(LifetimeIo, TryLoadRejectsEveryTruncationPoint)
+{
+    // tryLoadLifetimeStore must reject a cut at ANY byte offset with
+    // a message, never crash or hand back a half-read store.
+    LifetimeStore store = randomStore(11);
+    std::stringstream buf;
+    saveLifetimeStore(store, buf);
+    const std::string bytes = buf.str();
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        std::stringstream is(bytes.substr(0, cut));
+        std::string error;
+        EXPECT_FALSE(tryLoadLifetimeStore(is, error).has_value())
+            << "cut at " << cut;
+        EXPECT_FALSE(error.empty()) << "cut at " << cut;
+    }
+}
+
+TEST(LifetimeIo, TryLoadRejectsImplausibleHeader)
+{
+    // word_width outside [1, 64].
+    {
+        std::stringstream buf;
+        LifetimeStore store(8, 4);
+        saveLifetimeStore(store, buf);
+        std::string bytes = buf.str();
+        bytes[8] = 65; // word_width little-endian low byte
+        std::stringstream is(bytes);
+        std::string error;
+        EXPECT_FALSE(tryLoadLifetimeStore(is, error).has_value());
+        EXPECT_NE(error.find("word width"), std::string::npos);
+    }
+    // words-per-container demanding a huge allocation.
+    {
+        std::stringstream buf;
+        LifetimeStore store(8, 4);
+        saveLifetimeStore(store, buf);
+        std::string bytes = buf.str();
+        bytes[15] = '\x7f'; // words_per high byte -> ~2 billion
+        std::stringstream is(bytes);
+        std::string error;
+        EXPECT_FALSE(tryLoadLifetimeStore(is, error).has_value());
+        EXPECT_NE(error.find("words-per-container"),
+                  std::string::npos);
+    }
+}
+
+TEST(LifetimeIo, TryLoadKeepsMalformedSegmentsVerbatim)
+{
+    // Corrupt one segment into a backwards interval: the tolerant
+    // loader must hand it to the caller for linting, while the
+    // trusting loader must reject the same bytes.
+    LifetimeStore store(8, 1);
+    store.container(3).words[0].append({10, 20, 0x1, 0x1});
+    std::stringstream buf;
+    saveLifetimeStore(store, buf);
+    std::string bytes = buf.str();
+    // Layout: 8 magic + 4 + 4 + 8 header + 8 id + 4 segcount, then
+    // begin (u64) at offset 36; swap begin/end by patching begin=30.
+    bytes[36] = 30;
+    {
+        std::stringstream is(bytes);
+        std::string error;
+        std::optional<LifetimeStore> loaded =
+            tryLoadLifetimeStore(is, error);
+        ASSERT_TRUE(loaded.has_value()) << error;
+        const WordLifetime *word = loaded->find(3, 0);
+        ASSERT_NE(word, nullptr);
+        ASSERT_EQ(word->segments().size(), 1u);
+        EXPECT_EQ(word->segments()[0].begin, 30u);
+        EXPECT_EQ(word->segments()[0].end, 20u);
+    }
+    {
+        std::stringstream is(bytes);
+        EXPECT_DEATH((void)loadLifetimeStore(is), "corrupt segments");
+    }
+}
+
 } // namespace
 } // namespace mbavf
