@@ -47,6 +47,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    args.requireKnown({"workload", "fit-per-mbit"});
     const std::string workload = args.getString("workload", "minife");
     const double fit_per_mbit =
         args.getDouble("fit-per-mbit", 1000.0);

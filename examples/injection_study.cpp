@@ -28,6 +28,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    args.requireKnown({"workload", "n", "seed"});
     const std::string workload =
         args.getString("workload", "dct");
     const unsigned n = static_cast<unsigned>(args.getInt("n", 1500));

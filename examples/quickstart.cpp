@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    args.requireKnown({"workload", "scale"});
     const std::string workload = args.getString("workload", "minife");
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));

@@ -1,29 +1,84 @@
 #include "common/args.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string_view>
+#include <vector>
 
 #include "common/logging.hh"
 
 namespace mbavf
 {
 
+namespace
+{
+
+/** Classic two-row Levenshtein edit distance. */
+std::size_t
+editDistance(std::string_view a, std::string_view b)
+{
+    std::vector<std::size_t> prev(b.size() + 1);
+    std::vector<std::size_t> cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+} // namespace
+
 Args::Args(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
         std::string_view arg(argv[i]);
         if (arg.substr(0, 2) != "--") {
-            warn("ignoring positional argument '", std::string(arg), "'");
-            continue;
+            fatal("positional argument '", std::string(arg),
+                  "' (options are --key=value; did you mean --",
+                  std::string(arg), "=... ?)");
         }
         arg.remove_prefix(2);
-        auto eq = arg.find('=');
-        if (eq == std::string_view::npos) {
-            values_[std::string(arg)] = "1";
-        } else {
-            values_[std::string(arg.substr(0, eq))] =
-                std::string(arg.substr(eq + 1));
+        const auto eq = arg.find('=');
+        const bool has_value = eq != std::string_view::npos;
+        std::string key(has_value ? arg.substr(0, eq) : arg);
+        std::string value(has_value ? arg.substr(eq + 1)
+                                    : std::string_view("1"));
+        if (key.empty())
+            fatal("malformed option '", std::string(argv[i]), "'");
+        if (!values_.emplace(key, std::move(value)).second)
+            fatal("option --", key, " given more than once");
+    }
+}
+
+void
+Args::requireKnown(std::initializer_list<const char *> known) const
+{
+    for (const auto &[key, value] : values_) {
+        bool found = false;
+        for (const char *candidate : known)
+            found = found || key == candidate;
+        if (found)
+            continue;
+        const char *best = nullptr;
+        std::size_t best_dist = 3; // suggest only within distance 2
+        for (const char *candidate : known) {
+            const std::size_t d = editDistance(key, candidate);
+            if (d < best_dist) {
+                best_dist = d;
+                best = candidate;
+            }
         }
+        if (best)
+            fatal("unknown option --", key, " (did you mean --", best,
+                  "?)");
+        fatal("unknown option --", key, " (see --help)");
     }
 }
 

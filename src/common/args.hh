@@ -1,12 +1,13 @@
 /**
  * @file
- * Minimal --key=value command-line parser for benches and examples.
+ * Minimal --key=value command-line parser for tools and examples.
  */
 
 #ifndef MBAVF_COMMON_ARGS_HH
 #define MBAVF_COMMON_ARGS_HH
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
 
@@ -15,12 +16,25 @@ namespace mbavf
 
 /**
  * Parses arguments of the form --key=value or bare --flag.
- * Unknown keys are retained; callers query with typed accessors.
+ *
+ * Malformed invocations are hard errors, not warnings: a positional
+ * argument or a repeated option exits immediately (a typo like
+ * "--trials 5000" or a duplicated --seed would otherwise silently
+ * run a different experiment than the one the user asked for).
+ * Callers that know their full option set call requireKnown() to
+ * reject unknown options with a nearest-match suggestion.
  */
 class Args
 {
   public:
     Args(int argc, char **argv);
+
+    /**
+     * Exit with an error (and a "did you mean" hint when an option
+     * in @p known is within edit distance 2) for any parsed option
+     * not listed in @p known.
+     */
+    void requireKnown(std::initializer_list<const char *> known) const;
 
     bool has(const std::string &key) const;
 

@@ -13,6 +13,40 @@
 namespace mbavf
 {
 
+/** A binomial proportion with its confidence bounds. */
+struct WilsonInterval
+{
+    double point = 0.0;
+    double low = 0.0;
+    double high = 0.0;
+};
+
+/**
+ * Wilson score interval for @p k successes in @p n Bernoulli trials
+ * at critical value @p z (1.96 ~ 95%). Unlike the normal
+ * approximation it stays inside [0, 1] and behaves at k = 0 / k = n,
+ * which is exactly the regime of rare campaign outcomes (a handful
+ * of Hangs in 100k trials). n = 0 yields the vacuous [0, 1].
+ */
+inline WilsonInterval
+wilsonInterval(std::uint64_t k, std::uint64_t n, double z = 1.96)
+{
+    if (n == 0)
+        return {0.0, 0.0, 1.0};
+    const double nn = static_cast<double>(n);
+    const double p = static_cast<double>(k) / nn;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / nn;
+    const double center = (p + z2 / (2.0 * nn)) / denom;
+    const double half = (z / denom) *
+        std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+    WilsonInterval w;
+    w.point = p;
+    w.low = std::max(0.0, center - half);
+    w.high = std::min(1.0, center + half);
+    return w;
+}
+
 /** Streaming arithmetic summary of a sample set. */
 class RunningStats
 {

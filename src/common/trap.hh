@@ -1,0 +1,127 @@
+/**
+ * @file
+ * SimTrap: the recoverable error channel for fault-reachable
+ * validity checks.
+ *
+ * panic() (common/logging.hh) aborts the process and is reserved for
+ * genuine host invariants — conditions no simulated program, however
+ * corrupted, can cause. Checks that injected faults *can* reach (an
+ * out-of-range or unaligned memory access from a flipped address
+ * register, a divergence-stack underflow from corrupted control
+ * flow, a watchdog budget blown by a runaway loop) raise a SimTrap
+ * instead. The injection campaign catches SimTrap at the trial
+ * boundary and classifies the trial Crash (or Hang for watchdog
+ * codes), so one corrupted trial never takes down its batch.
+ *
+ * Every trap carries a stable dotted code (the same style as the
+ * src/check report codes), so tests and the journal lint can assert
+ * on the exact event class without string-matching prose.
+ */
+
+#ifndef MBAVF_COMMON_TRAP_HH
+#define MBAVF_COMMON_TRAP_HH
+
+#include <exception>
+#include <string>
+#include <string_view>
+
+#include "common/logging.hh"
+
+namespace mbavf
+{
+
+/** Stable trap codes. Extend here and in knownTrapCodes(). */
+namespace trapcode
+{
+
+inline constexpr const char *memOob = "trap.mem.oob";
+inline constexpr const char *memAlign = "trap.mem.align";
+inline constexpr const char *gpuBadReg = "trap.gpu.badreg";
+inline constexpr const char *gpuDivStack = "trap.gpu.divstack";
+inline constexpr const char *cacheSize = "trap.cache.size";
+inline constexpr const char *cacheStraddle = "trap.cache.straddle";
+inline constexpr const char *watchdogInstrs = "trap.watchdog.instrs";
+inline constexpr const char *watchdogCycles = "trap.watchdog.cycles";
+/** A std::exception other than SimTrap escaped a trial. */
+inline constexpr const char *hostException = "trap.host.exception";
+/** A non-std::exception object escaped a trial. */
+inline constexpr const char *hostUnknown = "trap.host.unknown";
+
+} // namespace trapcode
+
+/** All codes a SimTrap (or trial containment) can carry. */
+inline const char *const *
+knownTrapCodes(std::size_t &count)
+{
+    static const char *const codes[] = {
+        trapcode::memOob,         trapcode::memAlign,
+        trapcode::gpuBadReg,      trapcode::gpuDivStack,
+        trapcode::cacheSize,      trapcode::cacheStraddle,
+        trapcode::watchdogInstrs, trapcode::watchdogCycles,
+        trapcode::hostException,  trapcode::hostUnknown,
+    };
+    count = sizeof(codes) / sizeof(codes[0]);
+    return codes;
+}
+
+/** True when @p code is one of the stable trap codes. */
+inline bool
+isKnownTrapCode(std::string_view code)
+{
+    std::size_t n = 0;
+    const char *const *codes = knownTrapCodes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (code == codes[i])
+            return true;
+    }
+    return false;
+}
+
+/** True for the codes the campaign classifies Hang rather than Crash. */
+inline bool
+isWatchdogTrapCode(std::string_view code)
+{
+    return code == trapcode::watchdogInstrs ||
+           code == trapcode::watchdogCycles;
+}
+
+/**
+ * Recoverable simulation trap. Thrown by fault-reachable validity
+ * checks; caught at the injection-trial boundary. Uncaught (outside
+ * a campaign) it terminates like any exception, which preserves the
+ * old fail-loudly behavior for non-injection callers.
+ */
+class SimTrap : public std::exception
+{
+  public:
+    SimTrap(std::string code, std::string message)
+        : code_(std::move(code)), message_(std::move(message))
+    {
+        what_ = code_ + ": " + message_;
+    }
+
+    /** Stable dotted identifier, e.g. "trap.mem.oob". */
+    const std::string &code() const { return code_; }
+
+    /** Human-readable detail (addresses, indices, budgets). */
+    const std::string &message() const { return message_; }
+
+    const char *what() const noexcept override { return what_.c_str(); }
+
+  private:
+    std::string code_;
+    std::string message_;
+    std::string what_;
+};
+
+/** Raise a SimTrap with @p code and a stream-composed message. */
+template <typename... Args>
+[[noreturn]] void
+simTrap(const char *code, Args &&...args)
+{
+    throw SimTrap(code, detail::composeMessage(args...));
+}
+
+} // namespace mbavf
+
+#endif // MBAVF_COMMON_TRAP_HH

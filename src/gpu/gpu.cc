@@ -4,6 +4,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "common/trap.hh"
 #include "gpu/wave.hh"
 
 namespace mbavf
@@ -132,7 +133,7 @@ Gpu::armMemInjections(std::vector<MemInjection> injections)
 }
 
 void
-Gpu::preInstruction()
+Gpu::preInstruction(Cycle wave_now)
 {
     for (RegInjection &inj : injections_) {
         if (!inj.fired && instrCount_ == inj.triggerInstr) {
@@ -149,6 +150,17 @@ Gpu::preInstruction()
         }
     }
     ++instrCount_;
+    // Two predictable compares on the hot path; the disabled (0)
+    // case short-circuits. bench/micro_trap_overhead pins the cost.
+    if (watchdogInstrs_ != 0 && instrCount_ > watchdogInstrs_)
+        simTrap(trapcode::watchdogInstrs, "instruction budget ",
+                watchdogInstrs_, " exhausted");
+    // The shared clock only advances when a wave retires, so a
+    // runaway inside one wave is visible only through the wave-local
+    // time the caller passes in.
+    if (watchdogCycles_ != 0 && wave_now > watchdogCycles_)
+        simTrap(trapcode::watchdogCycles, "cycle budget ",
+                watchdogCycles_, " exhausted at ", wave_now);
 }
 
 } // namespace mbavf

@@ -140,6 +140,22 @@ class Gpu
     /** Arm one or more memory bit flips. */
     void armMemInjections(std::vector<MemInjection> injections);
 
+    /**
+     * Arm the execution watchdog: raise trap.watchdog.instrs once
+     * more than @p max_instrs dynamic instructions execute, and
+     * trap.watchdog.cycles once the shared clock passes
+     * @p max_cycles. Either budget may be 0 (disabled). Injection
+     * campaigns derive the budgets from the golden run so corrupted
+     * control flow that spins forever classifies Hang instead of
+     * wedging a pool thread.
+     */
+    void
+    setWatchdog(std::uint64_t max_instrs, Cycle max_cycles)
+    {
+        watchdogInstrs_ = max_instrs;
+        watchdogCycles_ = max_cycles;
+    }
+
     /** Host-side convenience buffer allocation. */
     Addr alloc(std::uint64_t bytes) { return mem_->alloc(bytes); }
 
@@ -149,8 +165,9 @@ class Gpu
   private:
     friend class Wave;
 
-    /** Called by Wave before each instruction. */
-    void preInstruction();
+    /** Called by Wave before each instruction. @p wave_now is the
+     *  wave-local time, which runs ahead of the shared clock. */
+    void preInstruction(Cycle wave_now);
 
     struct OutputRange
     {
@@ -169,6 +186,8 @@ class Gpu
     DataflowLog dataflow_;
     bool tracking_ = true;
     std::uint64_t instrCount_ = 0;
+    std::uint64_t watchdogInstrs_ = 0;
+    Cycle watchdogCycles_ = 0;
     std::vector<RegInjection> injections_;
     std::vector<MemInjection> memInjections_;
     std::vector<OutputRange> outputRanges_;

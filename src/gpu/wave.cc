@@ -5,6 +5,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "common/trap.hh"
 #include "gpu/gpu.hh"
 
 namespace mbavf
@@ -72,20 +73,32 @@ Wave::laneTime(unsigned lane) const
 void
 Wave::beginInstr()
 {
-    gpu_.preInstruction();
+    gpu_.preInstruction(time_);
 }
 
 Addr
-Wave::wrapAddr(std::uint64_t ea) const
+Wave::dataAddr(std::uint64_t ea) const
 {
-    return (ea & (gpu_.config().memBytes - 1)) & ~std::uint64_t(3);
+    // Golden-run addresses are in range and 4-aligned by
+    // construction (word-indexed buffers off 64-aligned
+    // allocations), so these checks only ever fire when injected
+    // faults corrupt an address register. They trap — the memory
+    // protection of a real device — instead of silently wrapping,
+    // so the campaign can classify the trial Crash.
+    if ((ea & 3) != 0)
+        simTrap(trapcode::memAlign, "unaligned 32-bit access at ", ea);
+    if (ea + 4 > gpu_.config().memBytes)
+        simTrap(trapcode::memOob, "wave access out of range: ", ea,
+                " of ", gpu_.config().memBytes);
+    return ea;
 }
 
 void
 Wave::checkReg(unsigned reg) const
 {
     if (reg >= gpu_.config().regs.numRegs)
-        panic("register ", reg, " out of range");
+        simTrap(trapcode::gpuBadReg, "register ", reg,
+                " out of range (", gpu_.config().regs.numRegs, ")");
 }
 
 Value
@@ -498,7 +511,7 @@ Wave::load(unsigned dst, unsigned addr, std::uint32_t offset)
         if (!laneActive(lane))
             continue;
         const Value va = rf.get(slot_, addr, lane);
-        const Addr ea = wrapAddr(va.bits + offset);
+        const Addr ea = dataAddr(va.bits + offset);
 
         Value out;
         out.bits = mem.read32(ea);
@@ -565,7 +578,7 @@ Wave::store(unsigned addr, unsigned src, std::uint32_t offset)
             continue;
         const Value va = rf.get(slot_, addr, lane);
         const Value vs = rf.get(slot_, src, lane);
-        const Addr ea = wrapAddr(va.bits + offset);
+        const Addr ea = dataAddr(va.bits + offset);
 
         DefId store_def = noDef;
         if (tracking) {
@@ -607,7 +620,7 @@ Wave::storeOut(unsigned addr, unsigned src, std::uint32_t offset)
             continue;
         const Value va = rf.get(slot_, addr, lane);
         const Value vs = rf.get(slot_, src, lane);
-        const Addr ea = wrapAddr(va.bits + offset);
+        const Addr ea = dataAddr(va.bits + offset);
 
         DefId store_def = noDef;
         if (tracking) {
@@ -685,7 +698,8 @@ void
 Wave::popExec()
 {
     if (execStack_.size() <= 1)
-        panic("popExec with empty divergence stack");
+        simTrap(trapcode::gpuDivStack,
+                "popExec with empty divergence stack");
     execStack_.pop_back();
 }
 

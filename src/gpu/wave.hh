@@ -161,7 +161,7 @@ class Wave
      * fault-injection runs with corrupted address registers
      * deterministic instead of out-of-bounds.
      */
-    Addr wrapAddr(std::uint64_t ea) const;
+    Addr dataAddr(std::uint64_t ea) const;
 
     /** Read a register in a lane, recording the read event. */
     Value readReg(unsigned lane, unsigned reg, std::uint32_t consume,

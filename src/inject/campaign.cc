@@ -6,19 +6,101 @@
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/trap.hh"
 
 namespace mbavf
 {
+
+const char *
+injectOutcomeName(InjectOutcome outcome)
+{
+    switch (outcome) {
+      case InjectOutcome::Masked: return "masked";
+      case InjectOutcome::Sdc: return "sdc";
+      case InjectOutcome::Due: return "due";
+      case InjectOutcome::Crash: return "crash";
+      case InjectOutcome::Hang: return "hang";
+    }
+    return "?";
+}
+
+bool
+parseInjectOutcome(const std::string &name, InjectOutcome &outcome)
+{
+    for (std::size_t i = 0; i < numInjectOutcomes; ++i) {
+        InjectOutcome o = static_cast<InjectOutcome>(i);
+        if (name == injectOutcomeName(o)) {
+            outcome = o;
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
+trialKindName(TrialKind kind)
+{
+    return kind == TrialKind::Register ? "register" : "memory";
+}
+
+bool
+parseTrialKind(const std::string &name, TrialKind &kind)
+{
+    if (name == "register") {
+        kind = TrialKind::Register;
+        return true;
+    }
+    if (name == "memory") {
+        kind = TrialKind::Memory;
+        return true;
+    }
+    return false;
+}
+
+void
+CampaignTally::add(const TrialResult &result)
+{
+    ++counts[static_cast<std::size_t>(result.outcome)];
+    if (!result.code.empty())
+        ++codeCounts[result.code];
+}
+
+std::uint64_t
+CampaignTally::total() const
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t c : counts)
+        n += c;
+    return n;
+}
+
+namespace
+{
+
+/** Default watchdog headroom over the golden run. */
+constexpr double defaultWatchdogMultiplier = 8.0;
+
+std::uint64_t
+scaleBudget(std::uint64_t golden, double multiple)
+{
+    if (multiple <= 0.0)
+        return 0;
+    double budget = static_cast<double>(golden) * multiple;
+    return budget < 1.0 ? 1 : static_cast<std::uint64_t>(budget);
+}
+
+} // namespace
 
 Campaign::Campaign(std::string workload, unsigned scale,
                    GpuConfig config)
     : workload_(std::move(workload)), scale_(scale), config_(config)
 {
-    ExecResult golden = execute({}, {});
+    ExecResult golden = execute({}, {}, false);
     if (golden.instrs == 0)
         fatal("golden run of '", workload_, "' executed nothing");
     goldenOutput_ = std::move(golden.output);
     goldenInstrs_ = golden.instrs;
+    goldenCycles_ = golden.cycles;
     // Remember how many CUs actually received waves and the memory
     // footprint so the samplers target state that can matter. A
     // launch shorter than the device leaves tail CUs with untouched
@@ -26,11 +108,37 @@ Campaign::Campaign(std::string workload, unsigned scale,
     // measured SDC probability.
     cusUsed_ = std::max(1u, golden.cusUsed);
     footprint_ = golden.footprint;
+    setWatchdogMultiplier(defaultWatchdogMultiplier);
+}
+
+void
+Campaign::setWatchdogMultiplier(double multiple)
+{
+    watchdogInstrs_ = scaleBudget(goldenInstrs_, multiple);
+    watchdogCycles_ = scaleBudget(goldenCycles_, multiple);
+}
+
+void
+Campaign::setProtection(const std::string &scheme_name,
+                        unsigned domain_bits)
+{
+    if (scheme_name == "none") {
+        scheme_.reset();
+        schemeCode_.clear();
+        protectionDomainBits_ = 0;
+        return;
+    }
+    if (domain_bits == 0)
+        fatal("protection domain must be at least one bit wide");
+    scheme_ = makeScheme(scheme_name);
+    schemeCode_ = "due." + scheme_name;
+    protectionDomainBits_ = domain_bits;
 }
 
 Campaign::ExecResult
 Campaign::execute(const std::vector<RegInjection> &flips,
-                  const std::vector<MemInjection> &mem_flips) const
+                  const std::vector<MemInjection> &mem_flips,
+                  bool watchdog) const
 {
     // An injection outside the device geometry would either hit a
     // register that no wave can ever touch (silently deflating the
@@ -53,6 +161,8 @@ Campaign::execute(const std::vector<RegInjection> &flips,
 
     Gpu gpu(config_);
     gpu.setTracking(false);
+    if (watchdog)
+        gpu.setWatchdog(watchdogInstrs_, watchdogCycles_);
     if (!flips.empty())
         gpu.armInjections(flips);
     if (!mem_flips.empty())
@@ -64,6 +174,7 @@ Campaign::execute(const std::vector<RegInjection> &flips,
 
     ExecResult result;
     result.instrs = gpu.instrCount();
+    result.cycles = gpu.clock().now();
     result.cusUsed = gpu.cusWithWaves();
     result.footprint = gpu.mem().allocatedBytes();
 
@@ -76,35 +187,141 @@ Campaign::execute(const std::vector<RegInjection> &flips,
     return result;
 }
 
+bool
+Campaign::applyProtection(TrialSpec &spec) const
+{
+    const unsigned domain = protectionDomainBits_;
+    bool detected = false;
+    auto scrub = [&](auto &flip, unsigned word_bits) {
+        std::uint64_t mask = flip.bitMask;
+        for (unsigned lo = 0; lo < word_bits && !detected;
+             lo += domain) {
+            std::uint64_t window =
+                (mask >> lo) & lowMask(std::min(domain,
+                                                word_bits - lo));
+            unsigned flipped =
+                static_cast<unsigned>(popCount(window));
+            switch (scheme_->action(flipped)) {
+              case FaultAction::Corrected:
+                // The scheme corrects the domain before any consumer
+                // observes it: scrub the flips.
+                mask &= ~(window << lo);
+                break;
+              case FaultAction::Detected:
+                detected = true;
+                break;
+              case FaultAction::Undetected:
+                break;
+            }
+        }
+        flip.bitMask = static_cast<decltype(flip.bitMask)>(mask);
+    };
+    for (RegInjection &flip : spec.regFlips)
+        scrub(flip, config_.regs.regBits);
+    for (MemInjection &flip : spec.memFlips)
+        scrub(flip, 8);
+    if (detected)
+        return true;
+    auto dead = [](const auto &flip) { return flip.bitMask == 0; };
+    std::erase_if(spec.regFlips, dead);
+    std::erase_if(spec.memFlips, dead);
+    return false;
+}
+
+TrialResult
+Campaign::runOne(const TrialSpec &spec) const
+{
+    TrialResult result;
+    TrialSpec armed = spec;
+    if (scheme_ && applyProtection(armed)) {
+        result.outcome = InjectOutcome::Due;
+        result.code = schemeCode_;
+        return result;
+    }
+    // The trial boundary: nothing a corrupted execution throws may
+    // escape into the pool or abort sibling trials.
+    try {
+        ExecResult r = execute(armed.regFlips, armed.memFlips, true);
+        result.outcome = r.output == goldenOutput_
+            ? InjectOutcome::Masked
+            : InjectOutcome::Sdc;
+    } catch (const SimTrap &t) {
+        result.outcome = isWatchdogTrapCode(t.code())
+            ? InjectOutcome::Hang
+            : InjectOutcome::Crash;
+        result.code = t.code();
+    } catch (const std::exception &) {
+        result.outcome = InjectOutcome::Crash;
+        result.code = trapcode::hostException;
+    } catch (...) {
+        result.outcome = InjectOutcome::Crash;
+        result.code = trapcode::hostUnknown;
+    }
+    return result;
+}
+
+std::vector<TrialResult>
+Campaign::runBatchDetailed(const std::vector<TrialSpec> &specs) const
+{
+    std::vector<TrialResult> results(specs.size());
+    runTasks(specs.size(),
+             [&](std::size_t i) { results[i] = runOne(specs[i]); });
+    return results;
+}
+
 std::vector<InjectOutcome>
 Campaign::runBatch(const std::vector<TrialSpec> &specs) const
 {
-    std::vector<InjectOutcome> outcomes(specs.size(),
-                                        InjectOutcome::Masked);
-    runTasks(specs.size(), [&](std::size_t i) {
-        ExecResult r = execute(specs[i].regFlips, specs[i].memFlips);
-        outcomes[i] = r.output == goldenOutput_ ? InjectOutcome::Masked
-                                                : InjectOutcome::Sdc;
-    });
+    std::vector<TrialResult> detailed = runBatchDetailed(specs);
+    std::vector<InjectOutcome> outcomes(detailed.size());
+    for (std::size_t i = 0; i < detailed.size(); ++i)
+        outcomes[i] = detailed[i].outcome;
     return outcomes;
+}
+
+TrialSpec
+Campaign::trialSpec(std::uint64_t t, std::uint64_t base_seed,
+                    TrialKind kind) const
+{
+    // One private Rng per trial index, so the spec is a pure
+    // function of (base_seed, t) — never of scheduling, batch size,
+    // or resume position.
+    Rng rng(splitMix64(base_seed, t));
+    TrialSpec spec;
+    if (kind == TrialKind::Register)
+        spec.regFlips.push_back(sampleSingleBit(rng));
+    else
+        spec.memFlips.push_back(sampleMemBit(rng));
+    return spec;
+}
+
+std::vector<TrialResult>
+Campaign::runTrialsDetailed(
+    std::size_t first, std::size_t n, std::uint64_t base_seed,
+    TrialKind kind,
+    const std::function<void(std::size_t, const TrialResult &)>
+        &on_trial) const
+{
+    std::vector<TrialResult> results(n);
+    runTasks(n, [&](std::size_t i) {
+        const std::uint64_t t = first + i;
+        results[i] = runOne(trialSpec(t, base_seed, kind));
+        if (on_trial)
+            on_trial(t, results[i]);
+    });
+    return results;
 }
 
 std::vector<InjectOutcome>
 Campaign::runTrials(std::size_t n, std::uint64_t base_seed,
                     TrialKind kind) const
 {
-    // Sites are sampled up front — one private Rng per trial index —
-    // so the specs (and therefore the outcomes) are a pure function
-    // of (base_seed, n), not of scheduling.
-    std::vector<TrialSpec> specs(n);
-    for (std::size_t t = 0; t < n; ++t) {
-        Rng rng(splitMix64(base_seed, t));
-        if (kind == TrialKind::Register)
-            specs[t].regFlips.push_back(sampleSingleBit(rng));
-        else
-            specs[t].memFlips.push_back(sampleMemBit(rng));
-    }
-    return runBatch(specs);
+    std::vector<TrialResult> detailed =
+        runTrialsDetailed(0, n, base_seed, kind);
+    std::vector<InjectOutcome> outcomes(detailed.size());
+    for (std::size_t i = 0; i < detailed.size(); ++i)
+        outcomes[i] = detailed[i].outcome;
+    return outcomes;
 }
 
 InjectOutcome

@@ -6,36 +6,112 @@
  * with all ACE tracking disabled) and snapshots its declared output
  * ranges. Each injection then re-executes the workload from scratch
  * with one or more register-file bit flips armed at a dynamic
- * instruction trigger; the outcome is SDC when the final output
- * bytes differ from the golden snapshot, masked otherwise.
+ * instruction trigger, and the trial is classified with the standard
+ * injection-study taxonomy:
+ *
+ *   Masked  final output bytes equal the golden snapshot
+ *   Sdc     output differs (silent data corruption)
+ *   Due     the flips land in a protected domain whose scheme
+ *           detects but cannot correct them (detected unrecoverable
+ *           error; the trial never executes)
+ *   Crash   execution raised a SimTrap (common/trap.hh): the fault
+ *           corrupted state a validity check guards, e.g. an
+ *           out-of-range address
+ *   Hang    the per-trial watchdog budget (derived from the golden
+ *           run) expired before the workload finished
+ *
+ * Trial isolation: every trial is contained at its boundary — a
+ * trapped, hung, or otherwise throwing trial records its outcome and
+ * never aborts its runTrials()/runBatch() siblings.
  *
  * Trials are independent — each builds its own Gpu — so batches run
  * concurrently on the shared pool (common/parallel.hh) via
  * runTrials() / runBatch(). Trial t of a runTrials() batch draws its
  * injection site from an Rng seeded with splitMix64(base_seed, t),
  * so any single trial reproduces in isolation regardless of batch
- * size, thread count, or scheduling.
+ * size, thread count, or scheduling — and a checkpointed campaign
+ * resumes bit-identically (see inject/journal.hh).
  */
 
 #ifndef MBAVF_INJECT_CAMPAIGN_HH
 #define MBAVF_INJECT_CAMPAIGN_HH
 
+#include <array>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/stats.hh"
+#include "core/protection.hh"
 #include "gpu/gpu.hh"
 #include "workloads/workload.hh"
 
 namespace mbavf
 {
 
-/** Outcome of one injection. */
+/** Outcome of one injection (see file comment for the taxonomy). */
 enum class InjectOutcome : std::uint8_t
 {
     Masked,
     Sdc,
+    Due,
+    Crash,
+    Hang,
+};
+
+/** Number of InjectOutcome values. */
+inline constexpr std::size_t numInjectOutcomes = 5;
+
+/** Stable lowercase outcome name ("masked", "sdc", ...). */
+const char *injectOutcomeName(InjectOutcome outcome);
+
+/** Inverse of injectOutcomeName(); false when @p name is unknown. */
+bool parseInjectOutcome(const std::string &name,
+                        InjectOutcome &outcome);
+
+/** One trial's classification plus its diagnostic code. */
+struct TrialResult
+{
+    InjectOutcome outcome = InjectOutcome::Masked;
+    /**
+     * For Crash/Hang: the SimTrap code (e.g. "trap.mem.oob"). For
+     * Due: "due.<scheme>". Empty for Masked/Sdc.
+     */
+    std::string code;
+
+    bool
+    operator==(const TrialResult &other) const
+    {
+        return outcome == other.outcome && code == other.code;
+    }
+};
+
+/** Outcome and trap-code counts over a set of trials. */
+struct CampaignTally
+{
+    std::array<std::uint64_t, numInjectOutcomes> counts{};
+    /** Crash/Hang trap codes and Due scheme codes, by count. */
+    std::map<std::string, std::uint64_t> codeCounts;
+
+    void add(const TrialResult &result);
+
+    std::uint64_t
+    count(InjectOutcome outcome) const
+    {
+        return counts[static_cast<std::size_t>(outcome)];
+    }
+
+    std::uint64_t total() const;
+
+    /** Wilson 95% interval of @p outcome's rate over the tally. */
+    WilsonInterval
+    rate(InjectOutcome outcome) const
+    {
+        return wilsonInterval(count(outcome), total());
+    }
 };
 
 /** Which state runTrials() samples injection sites from. */
@@ -44,6 +120,12 @@ enum class TrialKind : std::uint8_t
     Register, ///< uniform single-bit VGPR flips (sampleSingleBit)
     Memory,   ///< uniform single-bit memory flips (sampleMemBit)
 };
+
+/** Stable kind name ("register" / "memory"). */
+const char *trialKindName(TrialKind kind);
+
+/** Inverse of trialKindName(); false when @p name is unknown. */
+bool parseTrialKind(const std::string &name, TrialKind &kind);
 
 /** One independent trial: the flips to arm in a fresh execution. */
 struct TrialSpec
@@ -57,7 +139,9 @@ class Campaign
 {
   public:
     /**
-     * Runs the golden execution immediately.
+     * Runs the golden execution immediately and derives the default
+     * watchdog budgets (watchdogMultiplier x the golden run's
+     * instruction and cycle counts).
      *
      * @param workload registry name
      * @param scale    problem-size multiplier
@@ -67,6 +151,39 @@ class Campaign
 
     /** Dynamic instructions executed by the golden run. */
     std::uint64_t goldenInstrs() const { return goldenInstrs_; }
+
+    /** Cycles consumed by the golden run. */
+    Cycle goldenCycles() const { return goldenCycles_; }
+
+    /**
+     * Rescale the watchdog budgets to @p multiple x the golden run
+     * (default 8). 0 disables the watchdog entirely.
+     */
+    void setWatchdogMultiplier(double multiple);
+
+    /**
+     * Pin the watchdog budgets directly (tests use a sub-golden
+     * budget to provoke a deterministic Hang). 0 disables a budget.
+     */
+    void
+    setWatchdogBudgets(std::uint64_t instrs, Cycle cycles)
+    {
+        watchdogInstrs_ = instrs;
+        watchdogCycles_ = cycles;
+    }
+
+    /**
+     * Classify trials against a protected structure: flips are
+     * grouped into @p domain_bits-wide protection domains of the
+     * injected word, and the scheme's per-domain action applies
+     * before execution — Corrected flips are scrubbed, a Detected
+     * domain makes the whole trial Due (the machine halts on the
+     * detected error), Undetected flips execute as armed.
+     * @p scheme_name follows makeScheme(); "none" (the default)
+     * disables Due classification.
+     */
+    void setProtection(const std::string &scheme_name,
+                       unsigned domain_bits);
 
     /** Inject the given flips and classify the outcome. */
     InjectOutcome inject(const std::vector<RegInjection> &flips) const;
@@ -89,13 +206,40 @@ class Campaign
     }
 
     /**
+     * Run one trial with full containment: traps classify
+     * Crash/Hang, protection classifies Due, and any other exception
+     * escaping the execution is recorded as Crash
+     * (trap.host.exception) rather than propagated.
+     */
+    TrialResult runOne(const TrialSpec &spec) const;
+
+    /**
      * Execute the given trials concurrently on the shared pool (each
      * with its own Gpu) and classify each against the golden output.
      * results[i] corresponds to specs[i]; ordering of results never
-     * depends on scheduling.
+     * depends on scheduling. A trapped or hung trial is contained —
+     * it records its own outcome and its siblings run to completion.
      */
+    std::vector<TrialResult>
+    runBatchDetailed(const std::vector<TrialSpec> &specs) const;
+
+    /** runBatchDetailed() reduced to outcomes only. */
     std::vector<InjectOutcome>
     runBatch(const std::vector<TrialSpec> &specs) const;
+
+    /**
+     * Run trials [first, first + n) of the campaign keyed by
+     * @p base_seed: trial t samples its single-bit site from
+     * Rng(splitMix64(base_seed, t)). results[i] is trial first + i,
+     * bit-identical at any thread count and any resume split.
+     * @p on_trial (optional) observes each completed trial — called
+     * concurrently from pool workers with the absolute trial index.
+     */
+    std::vector<TrialResult> runTrialsDetailed(
+        std::size_t first, std::size_t n, std::uint64_t base_seed,
+        TrialKind kind,
+        const std::function<void(std::size_t, const TrialResult &)>
+            &on_trial = {}) const;
 
     /**
      * Run @p n statistically independent single-bit trials of
@@ -106,6 +250,10 @@ class Campaign
     std::vector<InjectOutcome> runTrials(std::size_t n,
                                          std::uint64_t base_seed,
                                          TrialKind kind) const;
+
+    /** The single-bit spec trial @p t of @p kind draws. */
+    TrialSpec trialSpec(std::uint64_t t, std::uint64_t base_seed,
+                        TrialKind kind) const;
 
     /**
      * Sample a uniform single-bit VGPR injection site: a (cu, slot,
@@ -132,6 +280,7 @@ class Campaign
     {
         std::vector<std::uint8_t> output;
         std::uint64_t instrs = 0;
+        Cycle cycles = 0;
         unsigned cusUsed = 0;
         Addr footprint = 0;
     };
@@ -139,16 +288,33 @@ class Campaign
     /**
      * Run the workload from scratch with the given flips armed.
      * Touches no Campaign state, so concurrent calls are safe.
+     * @p watchdog arms the trial budgets (the golden run passes
+     * false). Throws SimTrap when corrupted state hits a validity
+     * check or a budget.
      */
     ExecResult execute(const std::vector<RegInjection> &flips,
-                       const std::vector<MemInjection> &mem_flips) const;
+                       const std::vector<MemInjection> &mem_flips,
+                       bool watchdog) const;
+
+    /**
+     * Apply the armed protection scheme to @p spec before
+     * execution. Returns true when a domain detects the fault (the
+     * trial is Due); Corrected flips are removed from @p spec.
+     */
+    bool applyProtection(TrialSpec &spec) const;
 
     std::string workload_;
     unsigned scale_;
     GpuConfig config_;
     unsigned cusUsed_ = 1;
     std::uint64_t goldenInstrs_ = 0;
+    Cycle goldenCycles_ = 0;
     Addr footprint_ = 0;
+    std::uint64_t watchdogInstrs_ = 0;
+    Cycle watchdogCycles_ = 0;
+    std::unique_ptr<ProtectionScheme> scheme_;
+    std::string schemeCode_;
+    unsigned protectionDomainBits_ = 0;
     std::vector<std::uint8_t> goldenOutput_;
 };
 

@@ -63,7 +63,7 @@ runInterferenceStudy(const std::string &workload, unsigned scale,
     for (std::size_t g = 0; g < group_outcomes.size(); ++g) {
         unsigned m = static_cast<unsigned>(g % 3);
         ++stats.groupsTested[m];
-        if (group_outcomes[g] == InjectOutcome::Masked)
+        if (group_outcomes[g] != InjectOutcome::Sdc)
             ++stats.interference[m];
     }
     return stats;

@@ -1,0 +1,440 @@
+#include "inject/journal.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/trap.hh"
+
+namespace mbavf
+{
+
+namespace
+{
+
+constexpr const char *journalMagic = "mbavf-journal";
+constexpr const char *journalVersion = "v1";
+
+bool
+parseU64(const std::string &token, std::uint64_t &value)
+{
+    if (token.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+    if (errno != 0 || end != token.c_str() + token.size())
+        return false;
+    // strtoull accepts a leading '-' by wrapping; forbid it.
+    if (token[0] == '-' || token[0] == '+')
+        return false;
+    value = v;
+    return true;
+}
+
+std::vector<std::string>
+splitTokens(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream is(line);
+    std::string token;
+    while (is >> token)
+        tokens.push_back(token);
+    return tokens;
+}
+
+/** Strip "key=" from @p token; false when the key doesn't match. */
+bool
+keyValue(const std::string &token, const char *key, std::string &value)
+{
+    const std::size_t len = std::strlen(key);
+    if (token.size() < len + 1 || token.compare(0, len, key) != 0 ||
+        token[len] != '=') {
+        return false;
+    }
+    value = token.substr(len + 1);
+    return true;
+}
+
+bool
+parseHeaderLine(const std::string &line, JournalHeader &header,
+                std::string &error)
+{
+    const std::vector<std::string> tokens = splitTokens(line);
+    if (tokens.size() != 7 || tokens[0] != journalMagic ||
+        tokens[1] != journalVersion) {
+        error = "not a " + std::string(journalMagic) + " " +
+                journalVersion + " header";
+        return false;
+    }
+    std::string value;
+    if (!keyValue(tokens[2], "workload", value) || value.empty()) {
+        error = "bad workload field '" + tokens[2] + "'";
+        return false;
+    }
+    header.workload = value;
+    std::uint64_t scale = 0;
+    if (!keyValue(tokens[3], "scale", value) ||
+        !parseU64(value, scale) || scale == 0) {
+        error = "bad scale field '" + tokens[3] + "'";
+        return false;
+    }
+    header.scale = static_cast<unsigned>(scale);
+    if (!keyValue(tokens[4], "kind", value) ||
+        !parseTrialKind(value, header.kind)) {
+        error = "bad kind field '" + tokens[4] + "'";
+        return false;
+    }
+    if (!keyValue(tokens[5], "seed", value) ||
+        !parseU64(value, header.baseSeed)) {
+        error = "bad seed field '" + tokens[5] + "'";
+        return false;
+    }
+    if (!keyValue(tokens[6], "trials", value) ||
+        !parseU64(value, header.trials)) {
+        error = "bad trials field '" + tokens[6] + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+parseRecordLine(const std::string &line, JournalRecord &record,
+                std::string &error)
+{
+    const std::vector<std::string> tokens = splitTokens(line);
+    if (tokens.size() != 4) {
+        error = "expected '<index> <seed> <outcome> <code>'";
+        return false;
+    }
+    if (!parseU64(tokens[0], record.index)) {
+        error = "bad trial index '" + tokens[0] + "'";
+        return false;
+    }
+    if (!parseU64(tokens[1], record.seed)) {
+        error = "bad seed '" + tokens[1] + "'";
+        return false;
+    }
+    if (!parseInjectOutcome(tokens[2], record.result.outcome)) {
+        error = "unknown outcome '" + tokens[2] + "'";
+        return false;
+    }
+    record.result.code = tokens[3] == "-" ? "" : tokens[3];
+    return true;
+}
+
+void
+formatHeader(std::string &out, const JournalHeader &header)
+{
+    out += journalMagic;
+    out += ' ';
+    out += journalVersion;
+    out += " workload=" + header.workload;
+    out += " scale=" + std::to_string(header.scale);
+    out += " kind=";
+    out += trialKindName(header.kind);
+    out += " seed=" + std::to_string(header.baseSeed);
+    out += " trials=" + std::to_string(header.trials);
+    out += '\n';
+}
+
+void
+formatRecord(std::string &out, const JournalRecord &record)
+{
+    out += std::to_string(record.index);
+    out += ' ';
+    out += std::to_string(record.seed);
+    out += ' ';
+    out += injectOutcomeName(record.result.outcome);
+    out += ' ';
+    out += record.result.code.empty() ? "-" : record.result.code;
+    out += '\n';
+}
+
+/**
+ * Read @p path into newline-terminated lines. A final line missing
+ * its newline is a truncated in-flight record: it is dropped so the
+ * prefix before it replays safely.
+ */
+bool
+readCompleteLines(const std::string &path,
+                  std::vector<std::string> &lines, std::string &error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    std::size_t start = 0;
+    while (start < text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos)
+            break; // truncated final line: drop it
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return true;
+}
+
+} // namespace
+
+CampaignTally
+CampaignJournal::tally() const
+{
+    CampaignTally tally;
+    for (const JournalRecord &record : records)
+        tally.add(record.result);
+    return tally;
+}
+
+bool
+CampaignJournal::load(const std::string &path, CampaignJournal &out,
+                      std::string &error)
+{
+    std::vector<std::string> lines;
+    if (!readCompleteLines(path, lines, error))
+        return false;
+    if (lines.empty()) {
+        error = "'" + path + "' has no complete header line";
+        return false;
+    }
+    CampaignJournal journal;
+    if (!parseHeaderLine(lines[0], journal.header, error)) {
+        error = path + ":1: " + error;
+        return false;
+    }
+    journal.records.reserve(lines.size() - 1);
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        JournalRecord record;
+        if (!parseRecordLine(lines[i], record, error)) {
+            error = path + ":" + std::to_string(i + 1) + ": " + error;
+            return false;
+        }
+        if (record.index != journal.records.size()) {
+            error = path + ":" + std::to_string(i + 1) +
+                    ": trial index " + std::to_string(record.index) +
+                    " breaks the contiguous sequence (expected " +
+                    std::to_string(journal.records.size()) + ")";
+            return false;
+        }
+        if (record.index >= journal.header.trials) {
+            error = path + ":" + std::to_string(i + 1) +
+                    ": trial index " + std::to_string(record.index) +
+                    " outside the campaign's " +
+                    std::to_string(journal.header.trials) + " trials";
+            return false;
+        }
+        journal.records.push_back(std::move(record));
+    }
+    out = std::move(journal);
+    return true;
+}
+
+bool
+CampaignJournal::save(const std::string &path,
+                      std::string &error) const
+{
+    std::string text;
+    formatHeader(text, header);
+    for (const JournalRecord &record : records)
+        formatRecord(text, record);
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        error = "cannot create '" + tmp + "': " +
+                std::strerror(errno);
+        return false;
+    }
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
+              text.size();
+    ok = std::fflush(f) == 0 && ok;
+    // fsync before rename: the rename must never become durable
+    // before the bytes it points at.
+    ok = ::fsync(::fileno(f)) == 0 && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        error = "cannot write '" + tmp + "': " + std::strerror(errno);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        error = "cannot rename '" + tmp + "' to '" + path + "': " +
+                std::strerror(errno);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+JournalWriter::JournalWriter(std::string path, JournalHeader header,
+                             std::uint64_t flush_every,
+                             std::vector<JournalRecord> completed)
+    : path_(std::move(path)),
+      flushEvery_(flush_every == 0 ? 1 : flush_every)
+{
+    journal_.header = std::move(header);
+    journal_.records = std::move(completed);
+    for (std::size_t i = 0; i < journal_.records.size(); ++i) {
+        if (journal_.records[i].index != i)
+            panic("journal resume records are not a contiguous "
+                  "prefix");
+    }
+    flushedAt_ = journal_.records.size();
+}
+
+void
+JournalWriter::record(std::uint64_t index, const TrialResult &result)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    JournalRecord rec;
+    rec.index = index;
+    rec.seed = splitMix64(journal_.header.baseSeed, index);
+    rec.result = result;
+    if (index < journal_.records.size())
+        panic("trial ", index, " recorded twice");
+    pending_.push_back(std::move(rec));
+
+    // Fold everything contiguous into the prefix.
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        const std::uint64_t next = journal_.records.size();
+        for (std::size_t i = 0; i < pending_.size(); ++i) {
+            if (pending_[i].index == next) {
+                journal_.records.push_back(std::move(pending_[i]));
+                pending_.erase(pending_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                grew = true;
+                break;
+            }
+        }
+    }
+    if (journal_.records.size() >= flushedAt_ + flushEvery_)
+        flushLocked();
+}
+
+void
+JournalWriter::finish()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (!pending_.empty())
+        panic("journal finished with ", pending_.size(),
+              " non-contiguous trial results");
+    flushLocked();
+}
+
+void
+JournalWriter::flushLocked()
+{
+    std::string error;
+    if (!journal_.save(path_, error))
+        fatal("campaign checkpoint failed: ", error);
+    flushedAt_ = journal_.records.size();
+}
+
+void
+lintCampaignJournal(const std::string &path, CheckReport &report)
+{
+    std::vector<std::string> lines;
+    std::string error;
+    if (!readCompleteLines(path, lines, error)) {
+        report.error("journal.io", path, error);
+        return;
+    }
+    if (lines.empty()) {
+        report.error("journal.header", path + ":1",
+                     "no complete header line");
+        return;
+    }
+    JournalHeader header;
+    if (!parseHeaderLine(lines[0], header, error)) {
+        report.error("journal.header", path + ":1", error);
+        return;
+    }
+    std::uint64_t expected = 0;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        const std::string where = path + ":" + std::to_string(i + 1);
+        JournalRecord record;
+        if (!parseRecordLine(lines[i], record, error)) {
+            report.error("journal.record", where, error);
+            continue;
+        }
+        if (record.index != expected) {
+            report.error("journal.index", where,
+                         "trial index " +
+                             std::to_string(record.index) +
+                             " breaks the contiguous sequence "
+                             "(expected " +
+                             std::to_string(expected) + ")");
+            // Re-sync on the recorded index so one gap doesn't
+            // cascade into a finding per remaining line.
+            expected = record.index;
+        }
+        if (record.index >= header.trials) {
+            report.error("journal.index", where,
+                         "trial index " +
+                             std::to_string(record.index) +
+                             " outside the campaign's " +
+                             std::to_string(header.trials) +
+                             " trials");
+        }
+        const std::uint64_t want =
+            splitMix64(header.baseSeed, record.index);
+        if (record.seed != want) {
+            report.error("journal.seed", where,
+                         "seed " + std::to_string(record.seed) +
+                             " does not match splitMix64(base, " +
+                             std::to_string(record.index) + ") = " +
+                             std::to_string(want));
+        }
+        const std::string &code = record.result.code;
+        switch (record.result.outcome) {
+          case InjectOutcome::Masked:
+          case InjectOutcome::Sdc:
+            if (!code.empty()) {
+                report.error(
+                    "journal.code", where,
+                    std::string(
+                        injectOutcomeName(record.result.outcome)) +
+                        " trial carries diagnostic code '" + code +
+                        "'");
+            }
+            break;
+          case InjectOutcome::Due:
+            if (code.compare(0, 4, "due.") != 0) {
+                report.error("journal.code", where,
+                             "due trial code '" + code +
+                                 "' lacks the due. scheme prefix");
+            }
+            break;
+          case InjectOutcome::Crash:
+            if (!isKnownTrapCode(code) || isWatchdogTrapCode(code)) {
+                report.error("journal.code", where,
+                             "crash trial code '" + code +
+                                 "' is not a known non-watchdog "
+                                 "trap code");
+            }
+            break;
+          case InjectOutcome::Hang:
+            if (!isWatchdogTrapCode(code)) {
+                report.error("journal.code", where,
+                             "hang trial code '" + code +
+                                 "' is not a watchdog trap code");
+            }
+            break;
+        }
+        ++expected;
+    }
+}
+
+} // namespace mbavf

@@ -3,6 +3,7 @@
 #include "common/bits.hh"
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "common/trap.hh"
 
 namespace mbavf
 {
@@ -75,10 +76,16 @@ Cache::probe(Addr addr) const
 Cycle
 Cache::access(const MemRequest &req, Cycle now)
 {
+    // Both checks are fault-reachable through a corrupted request
+    // (address or size derived from flipped state), so they raise
+    // recoverable traps, not panics.
     if (req.size == 0 || req.size > params_.lineBytes)
-        panic(params_.name, ": bad request size ", req.size);
+        simTrap(trapcode::cacheSize, params_.name,
+                ": bad request size ", req.size);
     if (lineAddrOf(req.addr) != lineAddrOf(req.addr + req.size - 1))
-        panic(params_.name, ": request crosses a line boundary");
+        simTrap(trapcode::cacheStraddle, params_.name,
+                ": request at ", req.addr, "+", req.size,
+                " crosses a line boundary");
 
     const unsigned set = setOf(req.addr);
     const Addr tag = tagOf(req.addr);

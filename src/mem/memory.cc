@@ -1,6 +1,7 @@
 #include "mem/memory.hh"
 
 #include "common/logging.hh"
+#include "common/trap.hh"
 
 namespace mbavf
 {
@@ -28,8 +29,12 @@ MainMemory::alloc(std::uint64_t bytes, std::uint64_t align)
 void
 MainMemory::checkRange(Addr addr, unsigned size) const
 {
+    // Fault-reachable: a flipped address register can direct an
+    // access anywhere. Trap instead of panicking so an injection
+    // trial classifies Crash rather than aborting the process.
     if (addr + size > data_.size())
-        panic("memory access out of range: ", addr, "+", size);
+        simTrap(trapcode::memOob, "memory access out of range: ", addr,
+                "+", size, " of ", data_.size());
 }
 
 std::uint8_t
@@ -56,7 +61,8 @@ MainMemory::readBlock(Addr addr, std::uint64_t bytes,
     if (bytes == 0)
         return;
     if (addr + bytes > data_.size())
-        panic("memory access out of range: ", addr, "+", bytes);
+        simTrap(trapcode::memOob, "memory access out of range: ", addr,
+                "+", bytes, " of ", data_.size());
     out.insert(out.end(), data_.begin() + addr,
                data_.begin() + addr + bytes);
 }

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the command-line parser: typed accessors plus the
+ * hardened failure modes -- positional arguments, duplicated
+ * options, and unknown options (with nearest-match suggestions) are
+ * hard errors, not silent no-ops.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/args.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+/** Build Args from a token list (argv[0] supplied). */
+Args
+makeArgs(std::vector<std::string> tokens)
+{
+    std::vector<char *> argv;
+    static std::string prog = "prog";
+    argv.push_back(prog.data());
+    for (std::string &token : tokens)
+        argv.push_back(token.data());
+    return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, TypedAccessors)
+{
+    Args args = makeArgs({"--workload=histogram", "--trials=500",
+                          "--watchdog=2.5", "--resume"});
+    EXPECT_TRUE(args.has("workload"));
+    EXPECT_FALSE(args.has("seed"));
+    EXPECT_EQ(args.getString("workload", ""), "histogram");
+    EXPECT_EQ(args.getString("missing", "fallback"), "fallback");
+    EXPECT_EQ(args.getInt("trials", 0), 500);
+    EXPECT_EQ(args.getInt("missing", 7), 7);
+    EXPECT_DOUBLE_EQ(args.getDouble("watchdog", 0.0), 2.5);
+    EXPECT_TRUE(args.getBool("resume"));
+    EXPECT_FALSE(args.getBool("campaign"));
+}
+
+TEST(Args, BoolRejectsExplicitFalse)
+{
+    Args args = makeArgs({"--resume=0", "--campaign=false"});
+    EXPECT_FALSE(args.getBool("resume"));
+    EXPECT_FALSE(args.getBool("campaign"));
+}
+
+TEST(ArgsDeathTest, PositionalArgumentIsFatal)
+{
+    EXPECT_EXIT(makeArgs({"histogram"}),
+                ::testing::ExitedWithCode(1), "positional argument");
+}
+
+TEST(ArgsDeathTest, DuplicateOptionIsFatal)
+{
+    EXPECT_EXIT(makeArgs({"--seed=1", "--seed=2"}),
+                ::testing::ExitedWithCode(1),
+                "given more than once");
+}
+
+TEST(ArgsDeathTest, EmptyOptionNameIsFatal)
+{
+    EXPECT_EXIT(makeArgs({"--=5"}), ::testing::ExitedWithCode(1),
+                "malformed option");
+}
+
+TEST(Args, RequireKnownAcceptsKnownOptions)
+{
+    Args args = makeArgs({"--trials=10", "--seed=3"});
+    args.requireKnown({"trials", "seed", "workload"});
+}
+
+TEST(ArgsDeathTest, UnknownOptionSuggestsNearestMatch)
+{
+    Args args = makeArgs({"--trails=10"});
+    EXPECT_EXIT(args.requireKnown({"trials", "seed", "workload"}),
+                ::testing::ExitedWithCode(1),
+                "did you mean --trials");
+}
+
+TEST(ArgsDeathTest, UnknownOptionWithoutNearMatchPointsAtHelp)
+{
+    Args args = makeArgs({"--frobnicate=10"});
+    EXPECT_EXIT(args.requireKnown({"trials", "seed"}),
+                ::testing::ExitedWithCode(1), "see --help");
+}
+
+} // namespace
+} // namespace mbavf

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for common/stats: the Wilson score interval used for
+ * campaign outcome rates, and the streaming accumulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+TEST(WilsonInterval, ZeroTrialsIsVacuous)
+{
+    WilsonInterval w = wilsonInterval(0, 0);
+    EXPECT_DOUBLE_EQ(w.point, 0.0);
+    EXPECT_DOUBLE_EQ(w.low, 0.0);
+    EXPECT_DOUBLE_EQ(w.high, 1.0);
+}
+
+TEST(WilsonInterval, BoundsBracketThePointEstimate)
+{
+    WilsonInterval w = wilsonInterval(30, 100);
+    EXPECT_DOUBLE_EQ(w.point, 0.3);
+    EXPECT_LT(w.low, 0.3);
+    EXPECT_GT(w.high, 0.3);
+    EXPECT_GE(w.low, 0.0);
+    EXPECT_LE(w.high, 1.0);
+}
+
+TEST(WilsonInterval, StaysInsideUnitIntervalAtExtremes)
+{
+    // k = 0 and k = n are exactly the rare-outcome regimes the
+    // normal approximation breaks in.
+    WilsonInterval none = wilsonInterval(0, 1000);
+    EXPECT_DOUBLE_EQ(none.point, 0.0);
+    EXPECT_DOUBLE_EQ(none.low, 0.0);
+    EXPECT_GT(none.high, 0.0);
+    EXPECT_LT(none.high, 0.01);
+
+    WilsonInterval all = wilsonInterval(1000, 1000);
+    EXPECT_DOUBLE_EQ(all.point, 1.0);
+    EXPECT_DOUBLE_EQ(all.high, 1.0);
+    EXPECT_LT(all.low, 1.0);
+    EXPECT_GT(all.low, 0.99);
+}
+
+TEST(WilsonInterval, NarrowsWithSampleSize)
+{
+    WilsonInterval small = wilsonInterval(5, 50);
+    WilsonInterval large = wilsonInterval(500, 5000);
+    EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+TEST(WilsonInterval, WidensWithConfidence)
+{
+    WilsonInterval z95 = wilsonInterval(10, 100, 1.96);
+    WilsonInterval z99 = wilsonInterval(10, 100, 2.576);
+    EXPECT_GT(z99.high - z99.low, z95.high - z95.low);
+}
+
+TEST(RunningStats, TracksMeanMinMax)
+{
+    RunningStats s;
+    s.add(2.0);
+    s.add(8.0);
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 8.0);
+}
+
+} // namespace
+} // namespace mbavf

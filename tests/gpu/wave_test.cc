@@ -8,6 +8,7 @@
 
 #include <sstream>
 
+#include "common/trap.hh"
 #include "gpu/gpu.hh"
 #include "gpu/wave.hh"
 
@@ -305,18 +306,89 @@ TEST(Gpu, StatsDumpIsCoherent)
               std::string::npos);
 }
 
-TEST(Gpu, WrappedAddressesStayInBounds)
+TEST(Gpu, OutOfRangeAddressTraps)
+{
+    Gpu gpu(smallGpu());
+    gpu.setTracking(false);
+    try {
+        gpu.launch(
+            [](Wave &w) {
+                w.movi(0, 0xFFFFFFF0u); // far out of range
+                w.load(1, 0);
+            },
+            1);
+        FAIL() << "out-of-range load did not trap";
+    } catch (const SimTrap &trap) {
+        EXPECT_EQ(trap.code(), trapcode::memOob);
+    }
+}
+
+TEST(Gpu, UnalignedAddressTraps)
+{
+    Gpu gpu(smallGpu());
+    gpu.setTracking(false);
+    try {
+        gpu.launch(
+            [](Wave &w) {
+                w.movi(0, 2); // 4-byte access at a 2-byte offset
+                w.store(0, 0);
+            },
+            1);
+        FAIL() << "unaligned store did not trap";
+    } catch (const SimTrap &trap) {
+        EXPECT_EQ(trap.code(), trapcode::memAlign);
+    }
+}
+
+TEST(Gpu, WatchdogInstructionBudgetTraps)
+{
+    Gpu gpu(smallGpu());
+    gpu.setTracking(false);
+    gpu.setWatchdog(4, 0);
+    try {
+        gpu.launch(
+            [](Wave &w) {
+                for (int i = 0; i < 100; ++i)
+                    w.addi(0, 0, 1);
+            },
+            1);
+        FAIL() << "instruction budget did not trap";
+    } catch (const SimTrap &trap) {
+        EXPECT_EQ(trap.code(), trapcode::watchdogInstrs);
+        EXPECT_TRUE(isWatchdogTrapCode(trap.code()));
+    }
+}
+
+TEST(Gpu, WatchdogCycleBudgetTraps)
+{
+    Gpu gpu(smallGpu());
+    gpu.setTracking(false);
+    gpu.setWatchdog(0, 2);
+    try {
+        gpu.launch(
+            [](Wave &w) {
+                for (int i = 0; i < 100; ++i)
+                    w.addi(0, 0, 1);
+            },
+            1);
+        FAIL() << "cycle budget did not trap";
+    } catch (const SimTrap &trap) {
+        EXPECT_EQ(trap.code(), trapcode::watchdogCycles);
+    }
+}
+
+TEST(Gpu, WatchdogDisabledByDefault)
 {
     Gpu gpu(smallGpu());
     gpu.setTracking(false);
     gpu.launch(
         [](Wave &w) {
-            w.movi(0, 0xFFFFFFF0u); // far out of range
-            w.load(1, 0);           // must not crash
-            w.store(0, 1);
+            for (int i = 0; i < 100; ++i)
+                w.addi(0, 0, 1);
         },
         1);
     gpu.finish();
+    EXPECT_EQ(gpu.instrCount(), 100u);
 }
 
 } // namespace

@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <mutex>
+
 #include "common/bits.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/trap.hh"
 #include "inject/campaign.hh"
 #include "inject/interference.hh"
 
@@ -210,6 +214,226 @@ TEST(Campaign, RunBatchPreservesSpecOrder)
     ASSERT_EQ(out.size(), 2u);
     EXPECT_EQ(out[0], InjectOutcome::Masked);
     EXPECT_EQ(out[1], InjectOutcome::Sdc);
+}
+
+TEST(Campaign, AddressFlipCausesCrashNotAbort)
+{
+    // histogram computes addresses into r5 (rTmp); flipping its top
+    // bit between the address computation and the load drives the
+    // access out of the 4 MiB memory. The trial must classify Crash
+    // with the oob trap code -- and never abort the process.
+    Campaign c("histogram", 1, cfg());
+    std::vector<TrialSpec> specs;
+    for (std::uint64_t t = 0; t < 10; ++t) {
+        RegInjection inj;
+        inj.cu = 0;
+        inj.slot = 0;
+        inj.reg = 5;
+        inj.lane = 0;
+        inj.bitMask = 0x80000000u;
+        inj.triggerInstr = t;
+        specs.push_back(TrialSpec{{inj}, {}});
+    }
+    std::vector<TrialResult> results = c.runBatchDetailed(specs);
+    ASSERT_EQ(results.size(), specs.size());
+    unsigned crashes = 0;
+    for (const TrialResult &r : results) {
+        if (r.outcome == InjectOutcome::Crash) {
+            ++crashes;
+            EXPECT_EQ(r.code, trapcode::memOob);
+        }
+    }
+    EXPECT_GT(crashes, 0u);
+}
+
+TEST(Campaign, UnalignedAddressFlipCausesCrash)
+{
+    Campaign c("histogram", 1, cfg());
+    std::vector<TrialSpec> specs;
+    for (std::uint64_t t = 0; t < 10; ++t) {
+        RegInjection inj;
+        inj.reg = 5;
+        inj.bitMask = 0x1; // odd address
+        inj.triggerInstr = t;
+        specs.push_back(TrialSpec{{inj}, {}});
+    }
+    unsigned align_crashes = 0;
+    for (const TrialResult &r : c.runBatchDetailed(specs)) {
+        if (r.outcome == InjectOutcome::Crash &&
+            r.code == trapcode::memAlign) {
+            ++align_crashes;
+        }
+    }
+    EXPECT_GT(align_crashes, 0u);
+}
+
+TEST(Campaign, SubGoldenBudgetClassifiesHang)
+{
+    // A budget below the golden run is the deterministic stand-in
+    // for corrupted control flow that never terminates.
+    Campaign c("histogram", 1, cfg());
+    c.setWatchdogBudgets(c.goldenInstrs() / 2, 0);
+    TrialResult r = c.runOne(TrialSpec{});
+    EXPECT_EQ(r.outcome, InjectOutcome::Hang);
+    EXPECT_EQ(r.code, trapcode::watchdogInstrs);
+
+    c.setWatchdogBudgets(0, c.goldenCycles() / 2);
+    r = c.runOne(TrialSpec{});
+    EXPECT_EQ(r.outcome, InjectOutcome::Hang);
+    EXPECT_EQ(r.code, trapcode::watchdogCycles);
+}
+
+TEST(Campaign, DefaultBudgetsPassCleanTrials)
+{
+    Campaign c("histogram", 1, cfg());
+    EXPECT_GT(c.goldenCycles(), 0u);
+    TrialResult r = c.runOne(TrialSpec{});
+    EXPECT_EQ(r.outcome, InjectOutcome::Masked);
+    EXPECT_TRUE(r.code.empty());
+}
+
+TEST(Campaign, ProtectionClassifiesDueAndCorrects)
+{
+    // The recursive_gaussian r3 flip is a known SDC. Parity over an
+    // 8-bit domain detects the single flip (Due); SEC-DED corrects
+    // it, so the trial executes clean (Masked); no protection lets
+    // it through (Sdc).
+    Campaign c("recursive_gaussian", 1, cfg());
+    RegInjection inj;
+    inj.cu = 0;
+    inj.slot = 0;
+    inj.reg = 3;
+    inj.lane = 5;
+    inj.bitMask = 0x4;
+    inj.triggerInstr = c.goldenInstrs() / 6;
+    const TrialSpec spec{{inj}, {}};
+
+    EXPECT_EQ(c.runOne(spec).outcome, InjectOutcome::Sdc);
+
+    c.setProtection("parity", 8);
+    TrialResult due = c.runOne(spec);
+    EXPECT_EQ(due.outcome, InjectOutcome::Due);
+    EXPECT_EQ(due.code, "due.parity");
+
+    c.setProtection("secded", 8);
+    EXPECT_EQ(c.runOne(spec).outcome, InjectOutcome::Masked);
+
+    c.setProtection("none", 0);
+    EXPECT_EQ(c.runOne(spec).outcome, InjectOutcome::Sdc);
+}
+
+TEST(Campaign, SecdedDetectsDoubleFlipInOneDomain)
+{
+    Campaign c("recursive_gaussian", 1, cfg());
+    c.setProtection("secded", 8);
+    RegInjection inj;
+    inj.reg = 3;
+    inj.lane = 5;
+    inj.bitMask = 0x6; // two flips, bits 1-2: same 8-bit domain
+    inj.triggerInstr = c.goldenInstrs() / 6;
+    TrialResult r = c.runOne(TrialSpec{{inj}, {}});
+    EXPECT_EQ(r.outcome, InjectOutcome::Due);
+    EXPECT_EQ(r.code, "due.secded");
+}
+
+TEST(Campaign, CrashedTrialDoesNotAbortSiblings)
+{
+    // One crashing spec in a batch: the siblings must still run and
+    // classify normally.
+    Campaign c("histogram", 1, cfg());
+    RegInjection crash;
+    crash.reg = 5;
+    crash.bitMask = 0x80000000u;
+    crash.triggerInstr = 4;
+
+    RegInjection masked;
+    masked.reg = 31;
+    masked.bitMask = 0xFFFFFFFF;
+    masked.triggerInstr = c.goldenInstrs() / 2;
+
+    std::vector<TrialSpec> specs;
+    for (int i = 0; i < 6; ++i) {
+        specs.push_back(i == 2 ? TrialSpec{{crash}, {}}
+                               : TrialSpec{{masked}, {}});
+    }
+    std::vector<TrialResult> results = c.runBatchDetailed(specs);
+    ASSERT_EQ(results.size(), 6u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i != 2) {
+            EXPECT_EQ(results[i].outcome, InjectOutcome::Masked);
+        }
+    }
+}
+
+TEST(Campaign, RunTrialsDetailedSplitsReproduceFullRun)
+{
+    // Resume correctness at the API level: [0, 20) in one call must
+    // equal [0, 8) + [8, 20) run separately, at any thread count.
+    Campaign c("recursive_gaussian", 1, cfg());
+    std::vector<TrialResult> whole =
+        c.runTrialsDetailed(0, 20, 42, TrialKind::Register);
+    setParallelThreads(3);
+    std::vector<TrialResult> head =
+        c.runTrialsDetailed(0, 8, 42, TrialKind::Register);
+    std::vector<TrialResult> tail =
+        c.runTrialsDetailed(8, 12, 42, TrialKind::Register);
+    setParallelThreads(0);
+    ASSERT_EQ(head.size() + tail.size(), whole.size());
+    for (std::size_t i = 0; i < head.size(); ++i)
+        EXPECT_EQ(head[i], whole[i]);
+    for (std::size_t i = 0; i < tail.size(); ++i)
+        EXPECT_EQ(tail[i], whole[8 + i]);
+}
+
+TEST(Campaign, OnTrialObserverSeesAbsoluteIndices)
+{
+    Campaign c("histogram", 1, cfg());
+    std::mutex mutex;
+    std::map<std::size_t, TrialResult> seen;
+    std::vector<TrialResult> results = c.runTrialsDetailed(
+        5, 7, 13, TrialKind::Memory,
+        [&](std::size_t t, const TrialResult &r) {
+            std::lock_guard<std::mutex> guard(mutex);
+            seen[t] = r;
+        });
+    ASSERT_EQ(seen.size(), 7u);
+    for (const auto &[t, r] : seen) {
+        ASSERT_GE(t, 5u);
+        ASSERT_LT(t, 12u);
+        EXPECT_EQ(r, results[t - 5]);
+    }
+}
+
+TEST(Campaign, TallyCountsAndRates)
+{
+    CampaignTally tally;
+    tally.add({InjectOutcome::Masked, ""});
+    tally.add({InjectOutcome::Masked, ""});
+    tally.add({InjectOutcome::Crash, "trap.mem.oob"});
+    tally.add({InjectOutcome::Hang, "trap.watchdog.instrs"});
+    EXPECT_EQ(tally.total(), 4u);
+    EXPECT_EQ(tally.count(InjectOutcome::Masked), 2u);
+    EXPECT_EQ(tally.codeCounts.at("trap.mem.oob"), 1u);
+    WilsonInterval rate = tally.rate(InjectOutcome::Masked);
+    EXPECT_DOUBLE_EQ(rate.point, 0.5);
+    EXPECT_LT(rate.low, 0.5);
+    EXPECT_GT(rate.high, 0.5);
+}
+
+TEST(Campaign, OutcomeNamesRoundTrip)
+{
+    for (std::size_t i = 0; i < numInjectOutcomes; ++i) {
+        const InjectOutcome o = static_cast<InjectOutcome>(i);
+        InjectOutcome parsed;
+        ASSERT_TRUE(parseInjectOutcome(injectOutcomeName(o), parsed));
+        EXPECT_EQ(parsed, o);
+    }
+    InjectOutcome scratch;
+    EXPECT_FALSE(parseInjectOutcome("exploded", scratch));
+    TrialKind kind;
+    ASSERT_TRUE(parseTrialKind("memory", kind));
+    EXPECT_EQ(kind, TrialKind::Memory);
+    EXPECT_FALSE(parseTrialKind("disk", kind));
 }
 
 TEST(Interference, StudyRunsAndCounts)

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/trap.hh"
 #include "mem/cache.hh"
 
 namespace mbavf
@@ -181,12 +182,16 @@ TEST(Cache, MissRateStat)
     EXPECT_NEAR(cache.stats().missRate(), 1.0 / 3, 1e-12);
 }
 
-TEST(Cache, CrossLineRequestPanics)
+TEST(Cache, CrossLineRequestTraps)
 {
     Dram dram(10);
     Cache cache(tinyCache(), dram);
-    EXPECT_DEATH(cache.access({0x0E, 4, MemCmd::Read, noDef}, 0),
-                 "crosses");
+    try {
+        cache.access({0x0E, 4, MemCmd::Read, noDef}, 0);
+        FAIL() << "line-straddling access did not trap";
+    } catch (const SimTrap &trap) {
+        EXPECT_EQ(trap.code(), trapcode::cacheStraddle);
+    }
 }
 
 TEST(Cache, TwoLevelHierarchy)

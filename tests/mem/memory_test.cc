@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/trap.hh"
 #include "mem/memory.hh"
 #include "mem/ref_index.hh"
 
@@ -38,10 +39,17 @@ TEST(MainMemory, AllocExhaustionIsFatal)
     EXPECT_DEATH(mem.alloc(1024), "exhausted");
 }
 
-TEST(MainMemory, OutOfRangePanics)
+TEST(MainMemory, OutOfRangeTraps)
 {
     MainMemory mem(16);
-    EXPECT_DEATH(mem.read32(14), "out of range");
+    try {
+        mem.read32(14);
+        FAIL() << "out-of-range read did not trap";
+    } catch (const SimTrap &trap) {
+        EXPECT_EQ(trap.code(), trapcode::memOob);
+        EXPECT_NE(std::string(trap.what()).find("out of range"),
+                  std::string::npos);
+    }
 }
 
 TEST(MainMemory, OriginsLazyAndDefault)

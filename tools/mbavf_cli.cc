@@ -30,6 +30,8 @@
 #include "core/mbavf.hh"
 #include "core/protection.hh"
 #include "core/sweep.hh"
+#include "inject/campaign.hh"
+#include "inject/journal.hh"
 #include "workloads/ace_runner.hh"
 
 using namespace mbavf;
@@ -42,7 +44,8 @@ usage()
 {
     std::cout <<
         "usage: mbavf --workload=NAME [options]\n"
-        "       mbavf --load-lifetimes=FILE [options]\n\n"
+        "       mbavf --load-lifetimes=FILE [options]\n"
+        "       mbavf --campaign --workload=NAME [options]\n\n"
         "options:\n"
         "  --structure=l1|l2|vgpr   structure to analyze (l1)\n"
         "  --scheme=NAME            none|parity|secded|dected|crc\n"
@@ -59,7 +62,166 @@ usage()
         "  --shield-due             DUE detection shields SDC\n"
         "  --save-lifetimes=FILE    persist lifetimes + horizon\n"
         "  --load-lifetimes=FILE    reuse persisted lifetimes\n"
-        "  --list-workloads         print workload names\n";
+        "  --list-workloads         print workload names\n\n"
+        "campaign options (--campaign):\n"
+        "  --trials=N               injection trials (1000)\n"
+        "  --seed=S                 campaign base seed (1); trial t\n"
+        "                           draws from splitMix64(S, t)\n"
+        "  --kind=register|memory   injection target (register)\n"
+        "  --watchdog=M             hang budgets = M x golden run\n"
+        "                           (8; 0 disables the watchdog)\n"
+        "  --protect=NAME           protection scheme for DUE\n"
+        "                           classification (none)\n"
+        "  --protect-domain=BITS    protection domain width (8)\n"
+        "  --checkpoint=FILE        journal progress to FILE\n"
+        "  --checkpoint-every=K     flush every K trials (64)\n"
+        "  --resume                 continue FILE's campaign; the\n"
+        "                           final tallies are bit-identical\n"
+        "                           to an uninterrupted run\n";
+}
+
+/** All options both CLI modes accept, for typo rejection. */
+void
+checkOptions(const Args &args)
+{
+    args.requireKnown({
+        "help", "list-workloads", "workload", "structure", "scheme",
+        "style", "interleave", "modes", "windows", "threads",
+        "total-fit", "scale", "shield-due", "save-lifetimes",
+        "load-lifetimes", "campaign", "trials", "seed", "kind",
+        "watchdog", "protect", "protect-domain", "checkpoint",
+        "checkpoint-every", "resume",
+    });
+}
+
+/** The --campaign mode: injection trials with checkpoint/resume. */
+int
+runCampaignCli(const Args &args)
+{
+    const std::string workload = args.getString("workload", "");
+    if (workload.empty()) {
+        usage();
+        return 1;
+    }
+    const unsigned scale =
+        static_cast<unsigned>(args.getInt("scale", 1));
+    const std::uint64_t trials =
+        static_cast<std::uint64_t>(args.getInt("trials", 1000));
+    const std::uint64_t base_seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+    TrialKind kind = TrialKind::Register;
+    if (!parseTrialKind(args.getString("kind", "register"), kind))
+        fatal("unknown --kind (register|memory)");
+    const std::string checkpoint = args.getString("checkpoint", "");
+    const bool resume = args.getBool("resume");
+    if (resume && checkpoint.empty())
+        fatal("--resume requires --checkpoint=FILE");
+
+    JournalHeader header;
+    header.workload = workload;
+    header.scale = scale;
+    header.kind = kind;
+    header.baseSeed = base_seed;
+    header.trials = trials;
+
+    // Recover completed trials before paying for the golden run.
+    std::vector<JournalRecord> completed;
+    if (!checkpoint.empty()) {
+        const bool exists =
+            static_cast<bool>(std::ifstream(checkpoint));
+        if (resume) {
+            if (exists) {
+                CampaignJournal journal;
+                std::string error;
+                if (!CampaignJournal::load(checkpoint, journal,
+                                           error))
+                    fatal("cannot resume: ", error);
+                if (!(journal.header == header)) {
+                    fatal("checkpoint '", checkpoint,
+                          "' records a different campaign (check "
+                          "workload/scale/kind/seed/trials)");
+                }
+                completed = std::move(journal.records);
+            }
+            // No file yet: a resume of a campaign that never
+            // started is just a fresh start.
+        } else if (exists) {
+            fatal("checkpoint '", checkpoint,
+                  "' already exists; use --resume to continue it "
+                  "or remove it first");
+        }
+    }
+    if (completed.size() > trials)
+        fatal("checkpoint has more trials than --trials=", trials);
+
+    std::cout << "campaign: " << workload << " x" << scale << ", "
+              << trials << " " << trialKindName(kind)
+              << " trials, seed " << base_seed << "\n";
+    if (!completed.empty()) {
+        std::cout << "resuming after " << completed.size()
+                  << " completed trials\n";
+    }
+
+    Campaign campaign(workload, scale, GpuConfig{});
+    campaign.setWatchdogMultiplier(args.getDouble("watchdog", 8.0));
+    const std::string protect = args.getString("protect", "none");
+    if (protect != "none") {
+        campaign.setProtection(
+            protect,
+            static_cast<unsigned>(args.getInt("protect-domain", 8)));
+    }
+
+    const std::size_t first = completed.size();
+    const std::size_t remaining =
+        static_cast<std::size_t>(trials) - first;
+
+    CampaignTally tally;
+    if (!checkpoint.empty()) {
+        const std::uint64_t every = static_cast<std::uint64_t>(
+            args.getInt("checkpoint-every", 64));
+        JournalWriter writer(checkpoint, header, every,
+                             std::move(completed));
+        campaign.runTrialsDetailed(
+            first, remaining, base_seed, kind,
+            [&writer](std::size_t t, const TrialResult &result) {
+                writer.record(t, result);
+            });
+        writer.finish();
+        tally = writer.journal().tally();
+    } else {
+        for (const JournalRecord &record : completed)
+            tally.add(record.result);
+        for (const TrialResult &result : campaign.runTrialsDetailed(
+                 first, remaining, base_seed, kind))
+            tally.add(result);
+    }
+
+    std::cout << "\n";
+    Table table({"outcome", "count", "rate", "95% CI"});
+    for (std::size_t i = 0; i < numInjectOutcomes; ++i) {
+        const InjectOutcome outcome =
+            static_cast<InjectOutcome>(i);
+        const WilsonInterval rate = tally.rate(outcome);
+        std::string ci;
+        ci += '[';
+        ci += formatFixed(rate.low, 5);
+        ci += ", ";
+        ci += formatFixed(rate.high, 5);
+        ci += ']';
+        table.beginRow()
+            .cell(injectOutcomeName(outcome))
+            .cell(std::to_string(tally.count(outcome)))
+            .cell(rate.point, 5)
+            .cell(ci);
+    }
+    table.printText(std::cout);
+
+    if (!tally.codeCounts.empty()) {
+        std::cout << "\ndiagnostic codes:\n";
+        for (const auto &[code, count] : tally.codeCounts)
+            std::cout << "  " << code << "  " << count << "\n";
+    }
+    return 0;
 }
 
 } // namespace
@@ -68,6 +230,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    checkOptions(args);
     if (args.getBool("help")) {
         usage();
         return 0;
@@ -97,6 +260,9 @@ main(int argc, char **argv)
             static_cast<unsigned>(args.getInt("threads", 0));
         setParallelThreads(num_threads == 0 ? 0 : num_threads);
     }
+
+    if (args.getBool("campaign"))
+        return runCampaignCli(args);
 
     GpuConfig config;
     LifetimeStore life(8, 64);

@@ -43,6 +43,7 @@
 #include "check/report.hh"
 #include "common/args.hh"
 #include "core/lifetime_io.hh"
+#include "inject/journal.hh"
 #include "workloads/ace_runner.hh"
 
 using namespace mbavf;
@@ -56,6 +57,7 @@ usage()
     std::cout <<
         "usage: mbavf_lint --workload=NAME [options]\n"
         "       mbavf_lint --lifetimes=FILE [--horizon=N]\n"
+        "       mbavf_lint --journal=FILE\n"
         "       mbavf_lint --geometry-only\n\n"
         "options:\n"
         "  --scale=N            workload problem-size multiplier\n"
@@ -63,6 +65,9 @@ usage()
         "  --max-findings=N     stored findings per code (16)\n"
         "  --seed-corruption=K  corrupt the artifact first; K is\n"
         "                       overlap | read-before-fill | straddle\n"
+        "\n--journal validates a campaign checkpoint (inject/journal):\n"
+        "header fields, contiguous trial indices, outcome names,\n"
+        "per-outcome diagnostic codes, and per-trial seeds.\n"
         "\nexit codes: 0 clean, 1 lint errors, 2 unusable input\n";
 }
 
@@ -148,9 +153,30 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    args.requireKnown({
+        "help", "workload", "lifetimes", "horizon", "journal",
+        "geometry-only", "scale", "modes", "max-findings",
+        "seed-corruption",
+    });
     if (args.getBool("help")) {
         usage();
         return 0;
+    }
+
+    const std::string journal_path = args.getString("journal", "");
+    if (!journal_path.empty()) {
+        CheckReport report;
+        report.setPerCodeLimit(static_cast<std::size_t>(
+            args.getInt("max-findings", 16)));
+        lintCampaignJournal(journal_path, report);
+        // An unreadable or headerless file is unusable input, not a
+        // lint finding about a valid journal.
+        if (report.has("journal.io") || report.has("journal.header")) {
+            report.print(std::cout);
+            return 2;
+        }
+        std::cout << "linted journal " << journal_path << "\n";
+        return finish(report);
     }
 
     const std::string corruption =
