@@ -54,6 +54,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    BenchReporter bench("ablation_ace_locality", &args);
     const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
@@ -112,7 +113,7 @@ main(int argc, char **argv)
             .cell(r_way, 3)
             .cell(r_idx, 3);
     }
-    emit(table);
+    bench.emit(table);
 
     std::cout << "\nHigher ACE locality => lower MB-AVF held for "
               << formatFixed(100 * corr_ok.mean(), 0)

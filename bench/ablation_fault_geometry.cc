@@ -25,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    BenchReporter bench("ablation_fault_geometry", &args);
     const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
@@ -72,7 +73,7 @@ main(int argc, char **argv)
             }
         }
     }
-    emit(table);
+    bench.emit(table);
 
     std::cout << "\nA 4x1 wordline fault puts 2 bits in each of 2 "
                  "check words (SDC under parity);\na 1x4 column "

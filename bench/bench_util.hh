@@ -3,8 +3,12 @@
  * Shared helpers for the per-figure/table benchmark harnesses.
  *
  * Every harness prints the paper-style rows/series as an aligned
- * text table followed by a CSV block ("== csv ==") for scripting.
- * Common flags: --workloads=a,b,c  --scale=N  --quick  --threads=N.
+ * text table followed by a CSV block ("== csv ==") for scripting,
+ * and — via BenchReporter — writes the same tables plus phase
+ * timings, metrics, and build provenance as a BENCH_<name>.json
+ * manifest for mbavf_report to diff and merge.
+ * Common flags: --workloads=a,b,c  --scale=N  --quick  --threads=N
+ * --manifest=FILE (override the path)  --no-manifest.
  */
 
 #ifndef MBAVF_BENCH_BENCH_UTIL_HH
@@ -16,8 +20,13 @@
 #include <vector>
 
 #include "common/args.hh"
+#include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/table.hh"
+#include "obs/adapters.hh"
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
+#include "obs/phase.hh"
 #include "workloads/workload.hh"
 
 namespace mbavf
@@ -63,22 +72,94 @@ configureThreads(const Args &args)
     return n;
 }
 
-/** Print the table as text plus a CSV block. */
-inline void
-emit(const Table &table)
-{
-    table.printText(std::cout);
-    std::cout << "\n== csv ==\n";
-    table.printCsv(std::cout);
-    std::cout.flush();
-}
-
 /** Progress note to stderr (keeps stdout machine-readable). */
 inline void
 note(const std::string &message)
 {
     std::cerr << "[bench] " << message << "\n";
 }
+
+/**
+ * Per-harness result sink: prints each table as text plus a CSV
+ * block (exactly the old emit() output) and collects everything into
+ * a BENCH_<name>.json manifest written when the reporter goes out of
+ * scope. Constructing the reporter turns the obs metrics and phase
+ * sinks on, so the timing/metric sections are populated for free.
+ *
+ * --manifest=FILE overrides the output path; --no-manifest skips the
+ * file (and leaves the obs sinks off, keeping the harness at the
+ * disabled-instrumentation cost for overhead studies).
+ */
+class BenchReporter
+{
+  public:
+    explicit BenchReporter(const std::string &name,
+                           const Args *args = nullptr)
+        : manifest_("bench/" + name), tables_(obs::JsonValue::array())
+    {
+        path_ = "BENCH_" + name + ".json";
+        if (args) {
+            path_ = args->getString("manifest", path_);
+            if (args->getBool("no-manifest"))
+                path_.clear();
+        }
+        if (!path_.empty()) {
+            obs::setMetricsEnabled(true);
+            obs::setTimingEnabled(true);
+        }
+    }
+
+    ~BenchReporter() { finish(); }
+
+    BenchReporter(const BenchReporter &) = delete;
+    BenchReporter &operator=(const BenchReporter &) = delete;
+
+    /** Print @p table (text + CSV) and record it in the manifest. */
+    void
+    emit(const Table &table)
+    {
+        table.printText(std::cout);
+        std::cout << "\n== csv ==\n";
+        table.printCsv(std::cout);
+        std::cout.flush();
+        tables_.push(obs::tableJson(table));
+    }
+
+    /** Add a "run" section entry (workload list, scale, ...). */
+    void
+    meta(const std::string &key, obs::JsonValue value)
+    {
+        run_.set(key, std::move(value));
+    }
+
+    /** Write the manifest now (idempotent; the dtor calls this). */
+    void
+    finish()
+    {
+        if (finished_)
+            return;
+        finished_ = true;
+        if (path_.empty())
+            return;
+        if (run_.size())
+            manifest_.set("run", std::move(run_));
+        manifest_.set("tables", std::move(tables_));
+        manifest_.captureObservations();
+        manifest_.setEnv();
+        std::string error;
+        if (!manifest_.write(path_, error))
+            warn("bench manifest not written: ", error);
+        else
+            note("manifest: " + path_);
+    }
+
+  private:
+    obs::Manifest manifest_;
+    obs::JsonValue run_ = obs::JsonValue::object();
+    obs::JsonValue tables_;
+    std::string path_;
+    bool finished_ = false;
+};
 
 } // namespace mbavf
 

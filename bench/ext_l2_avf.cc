@@ -24,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    BenchReporter bench("ext_l2_avf", &args);
     const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
@@ -79,7 +80,7 @@ main(int argc, char **argv)
             .cell(l2_mb_log, 4)
             .cell(ratio, 3);
     }
-    emit(table);
+    bench.emit(table);
 
     std::cout << "\nMean L2/L1 single-bit AVF ratio: "
               << formatFixed(ratio_stats.mean(), 3)

@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    BenchReporter bench("fig10_false_due", &args);
     const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
@@ -66,7 +67,7 @@ main(int argc, char **argv)
                 .cell(frac, 1);
         }
     }
-    emit(table);
+    bench.emit(table);
 
     std::cout << "\nMean single-bit false-DUE share: "
               << formatFixed(mean_false_frac.mean(), 1)

@@ -67,6 +67,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    BenchReporter bench("fig11_vgpr_case_study", &args);
     const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
@@ -150,7 +151,7 @@ main(int argc, char **argv)
                       100.0 * configs[c].scheme->areaOverhead(32), 1) +
                   "%");
     }
-    emit(table);
+    bench.emit(table);
 
     double p_tx4 = sdc_mb[3].mean();
     double e_rx2 = sdc_mb[4].mean();

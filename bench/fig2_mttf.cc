@@ -21,6 +21,7 @@ using namespace mbavf;
 int
 main()
 {
+    BenchReporter bench("fig2_mttf");
     std::cout << "Figure 2: 32MB-cache MTTF, temporal vs spatial "
                  "multi-bit faults\n\n";
 
@@ -55,7 +56,7 @@ main()
             .cell(formatFixed(std::log10(t_100 / s_01), 1) +
                   " orders");
     }
-    emit(table);
+    bench.emit(table);
 
     std::cout << "\nSpatial MBF MTTFs sit many orders of magnitude "
                  "below temporal MBF MTTFs\n(6-8 orders at realistic "

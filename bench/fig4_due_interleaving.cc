@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    BenchReporter bench("fig4_due_interleaving", &args);
     const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
@@ -77,7 +78,7 @@ main(int argc, char **argv)
         .cell(g_log.geomean(), 3)
         .cell(g_way.geomean(), 3)
         .cell(g_idx.geomean(), 3);
-    emit(table);
+    bench.emit(table);
 
     std::cout << "\nAll ratios lie within the first-principles [1, 2] "
                  "band; logical interleaving\n(same-line check words, "

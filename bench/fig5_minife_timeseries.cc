@@ -22,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    BenchReporter bench("fig5_minife_timeseries", &args);
     const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
@@ -74,7 +75,7 @@ main(int argc, char **argv)
         .cell(mb_way.avf.due(), 4)
         .cell(sb.avf.due() > 0 ? mb_idx.avf.due() / sb.avf.due() : 0.0,
               3);
-    emit(table);
+    bench.emit(table);
 
     std::cout << "\nThe MB/SB ratio changes across application phases "
                  "(paper Fig. 5a), and the\ninterleaving styles "

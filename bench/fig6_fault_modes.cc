@@ -24,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    BenchReporter bench("fig6_fault_modes", &args);
     const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
@@ -78,7 +79,7 @@ main(int argc, char **argv)
         tables[s].beginRow().cell("geomean");
         for (std::size_t i = 0; i < modes.size(); ++i)
             tables[s].cell(geo[s][i].geomean(), 3);
-        emit(tables[s]);
+        bench.emit(tables[s]);
     }
 
     std::cout << "\nMB-AVF increases with fault-mode size; Mx1 under "

@@ -24,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    BenchReporter bench("fig8_sdc_3x1", &args);
     const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
@@ -88,7 +89,7 @@ main(int argc, char **argv)
         .cell(s_idx.avf.due(), 4)
         .cell(s_way.avf.sdc, 4)
         .cell(s_way.avf.due(), 4);
-    emit(table);
+    bench.emit(table);
 
     double ratio = s_idx.avf.sdc > 0
         ? s_way.avf.sdc / s_idx.avf.sdc : 0.0;

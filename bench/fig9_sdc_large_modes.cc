@@ -25,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    BenchReporter bench("fig9_sdc_large_modes", &args);
     const unsigned threads = configureThreads(args);
     const unsigned scale =
         static_cast<unsigned>(args.getInt("scale", 1));
@@ -75,7 +76,7 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < modes.size(); ++i)
         table.cell(geo[i].geomean(), 3);
     table.cell("");
-    emit(table);
+    bench.emit(table);
 
     std::cout << "\nSDC jumps from 5x1 to 6x1 (the 5x1's 2-bit "
                  "region still detects) and\nplateaus 6x1..8x1 (same "

@@ -15,7 +15,6 @@
  * serial reference.
  */
 
-#include <chrono>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -25,20 +24,13 @@
 #include "core/protection.hh"
 #include "core/sweep.hh"
 #include "inject/campaign.hh"
+#include "obs/stopwatch.hh"
 #include "workloads/ace_runner.hh"
 
 using namespace mbavf;
 
 namespace
 {
-
-double
-secondsSince(std::chrono::steady_clock::time_point start)
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - start)
-        .count();
-}
 
 bool
 sameSweep(const ModeSweep &a, const ModeSweep &b)
@@ -70,6 +62,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    BenchReporter bench("micro_parallel_scaling", &args);
     const std::string workload =
         args.getString("workload", "histogram");
     const unsigned scale =
@@ -116,15 +109,14 @@ main(int argc, char **argv)
         setParallelThreads(t);
         opt.numThreads = t == 1 ? 1 : 0;
 
-        auto s0 = std::chrono::steady_clock::now();
+        obs::Stopwatch watch;
         ModeSweep sweep =
             sweepModes(*array, run.l1, parity, opt, max_mode);
-        double sweep_s = secondsSince(s0);
+        double sweep_s = watch.restart();
 
-        auto c0 = std::chrono::steady_clock::now();
         std::vector<InjectOutcome> outcomes =
             campaign.runTrials(trials, seed, TrialKind::Register);
-        double camp_s = secondsSince(c0);
+        double camp_s = watch.restart();
 
         if (t == counts.front()) {
             ref_sweep = std::move(sweep);
@@ -155,7 +147,7 @@ main(int argc, char **argv)
 
     std::cout << "parallel scaling: " << workload << ", " << max_mode
               << " modes, " << trials << " trials\n\n";
-    emit(table);
+    bench.emit(table);
     std::cout << (identical
                       ? "\nresults bit-identical at every thread "
                         "count\n"

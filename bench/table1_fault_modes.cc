@@ -15,6 +15,7 @@ using namespace mbavf;
 int
 main()
 {
+    BenchReporter bench("table1_fault_modes");
     std::cout << "Table I: percent of faults by multi-bit width and "
                  "design rule\n\n";
 
@@ -26,7 +27,7 @@ main()
             table.cell(node.percent[m], 3);
         table.cell(node.multiBitPercent(), 2);
     }
-    emit(table);
+    bench.emit(table);
 
     std::cout << "\nMulti-bit faults rise from ~0.5% of faults at "
                  "180nm to 3.9% at 22nm,\nwith both rate and width "

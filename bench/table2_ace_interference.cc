@@ -25,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    BenchReporter bench("table2_ace_interference", &args);
     configureThreads(args);
     const unsigned n =
         static_cast<unsigned>(args.getInt("n", 2000));
@@ -73,7 +74,7 @@ main(int argc, char **argv)
         .cell("")
         .cell("")
         .cell(std::uint64_t(total_interf));
-    emit(table);
+    bench.emit(table);
 
     double pct = total_groups
         ? 100.0 * total_interf / total_groups : 0.0;

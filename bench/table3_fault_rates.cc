@@ -16,6 +16,7 @@ int
 main(int argc, char **argv)
 {
     Args args(argc, argv);
+    BenchReporter bench("table3_fault_rates", &args);
     double total = args.getDouble("total", 100.0);
 
     std::cout << "Table III: fault rates used for the case study "
@@ -31,6 +32,6 @@ main(int argc, char **argv)
         sum += rates[m];
     }
     table.beginRow().cell("total").cell(sum, 3);
-    emit(table);
+    bench.emit(table);
     return 0;
 }

@@ -35,11 +35,15 @@ editDistance(std::string_view a, std::string_view b)
 
 } // namespace
 
-Args::Args(int argc, char **argv)
+Args::Args(int argc, char **argv, Positional positional)
 {
     for (int i = 1; i < argc; ++i) {
         std::string_view arg(argv[i]);
         if (arg.substr(0, 2) != "--") {
+            if (positional == Positional::Allow) {
+                positional_.emplace_back(arg);
+                continue;
+            }
             fatal("positional argument '", std::string(arg),
                   "' (options are --key=value; did you mean --",
                   std::string(arg), "=... ?)");

@@ -10,6 +10,7 @@
 #include <initializer_list>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace mbavf
 {
@@ -23,11 +24,22 @@ namespace mbavf
  * run a different experiment than the one the user asked for).
  * Callers that know their full option set call requireKnown() to
  * reject unknown options with a nearest-match suggestion.
+ *
+ * Tools that genuinely take file operands (mbavf_report FILE)
+ * construct with Positional::Allow; everything else keeps the
+ * hard-error default.
  */
 class Args
 {
   public:
-    Args(int argc, char **argv);
+    enum class Positional
+    {
+        Reject,
+        Allow,
+    };
+
+    Args(int argc, char **argv,
+         Positional positional = Positional::Reject);
 
     /**
      * Exit with an error (and a "did you mean" hint when an option
@@ -48,8 +60,15 @@ class Args
 
     bool getBool(const std::string &key, bool fallback = false) const;
 
+    /** Non-option operands, in order (Positional::Allow only). */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
   private:
     std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
 };
 
 } // namespace mbavf

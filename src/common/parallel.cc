@@ -284,6 +284,15 @@ parallelThreads()
     return pool().width();
 }
 
+unsigned
+parallelWorkerId()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local unsigned id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
 void
 setParallelThreads(unsigned n)
 {

@@ -43,6 +43,15 @@ namespace mbavf
 unsigned parallelThreads();
 
 /**
+ * Small dense id of the calling thread, for per-thread sharding and
+ * per-track trace attribution (src/obs). The first thread to ask
+ * (normally main) gets 0; every later thread gets the next integer.
+ * Stable for the thread's lifetime; never reused while the process
+ * runs, so a resized pool's fresh workers get fresh ids.
+ */
+unsigned parallelWorkerId();
+
+/**
  * Resize the pool to @p n total threads (0 = the MBAVF_THREADS /
  * hardware default). Existing workers are joined first; do not call
  * concurrently with running parallel work.

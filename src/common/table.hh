@@ -41,6 +41,8 @@ class Table
     std::size_t numRows() const { return rows_.size(); }
     std::size_t numCols() const { return header_.size(); }
 
+    const std::vector<std::string> &header() const { return header_; }
+
     const std::vector<std::string> &row(std::size_t i) const
     {
         return rows_[i];

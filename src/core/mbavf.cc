@@ -7,6 +7,8 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "core/ace_class.hh"
+#include "obs/metrics.hh"
+#include "obs/phase.hh"
 
 namespace mbavf
 {
@@ -308,6 +310,10 @@ computeMbAvf(const PhysicalArray &array, const LifetimeStore &store,
     if (mode.size() > maxModeBits)
         fatal("fault mode larger than ", maxModeBits, " bits");
 
+    obs::ObsPhase obs_phase("avf.mode");
+    static const obs::Counter groups_counter =
+        obs::MetricsRegistry::global().counter("avf.groups_swept");
+
     const std::uint64_t rows = array.rows();
     const std::uint64_t cols = array.cols();
     const std::uint64_t span_r =
@@ -342,6 +348,7 @@ computeMbAvf(const PhysicalArray &array, const LifetimeStore &store,
         SweepScratch scratch;
         std::vector<MemberBit> row_cache;
         std::vector<MemberBit> members(mode.size());
+        std::uint64_t groups_swept = 0;
 
         for (std::uint64_t r = row_begin; r < row_end; ++r) {
             row_cache.assign(std::size_t(span_r) * cols, MemberBit{});
@@ -367,10 +374,14 @@ computeMbAvf(const PhysicalArray &array, const LifetimeStore &store,
                 }
                 if (!any_life)
                     continue;
+                ++groups_swept;
                 sweepGroup(members, scheme, opt.horizon,
                            opt.dueShieldsSdc, scratch, out);
             }
         }
+        // One add per band, not per group: the counter stays off the
+        // innermost loop even when metrics are enabled.
+        groups_counter.add(groups_swept);
     };
 
     const std::uint64_t anchor_rows = rows - span_r + 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.hh"
+#include "obs/phase.hh"
 
 namespace mbavf
 {
@@ -12,6 +13,7 @@ sweepModes(const PhysicalArray &array, const LifetimeStore &store,
            const ProtectionScheme &scheme, const MbAvfOptions &opt,
            unsigned max_mode)
 {
+    obs::ObsPhase obs_phase("avf.sweep");
     ModeSweep sweep;
     sweep.results.resize(max_mode);
     if (opt.numThreads == 1) {

@@ -1,12 +1,15 @@
 #include "inject/campaign.hh"
 
 #include <algorithm>
+#include <array>
 
 #include "common/bits.hh"
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/trap.hh"
+#include "obs/metrics.hh"
+#include "obs/phase.hh"
 
 namespace mbavf
 {
@@ -89,12 +92,29 @@ scaleBudget(std::uint64_t golden, double multiple)
     return budget < 1.0 ? 1 : static_cast<std::uint64_t>(budget);
 }
 
+/** Per-outcome trial counters, registered once. */
+const obs::Counter &
+outcomeCounter(InjectOutcome outcome)
+{
+    static const auto counters = [] {
+        std::array<obs::Counter, numInjectOutcomes> c;
+        for (std::size_t i = 0; i < numInjectOutcomes; ++i) {
+            c[i] = obs::MetricsRegistry::global().counter(
+                std::string("campaign.outcome.") +
+                injectOutcomeName(static_cast<InjectOutcome>(i)));
+        }
+        return c;
+    }();
+    return counters[static_cast<std::size_t>(outcome)];
+}
+
 } // namespace
 
 Campaign::Campaign(std::string workload, unsigned scale,
                    GpuConfig config)
     : workload_(std::move(workload)), scale_(scale), config_(config)
 {
+    obs::ObsPhase obs_phase("campaign.golden");
     ExecResult golden = execute({}, {}, false);
     if (golden.instrs == 0)
         fatal("golden run of '", workload_, "' executed nothing");
@@ -231,11 +251,14 @@ Campaign::applyProtection(TrialSpec &spec) const
 TrialResult
 Campaign::runOne(const TrialSpec &spec) const
 {
+    // One slice per trial on the worker's trace track.
+    obs::TraceScope trace("trial");
     TrialResult result;
     TrialSpec armed = spec;
     if (scheme_ && applyProtection(armed)) {
         result.outcome = InjectOutcome::Due;
         result.code = schemeCode_;
+        outcomeCounter(result.outcome).add();
         return result;
     }
     // The trial boundary: nothing a corrupted execution throws may
@@ -257,6 +280,7 @@ Campaign::runOne(const TrialSpec &spec) const
         result.outcome = InjectOutcome::Crash;
         result.code = trapcode::hostUnknown;
     }
+    outcomeCounter(result.outcome).add();
     return result;
 }
 

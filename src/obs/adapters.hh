@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Header-only converters from domain result types (core, mem,
+ * inject) to manifest JSON sections.
+ *
+ * These live outside the mbavf_obs library on purpose: the
+ * instrumented layers (inject, core) link against mbavf_obs, so
+ * mbavf_obs itself must not link back at them. Inlining the
+ * converters into the final binaries (tools, benches, tests — which
+ * all link the domain libraries anyway) keeps the layering acyclic.
+ */
+
+#ifndef MBAVF_OBS_ADAPTERS_HH
+#define MBAVF_OBS_ADAPTERS_HH
+
+#include "common/table.hh"
+#include "core/mbavf.hh"
+#include "core/ser.hh"
+#include "core/sweep.hh"
+#include "inject/campaign.hh"
+#include "mem/cache.hh"
+#include "obs/json.hh"
+
+namespace mbavf::obs
+{
+
+/** "cache" section entry for one cache's statistics. */
+inline JsonValue
+cacheStatsJson(const CacheStats &stats)
+{
+    JsonValue out = JsonValue::object();
+    out.set("hits", JsonValue(stats.hits));
+    out.set("misses", JsonValue(stats.misses));
+    out.set("evictions", JsonValue(stats.evictions));
+    out.set("writebacks", JsonValue(stats.writebacks));
+    out.set("miss_rate", JsonValue(stats.missRate()));
+    return out;
+}
+
+/** One AVF split as {sdc, true_due, false_due, total}. */
+inline JsonValue
+avfJson(const AvfFractions &avf)
+{
+    JsonValue out = JsonValue::object();
+    out.set("sdc", JsonValue(avf.sdc));
+    out.set("true_due", JsonValue(avf.trueDue));
+    out.set("false_due", JsonValue(avf.falseDue));
+    out.set("total", JsonValue(avf.total()));
+    return out;
+}
+
+/** "avf" section: per-mode whole-run (and windowed) fractions. */
+inline JsonValue
+modeSweepJson(const ModeSweep &sweep)
+{
+    JsonValue modes = JsonValue::array();
+    for (std::size_t m = 0; m < sweep.results.size(); ++m) {
+        const MbAvfResult &result = sweep.results[m];
+        JsonValue entry = JsonValue::object();
+        entry.set("mode", std::to_string(m + 1) + "x1");
+        entry.set("avf", avfJson(result.avf));
+        entry.set("groups", JsonValue(result.numGroups));
+        if (!result.windows.empty()) {
+            JsonValue windows = JsonValue::array();
+            for (const AvfFractions &w : result.windows)
+                windows.push(avfJson(w));
+            entry.set("windows", std::move(windows));
+        }
+        modes.push(std::move(entry));
+    }
+    JsonValue out = JsonValue::object();
+    out.set("modes", std::move(modes));
+    return out;
+}
+
+/** "ser" section. */
+inline JsonValue
+serJson(const StructureSer &ser)
+{
+    JsonValue out = JsonValue::object();
+    out.set("sdc", JsonValue(ser.sdc));
+    out.set("true_due", JsonValue(ser.trueDue));
+    out.set("false_due", JsonValue(ser.falseDue));
+    out.set("due", JsonValue(ser.due()));
+    return out;
+}
+
+/**
+ * "campaign" tally section: per-outcome counts with Wilson 95% CIs
+ * (the CI bounds are what mbavf_report's drift check keys on), plus
+ * diagnostic-code counts.
+ */
+inline JsonValue
+tallyJson(const CampaignTally &tally)
+{
+    JsonValue outcomes = JsonValue::object();
+    for (std::size_t i = 0; i < numInjectOutcomes; ++i) {
+        const InjectOutcome outcome = static_cast<InjectOutcome>(i);
+        const WilsonInterval rate = tally.rate(outcome);
+        JsonValue entry = JsonValue::object();
+        entry.set("count", JsonValue(tally.count(outcome)));
+        entry.set("rate", JsonValue(rate.point));
+        entry.set("ci_low", JsonValue(rate.low));
+        entry.set("ci_high", JsonValue(rate.high));
+        outcomes.set(injectOutcomeName(outcome), std::move(entry));
+    }
+    JsonValue codes = JsonValue::object();
+    for (const auto &[code, count] : tally.codeCounts)
+        codes.set(code, JsonValue(count));
+    JsonValue out = JsonValue::object();
+    out.set("trials", JsonValue(tally.total()));
+    out.set("outcomes", std::move(outcomes));
+    out.set("codes", std::move(codes));
+    return out;
+}
+
+/** "tables" entry for one bench table (header + preformatted rows). */
+inline JsonValue
+tableJson(const Table &table)
+{
+    JsonValue header = JsonValue::array();
+    for (const std::string &cell : table.header())
+        header.push(JsonValue(cell));
+    JsonValue rows = JsonValue::array();
+    for (std::size_t r = 0; r < table.numRows(); ++r) {
+        JsonValue row = JsonValue::array();
+        for (const std::string &cell : table.row(r))
+            row.push(JsonValue(cell));
+        rows.push(std::move(row));
+    }
+    JsonValue out = JsonValue::object();
+    out.set("header", std::move(header));
+    out.set("rows", std::move(rows));
+    return out;
+}
+
+} // namespace mbavf::obs
+
+#endif // MBAVF_OBS_ADAPTERS_HH

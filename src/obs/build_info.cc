@@ -1,0 +1,63 @@
+#include "obs/build_info.hh"
+
+#ifndef MBAVF_GIT_HASH
+#define MBAVF_GIT_HASH "unknown"
+#endif
+#ifndef MBAVF_BUILD_TYPE
+#define MBAVF_BUILD_TYPE "unknown"
+#endif
+#ifndef MBAVF_CXX_FLAGS
+#define MBAVF_CXX_FLAGS ""
+#endif
+#ifndef MBAVF_SANITIZE_LIST
+#define MBAVF_SANITIZE_LIST ""
+#endif
+
+namespace mbavf::obs
+{
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info = [] {
+        BuildInfo b;
+        b.gitHash = MBAVF_GIT_HASH;
+        b.compiler = __VERSION__;
+        b.buildType = MBAVF_BUILD_TYPE;
+        b.flags = MBAVF_CXX_FLAGS;
+        b.sanitize = MBAVF_SANITIZE_LIST;
+#ifdef MBAVF_RUNTIME_CHECKS
+        b.runtimeChecks = true;
+#endif
+        return b;
+    }();
+    return info;
+}
+
+JsonValue
+buildInfoJson()
+{
+    const BuildInfo &b = buildInfo();
+    JsonValue out = JsonValue::object();
+    out.set("git", b.gitHash);
+    out.set("compiler", b.compiler);
+    out.set("build_type", b.buildType);
+    out.set("flags", b.flags);
+    out.set("sanitize", b.sanitize);
+    out.set("runtime_checks", b.runtimeChecks);
+    return out;
+}
+
+std::string
+versionLine(const std::string &tool)
+{
+    const BuildInfo &b = buildInfo();
+    std::string line = tool + " (mbavf) git " + b.gitHash + ", " +
+                       b.compiler + ", " + b.buildType;
+    if (!b.sanitize.empty())
+        line += ", sanitize=" + b.sanitize;
+    line += b.runtimeChecks ? ", checks=on" : ", checks=off";
+    return line;
+}
+
+} // namespace mbavf::obs

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Build provenance: the one description of "which binary produced
+ * this number" that --version flags print and every manifest embeds.
+ *
+ * The git hash, build type, flags, and sanitizer list are baked in
+ * at configure time by src/obs/CMakeLists.txt; the compiler comes
+ * from __VERSION__ and the MBAVF_CHECKS state from whether the
+ * MBAVF_RUNTIME_CHECKS macro was defined. A tree configured outside
+ * git reports "unknown" rather than failing.
+ */
+
+#ifndef MBAVF_OBS_BUILD_INFO_HH
+#define MBAVF_OBS_BUILD_INFO_HH
+
+#include <string>
+
+#include "obs/json.hh"
+
+namespace mbavf::obs
+{
+
+/** Static description of this binary's build. */
+struct BuildInfo
+{
+    std::string gitHash;   ///< configure-time HEAD ("unknown" if none)
+    std::string compiler;  ///< __VERSION__
+    std::string buildType; ///< CMAKE_BUILD_TYPE
+    std::string flags;     ///< CMAKE_CXX_FLAGS (may be empty)
+    std::string sanitize;  ///< MBAVF_SANITIZE list (may be empty)
+    bool runtimeChecks = false; ///< MBAVF_CHECKS compiled in
+};
+
+/** This binary's build description (computed once). */
+const BuildInfo &buildInfo();
+
+/** The manifest "build" section. */
+JsonValue buildInfoJson();
+
+/** One-line --version output for @p tool. */
+std::string versionLine(const std::string &tool);
+
+} // namespace mbavf::obs
+
+#endif // MBAVF_OBS_BUILD_INFO_HH

@@ -1,0 +1,120 @@
+#include "obs/heartbeat.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "obs/stopwatch.hh"
+
+namespace mbavf::obs
+{
+
+Heartbeat::Heartbeat(std::vector<std::string> labels,
+                     std::uint64_t total, std::uint64_t interval,
+                     std::ostream *os)
+    : labels_(std::move(labels)), counts_(labels_.size(), 0),
+      total_(total), interval_(interval), os_(os)
+{
+    Stopwatch watch;
+    now_ = [watch] { return watch.seconds(); };
+}
+
+void
+Heartbeat::prime(const std::vector<std::uint64_t> &counts)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (counts.size() != counts_.size())
+        panic("heartbeat primed with ", counts.size(),
+              " labels, expected ", counts_.size());
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        counts_[i] += counts[i];
+        completed_ += counts[i];
+        primed_ += counts[i];
+    }
+    emittedAt_ = completed_;
+}
+
+void
+Heartbeat::record(std::size_t label_index)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (label_index >= counts_.size())
+        panic("heartbeat outcome index ", label_index,
+              " out of range");
+    ++counts_[label_index];
+    ++completed_;
+    if (!interval_)
+        return;
+    // Crossing a multiple of the interval. Trials complete one at a
+    // time under the lock, so "crossed" is simply "landed on".
+    if (completed_ % interval_ == 0)
+        emitLocked();
+}
+
+void
+Heartbeat::finish()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (interval_ && completed_ > emittedAt_)
+        emitLocked();
+}
+
+std::vector<std::uint64_t>
+Heartbeat::counts() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counts_;
+}
+
+std::uint64_t
+Heartbeat::completed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return completed_;
+}
+
+void
+Heartbeat::setClock(std::function<double()> now_seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_ = std::move(now_seconds);
+}
+
+void
+Heartbeat::emitLocked()
+{
+    emittedAt_ = completed_;
+    if (!os_)
+        return;
+    ++lines_;
+    const double elapsed = now_();
+    const std::uint64_t ran = completed_ - primed_;
+    const double rate = elapsed > 0
+        ? static_cast<double>(ran) / elapsed
+        : 0.0;
+    const std::uint64_t left =
+        total_ > completed_ ? total_ - completed_ : 0;
+    const double pct = total_
+        ? 100.0 * static_cast<double>(completed_) /
+              static_cast<double>(total_)
+        : 0.0;
+
+    std::string line = "[heartbeat] ";
+    line += std::to_string(completed_) + "/" +
+            std::to_string(total_);
+    line += " (" + formatFixed(pct, 1) + "%)";
+    line += ", " + formatFixed(rate, 1) + " trials/s";
+    if (rate > 0) {
+        line += ", ETA " +
+                formatFixed(static_cast<double>(left) / rate, 0) +
+                "s";
+    }
+    for (std::size_t i = 0; i < labels_.size(); ++i) {
+        line += i == 0 ? " | " : " ";
+        line += labels_[i] + "=" + std::to_string(counts_[i]);
+    }
+    *os_ << line << "\n";
+    os_->flush();
+}
+
+} // namespace mbavf::obs

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Periodic campaign heartbeat: a progress line with throughput, ETA,
+ * and the running outcome tallies, emitted to stderr as trials
+ * complete.
+ *
+ * Emission honors the campaign's --checkpoint-every boundaries: a
+ * line prints exactly when the cumulative completed-trial count
+ * crosses a multiple of the interval (so each heartbeat corresponds
+ * to a journal flush point), plus one final line at the last trial.
+ * A resumed campaign primes the heartbeat with the journaled prefix,
+ * so the cumulative counts and percentages stay coherent with the
+ * final tally — the rate/ETA meanwhile only measure the trials this
+ * process actually ran.
+ *
+ * The outcome label set is passed in by the caller (the campaign CLI
+ * passes injectOutcomeName() order) so obs stays independent of the
+ * inject layer. record() is thread-safe; it is called from pool
+ * workers via Campaign's on_trial callback.
+ */
+
+#ifndef MBAVF_OBS_HEARTBEAT_HH
+#define MBAVF_OBS_HEARTBEAT_HH
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mbavf::obs
+{
+
+/** See file comment. */
+class Heartbeat
+{
+  public:
+    /**
+     * @param labels   outcome names; record() refers to them by index
+     * @param total    total trials the campaign will complete
+     * @param interval emit when the cumulative count crosses a
+     *                 multiple of this (0 disables heartbeats)
+     * @param os       sink (null disables output but keeps tallies)
+     */
+    Heartbeat(std::vector<std::string> labels, std::uint64_t total,
+              std::uint64_t interval, std::ostream *os);
+
+    /**
+     * Seed the cumulative state with @p counts per label (resume
+     * path). Counts sum to the number of already-completed trials.
+     */
+    void prime(const std::vector<std::uint64_t> &counts);
+
+    /** One trial finished with outcome @p label_index. Thread-safe. */
+    void record(std::size_t label_index);
+
+    /** Emit a final line if the last trial wasn't on a boundary. */
+    void finish();
+
+    /** Cumulative count per label (tests). */
+    std::vector<std::uint64_t> counts() const;
+
+    /** Cumulative completed trials, including primed ones. */
+    std::uint64_t completed() const;
+
+    /** Lines emitted so far (tests). */
+    std::uint64_t linesEmitted() const { return lines_; }
+
+    /** Override the elapsed-seconds source (tests use a fake). */
+    void setClock(std::function<double()> now_seconds);
+
+  private:
+    /** Compose and write one line. Caller holds the lock. */
+    void emitLocked();
+
+    std::vector<std::string> labels_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_;
+    std::uint64_t interval_;
+    std::ostream *os_;
+    mutable std::mutex mutex_;
+    std::uint64_t completed_ = 0; ///< includes primed trials
+    std::uint64_t primed_ = 0;    ///< trials this process skipped
+    std::uint64_t emittedAt_ = 0; ///< completed_ at the last line
+    std::uint64_t lines_ = 0;
+    std::function<double()> now_;
+};
+
+} // namespace mbavf::obs
+
+#endif // MBAVF_OBS_HEARTBEAT_HH

@@ -1,0 +1,538 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace mbavf::obs
+{
+
+namespace
+{
+
+/** Nesting depth cap: malformed input must never smash the stack. */
+constexpr int maxDepth = 64;
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        out += "null";
+        return;
+    }
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, res.ptr);
+    // Bare "1e30"-style output is a valid double literal, but a
+    // mantissa-only integer ("42") would re-parse as Uint and break
+    // kind round-tripping; force a fraction marker.
+    std::string_view written(buf, static_cast<std::size_t>(
+                                      res.ptr - buf));
+    if (written.find_first_of(".eE") == std::string_view::npos)
+        out += ".0";
+}
+
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &what)
+    {
+        error = what + " at byte " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) != word)
+            return fail("invalid literal");
+        pos += word.size();
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out.clear();
+        while (true) {
+            if (pos >= text.size())
+                return fail("unterminated string");
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("unterminated escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // Encode the code point as UTF-8 (surrogates are
+                // passed through as-is; the writer never emits them).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    /**
+     * RFC 8259 number grammar:
+     * -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)? — notably no
+     * leading zeros, no bare '.', digits required on both sides of
+     * the point and after the exponent. std::from_chars is laxer
+     * (it takes "01", "1.", ".5"), so this runs first.
+     */
+    static bool
+    numberGrammarOk(std::string_view tok)
+    {
+        std::size_t i = 0;
+        auto digit = [&](std::size_t at) {
+            return at < tok.size() &&
+                   std::isdigit(static_cast<unsigned char>(tok[at]));
+        };
+        if (i < tok.size() && tok[i] == '-')
+            ++i;
+        if (!digit(i))
+            return false;
+        if (tok[i] == '0') {
+            ++i;
+        } else {
+            while (digit(i))
+                ++i;
+        }
+        if (i < tok.size() && tok[i] == '.') {
+            ++i;
+            if (!digit(i))
+                return false;
+            while (digit(i))
+                ++i;
+        }
+        if (i < tok.size() && (tok[i] == 'e' || tok[i] == 'E')) {
+            ++i;
+            if (i < tok.size() &&
+                (tok[i] == '+' || tok[i] == '-')) {
+                ++i;
+            }
+            if (!digit(i))
+                return false;
+            while (digit(i))
+                ++i;
+        }
+        return i == tok.size();
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos;
+        if (consume('-')) {
+        }
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-')) {
+            ++pos;
+        }
+        std::string_view tok = text.substr(start, pos - start);
+        if (tok.empty() || tok == "-")
+            return fail("expected number");
+        if (!numberGrammarOk(tok)) {
+            pos = start;
+            return fail("malformed number");
+        }
+        const bool integral =
+            tok.find_first_of(".eE") == std::string_view::npos;
+        if (integral && tok[0] != '-') {
+            std::uint64_t v = 0;
+            auto res =
+                std::from_chars(tok.begin(), tok.end(), v);
+            if (res.ec == std::errc() && res.ptr == tok.end()) {
+                out = JsonValue(v);
+                return true;
+            }
+        } else if (integral) {
+            std::int64_t v = 0;
+            auto res =
+                std::from_chars(tok.begin(), tok.end(), v);
+            if (res.ec == std::errc() && res.ptr == tok.end()) {
+                out = JsonValue(v);
+                return true;
+            }
+        }
+        double d = 0.0;
+        auto res = std::from_chars(tok.begin(), tok.end(), d);
+        if (res.ec != std::errc() || res.ptr != tok.end()) {
+            pos = start;
+            return fail("malformed number");
+        }
+        out = JsonValue(d);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > maxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        switch (c) {
+          case '{': {
+            ++pos;
+            out = JsonValue::object();
+            skipWs();
+            if (consume('}'))
+                return true;
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (!consume(':'))
+                    return fail("expected ':'");
+                JsonValue value;
+                if (!parseValue(value, depth + 1))
+                    return false;
+                out.set(key, std::move(value));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            ++pos;
+            out = JsonValue::array();
+            skipWs();
+            if (consume(']'))
+                return true;
+            while (true) {
+                JsonValue value;
+                if (!parseValue(value, depth + 1))
+                    return false;
+                out.push(std::move(value));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = JsonValue(std::move(s));
+            return true;
+          }
+          case 't':
+            if (!literal("true"))
+                return false;
+            out = JsonValue(true);
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return false;
+            out = JsonValue(false);
+            return true;
+          case 'n':
+            if (!literal("null"))
+                return false;
+            out = JsonValue();
+            return true;
+          default:
+            return parseNumber(out);
+        }
+    }
+};
+
+} // namespace
+
+double
+JsonValue::asDouble() const
+{
+    switch (kind_) {
+      case Kind::Int: return static_cast<double>(int_);
+      case Kind::Uint: return static_cast<double>(uint_);
+      case Kind::Double: return double_;
+      default: return 0.0;
+    }
+}
+
+std::uint64_t
+JsonValue::asUint() const
+{
+    switch (kind_) {
+      case Kind::Uint:
+        return uint_;
+      case Kind::Int:
+        return int_ < 0 ? 0 : static_cast<std::uint64_t>(int_);
+      case Kind::Double:
+        return double_ < 0
+            ? 0
+            : static_cast<std::uint64_t>(double_);
+      default:
+        return 0;
+    }
+}
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue value)
+{
+    kind_ = Kind::Object;
+    for (auto &[k, v] : members_) {
+        if (k == key) {
+            v = std::move(value);
+            return v;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return members_.back().second;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+JsonValue &
+JsonValue::push(JsonValue value)
+{
+    kind_ = Kind::Array;
+    items_.push_back(std::move(value));
+    return items_.back();
+}
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent) * d, ' ');
+    };
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        return;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        return;
+      case Kind::Int: {
+        char buf[24];
+        auto res = std::to_chars(buf, buf + sizeof(buf), int_);
+        out.append(buf, res.ptr);
+        return;
+      }
+      case Kind::Uint: {
+        char buf[24];
+        auto res = std::to_chars(buf, buf + sizeof(buf), uint_);
+        out.append(buf, res.ptr);
+        return;
+      }
+      case Kind::Double:
+        appendNumber(out, double_);
+        return;
+      case Kind::String:
+        appendEscaped(out, string_);
+        return;
+      case Kind::Array: {
+        if (items_.empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            items_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        return;
+      }
+      case Kind::Object: {
+        if (members_.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            appendEscaped(out, members_[i].first);
+            out += indent > 0 ? ": " : ":";
+            members_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        return;
+      }
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+bool
+JsonValue::parse(std::string_view text, JsonValue &out,
+                 std::string &error)
+{
+    Parser p{text, 0, {}};
+    if (!p.parseValue(out, 0)) {
+        error = p.error;
+        return false;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        error = "trailing garbage at byte " + std::to_string(p.pos);
+        return false;
+    }
+    return true;
+}
+
+bool
+JsonValue::operator==(const JsonValue &other) const
+{
+    if (isNumber() && other.isNumber()) {
+        if (kind_ == Kind::Uint && other.kind_ == Kind::Uint)
+            return uint_ == other.uint_;
+        if (kind_ == Kind::Int && other.kind_ == Kind::Int)
+            return int_ == other.int_;
+        return asDouble() == other.asDouble();
+    }
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null: return true;
+      case Kind::Bool: return bool_ == other.bool_;
+      case Kind::String: return string_ == other.string_;
+      case Kind::Array: return items_ == other.items_;
+      case Kind::Object: {
+        if (members_.size() != other.members_.size())
+            return false;
+        for (const auto &[k, v] : members_) {
+            const JsonValue *o = other.find(k);
+            if (!o || !(v == *o))
+                return false;
+        }
+        return true;
+      }
+      default: return false; // numbers handled above
+    }
+}
+
+} // namespace mbavf::obs

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Minimal JSON document model for the observability subsystem.
+ *
+ * Manifests, Chrome traces, and the mbavf_report tool all speak JSON;
+ * this module provides the one tree type they share, a writer whose
+ * output is deterministic (object members keep insertion order,
+ * doubles print shortest-round-trip via std::to_chars), and a strict
+ * recursive-descent parser that rejects anything malformed with a
+ * byte offset — including every possible truncation of a valid
+ * document, which the manifest fuzz tests rely on.
+ *
+ * Numbers preserve their lexical class: integers without sign stay
+ * exact std::uint64_t, negative integers std::int64_t, everything
+ * else double. Writing a parsed document reproduces every number
+ * bit-identically, which is what lets mbavf_report diff two runs for
+ * exact equality.
+ */
+
+#ifndef MBAVF_OBS_JSON_HH
+#define MBAVF_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mbavf::obs
+{
+
+/** One JSON value: null, bool, number, string, array, or object. */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Int,    ///< negative integer literal (std::int64_t)
+        Uint,   ///< nonnegative integer literal (std::uint64_t)
+        Double, ///< any literal with '.', 'e', or out of range
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    JsonValue(std::int64_t v)
+        : kind_(v < 0 ? Kind::Int : Kind::Uint)
+    {
+        if (v < 0)
+            int_ = v;
+        else
+            uint_ = static_cast<std::uint64_t>(v);
+    }
+    JsonValue(int v) : JsonValue(static_cast<std::int64_t>(v)) {}
+    JsonValue(std::uint64_t v) : kind_(Kind::Uint), uint_(v) {}
+    JsonValue(double v) : kind_(Kind::Double), double_(v) {}
+    JsonValue(std::string s)
+        : kind_(Kind::String), string_(std::move(s))
+    {}
+    JsonValue(const char *s) : kind_(Kind::String), string_(s) {}
+
+    static JsonValue
+    array()
+    {
+        JsonValue v;
+        v.kind_ = Kind::Array;
+        return v;
+    }
+
+    static JsonValue
+    object()
+    {
+        JsonValue v;
+        v.kind_ = Kind::Object;
+        return v;
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isString() const { return kind_ == Kind::String; }
+
+    bool
+    isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Uint ||
+               kind_ == Kind::Double;
+    }
+
+    bool asBool() const { return bool_; }
+    const std::string &asString() const { return string_; }
+
+    /** Numeric value as double (exact for small integers). */
+    double asDouble() const;
+
+    /** Numeric value as u64; saturates negatives/doubles to 0. */
+    std::uint64_t asUint() const;
+
+    // -- Object interface (insertion order is preserved) --
+
+    /** Set @p key to @p value (replacing any existing member). */
+    JsonValue &set(const std::string &key, JsonValue value);
+
+    /** Member lookup; null when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    JsonValue *
+    find(std::string_view key)
+    {
+        return const_cast<JsonValue *>(
+            std::as_const(*this).find(key));
+    }
+
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+    // -- Array interface --
+
+    JsonValue &push(JsonValue value);
+
+    const std::vector<JsonValue> &items() const { return items_; }
+    std::vector<JsonValue> &items() { return items_; }
+
+    std::size_t
+    size() const
+    {
+        return kind_ == Kind::Array ? items_.size()
+                                    : members_.size();
+    }
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces
+     * per level; 0 emits the compact single-line form.
+     */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Strict parse of exactly one document (trailing whitespace
+     * allowed, anything else is an error). On failure returns false
+     * and describes the problem and byte offset in @p error.
+     */
+    static bool parse(std::string_view text, JsonValue &out,
+                      std::string &error);
+
+    /**
+     * Structural equality. Numbers compare by value across lexical
+     * classes (1 == 1.0); objects compare as unordered key sets.
+     */
+    bool operator==(const JsonValue &other) const;
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+} // namespace mbavf::obs
+
+#endif // MBAVF_OBS_JSON_HH

@@ -1,0 +1,114 @@
+#include "obs/manifest.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/parallel.hh"
+#include "obs/build_info.hh"
+#include "obs/metrics.hh"
+#include "obs/phase.hh"
+
+namespace mbavf::obs
+{
+
+Manifest::Manifest(const std::string &tool)
+{
+    root_ = JsonValue::object();
+    root_.set("schema", manifestSchema);
+    root_.set("version", JsonValue(manifestVersion));
+    root_.set("tool", tool);
+    root_.set("build", buildInfoJson());
+}
+
+JsonValue
+phasesJson()
+{
+    JsonValue out = JsonValue::array();
+    for (const auto &[name, stat] : phaseStats()) {
+        JsonValue entry = JsonValue::object();
+        entry.set("name", name);
+        entry.set("seconds", JsonValue(stat.seconds));
+        entry.set("count", JsonValue(stat.count));
+        out.push(std::move(entry));
+    }
+    return out;
+}
+
+void
+Manifest::captureObservations()
+{
+    root_.set("phases", phasesJson());
+    root_.set("metrics",
+              MetricsRegistry::global().snapshot().json());
+}
+
+void
+Manifest::setEnv(JsonValue extra)
+{
+    JsonValue env = JsonValue::object();
+    env.set("threads",
+            JsonValue(std::uint64_t(parallelThreads())));
+    for (const auto &[key, value] : extra.members())
+        env.set(key, value);
+    root_.set("env", std::move(env));
+}
+
+bool
+Manifest::write(const std::string &path, std::string &error) const
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            error = "cannot open '" + tmp + "' for writing";
+            return false;
+        }
+        os << root_.dump(1) << "\n";
+        os.flush();
+        if (!os) {
+            error = "write to '" + tmp + "' failed";
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        error = "cannot rename '" + tmp + "' to '" + path + "'";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+Manifest::load(const std::string &path, JsonValue &out,
+               std::string &error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    if (!JsonValue::parse(buffer.str(), out, error)) {
+        error = path + ": " + error;
+        return false;
+    }
+    const JsonValue *schema = out.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->asString() != manifestSchema) {
+        error = path + ": not an mbavf manifest (bad schema field)";
+        return false;
+    }
+    const JsonValue *version = out.find("version");
+    if (!version || !version->isNumber() ||
+        version->asUint() == 0 ||
+        version->asUint() > manifestVersion) {
+        error = path + ": unsupported manifest version";
+        return false;
+    }
+    return true;
+}
+
+} // namespace mbavf::obs

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Schema-versioned run manifests: the machine-readable record of one
+ * mbavf run (CLI invocation, campaign, or bench harness).
+ *
+ * A manifest is a JSON object with a fixed envelope:
+ *
+ *   {
+ *     "schema": "mbavf-manifest",
+ *     "version": 1,
+ *     "tool": "<producer>",
+ *     "build": { git, compiler, build_type, flags, sanitize,
+ *                runtime_checks },
+ *     ...producer sections...,
+ *     "phases": [ {name, seconds, count}, ... ],
+ *     "metrics": { counters, gauges, histograms },
+ *     "env": { threads, ... }
+ *   }
+ *
+ * Producer sections by convention: "run" (workload/structure/scheme
+ * configuration), "cache" (CacheStats), "avf" (per-mode fractions),
+ * "ser", "campaign" (tally with Wilson CIs), "tables" (bench rows).
+ *
+ * Determinism contract: everything outside "phases" and "env" is a
+ * pure function of the run configuration — bit-identical at any
+ * --threads. "phases" carries wall-clock seconds and "env" run-local
+ * context (thread count); mbavf_report treats exactly those two
+ * sections as perf data and excludes them from structural diffs.
+ *
+ * Files are written via write-temporary + rename so a concurrently
+ * reading consumer never observes a half-written manifest, and the
+ * loader re-validates the envelope (schema string and a version it
+ * understands) before anything trusts the contents.
+ */
+
+#ifndef MBAVF_OBS_MANIFEST_HH
+#define MBAVF_OBS_MANIFEST_HH
+
+#include <string>
+
+#include "obs/json.hh"
+
+namespace mbavf::obs
+{
+
+/** Current manifest schema version. */
+inline constexpr std::uint64_t manifestVersion = 1;
+
+/** Schema identifier in the "schema" field. */
+inline constexpr const char *manifestSchema = "mbavf-manifest";
+
+/** Builder for one manifest document. */
+class Manifest
+{
+  public:
+    /** Starts the envelope: schema, version, @p tool, build info. */
+    explicit Manifest(const std::string &tool);
+
+    /** The underlying document (envelope already populated). */
+    JsonValue &root() { return root_; }
+    const JsonValue &root() const { return root_; }
+
+    /** Add (or replace) a producer section. */
+    void
+    set(const std::string &key, JsonValue value)
+    {
+        root_.set(key, std::move(value));
+    }
+
+    /**
+     * Snapshot the obs phase table into "phases" and the metrics
+     * registry into "metrics". Call once, after the measured work.
+     */
+    void captureObservations();
+
+    /**
+     * Record run-local context ("env" section): pool threads plus
+     * any caller-provided extras.
+     */
+    void setEnv(JsonValue extra = JsonValue::object());
+
+    /**
+     * Serialize to @p path (pretty-printed, trailing newline) via
+     * write-temporary + rename. False + @p error on I/O failure.
+     */
+    bool write(const std::string &path, std::string &error) const;
+
+    /**
+     * Parse @p path and validate the envelope: readable file, valid
+     * JSON, "schema" == manifestSchema, integer "version" <=
+     * manifestVersion. False + @p error otherwise.
+     */
+    static bool load(const std::string &path, JsonValue &out,
+                     std::string &error);
+
+  private:
+    JsonValue root_;
+};
+
+/** "phases" section from the current phase table. */
+JsonValue phasesJson();
+
+} // namespace mbavf::obs
+
+#endif // MBAVF_OBS_MANIFEST_HH

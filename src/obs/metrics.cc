@@ -1,0 +1,168 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mbavf::obs
+{
+
+namespace detail
+{
+
+std::atomic<bool> metricsEnabledFlag{false};
+
+} // namespace detail
+
+void
+setMetricsEnabled(bool enabled)
+{
+    detail::metricsEnabledFlag.store(enabled,
+                                     std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry instance;
+    return instance;
+}
+
+Counter
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &c : counters_)
+        if (c->name == name)
+            return Counter(c.get());
+    counters_.push_back(std::make_unique<detail::CounterCell>());
+    counters_.back()->name = name;
+    return Counter(counters_.back().get());
+}
+
+Gauge
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &g : gauges_)
+        if (g->name == name)
+            return Gauge(g.get());
+    gauges_.push_back(std::make_unique<detail::GaugeCell>());
+    gauges_.back()->name = name;
+    return Gauge(gauges_.back().get());
+}
+
+Histogram
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<std::uint64_t> bounds)
+{
+    if (!std::is_sorted(bounds.begin(), bounds.end()))
+        panic("histogram '", name, "' bounds must be ascending");
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &h : histograms_) {
+        if (h->name == name) {
+            if (h->bounds != bounds) {
+                panic("histogram '", name,
+                      "' re-registered with different bounds");
+            }
+            return Histogram(h.get());
+        }
+    }
+    histograms_.push_back(std::make_unique<detail::HistogramCell>());
+    detail::HistogramCell &cell = *histograms_.back();
+    cell.name = name;
+    cell.bounds = std::move(bounds);
+    cell.buckets =
+        std::vector<detail::CounterCell>(cell.bounds.size() + 1);
+    return Histogram(&cell);
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &c : counters_)
+            snap.counters.emplace_back(c->name, c->total());
+        for (const auto &g : gauges_) {
+            snap.gauges.emplace_back(
+                g->name,
+                g->value.load(std::memory_order_relaxed));
+        }
+        for (const auto &h : histograms_) {
+            MetricsSnapshot::HistogramData data;
+            data.name = h->name;
+            data.bounds = h->bounds;
+            for (const detail::CounterCell &b : h->buckets)
+                data.counts.push_back(b.total());
+            snap.histograms.push_back(std::move(data));
+        }
+    }
+    auto byName = [](const auto &a, const auto &b) {
+        return a.first < b.first;
+    };
+    std::sort(snap.counters.begin(), snap.counters.end(), byName);
+    std::sort(snap.gauges.begin(), snap.gauges.end(), byName);
+    std::sort(snap.histograms.begin(), snap.histograms.end(),
+              [](const auto &a, const auto &b) {
+                  return a.name < b.name;
+              });
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &c : counters_)
+        for (detail::Shard &s : c->shards)
+            s.value.store(0, std::memory_order_relaxed);
+    for (const auto &g : gauges_)
+        g->value.store(0, std::memory_order_relaxed);
+    for (const auto &h : histograms_)
+        for (detail::CounterCell &b : h->buckets)
+            for (detail::Shard &s : b.shards)
+                s.value.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+MetricsSnapshot::HistogramData::total() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : counts)
+        sum += c;
+    return sum;
+}
+
+JsonValue
+MetricsSnapshot::json() const
+{
+    JsonValue out = JsonValue::object();
+    JsonValue cs = JsonValue::object();
+    for (const auto &[name, value] : counters)
+        cs.set(name, JsonValue(value));
+    out.set("counters", std::move(cs));
+    JsonValue gs = JsonValue::object();
+    for (const auto &[name, value] : gauges)
+        gs.set(name, JsonValue(value));
+    out.set("gauges", std::move(gs));
+    JsonValue hs = JsonValue::object();
+    for (const HistogramData &h : histograms) {
+        JsonValue entry = JsonValue::object();
+        JsonValue bounds = JsonValue::array();
+        for (std::uint64_t b : h.bounds)
+            bounds.push(JsonValue(b));
+        entry.set("bounds", std::move(bounds));
+        JsonValue counts = JsonValue::array();
+        for (std::uint64_t c : h.counts)
+            counts.push(JsonValue(c));
+        entry.set("counts", std::move(counts));
+        entry.set("total", JsonValue(h.total()));
+        hs.set(h.name, std::move(entry));
+    }
+    out.set("histograms", std::move(hs));
+    return out;
+}
+
+} // namespace mbavf::obs

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Deterministic metrics registry: counters, gauges, and fixed-bucket
+ * histograms for the analysis and campaign hot paths.
+ *
+ * Cost model. All instrumentation is compiled in unconditionally but
+ * costs one relaxed atomic load and a predictable branch while no
+ * sink is attached (metricsEnabled() == false, the default) — the
+ * same contract MBAVF_CHECK has for invariants, proved by
+ * bench/micro_obs_overhead. Attaching a sink (--manifest, a bench
+ * reporter) flips the flag for the whole process.
+ *
+ * Determinism. Counters and histogram buckets are sharded across a
+ * fixed array of cache-line-padded cells indexed by
+ * parallelWorkerId() to keep hot increments contention-free; a
+ * snapshot merges shards by unsigned addition and sorts metrics by
+ * name, so every exported number is bit-identical at any --threads —
+ * the same contract as common/parallel.hh. Gauges are single-cell
+ * set-last semantics and must only be set from coordinating code,
+ * never from racing workers.
+ *
+ * Handles (Counter, Gauge, Histogram) are cheap copyable pointers
+ * into the process-wide registry; look them up once outside the hot
+ * loop and increment through the handle inside it.
+ */
+
+#ifndef MBAVF_OBS_METRICS_HH
+#define MBAVF_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "obs/json.hh"
+
+namespace mbavf::obs
+{
+
+/** Process-wide metrics enable flag (see file comment). */
+bool metricsEnabled();
+void setMetricsEnabled(bool enabled);
+
+namespace detail
+{
+
+/** Shard count; ids map onto shards modulo this. Power of two. */
+constexpr unsigned numShards = 64;
+
+struct alignas(64) Shard
+{
+    std::atomic<std::uint64_t> value{0};
+};
+
+struct CounterCell
+{
+    std::string name;
+    Shard shards[numShards];
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (const Shard &s : shards)
+            sum += s.value.load(std::memory_order_relaxed);
+        return sum;
+    }
+};
+
+struct GaugeCell
+{
+    std::string name;
+    std::atomic<std::int64_t> value{0};
+};
+
+struct HistogramCell
+{
+    std::string name;
+    /** Ascending upper bounds; bucket i counts v <= bounds[i], the
+     *  implicit final bucket counts everything above the last. */
+    std::vector<std::uint64_t> bounds;
+    std::vector<CounterCell> buckets; // bounds.size() + 1 cells
+};
+
+extern std::atomic<bool> metricsEnabledFlag;
+
+} // namespace detail
+
+inline bool
+metricsEnabled()
+{
+    return detail::metricsEnabledFlag.load(std::memory_order_relaxed);
+}
+
+/** Monotonic counter handle. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void
+    add(std::uint64_t n = 1) const
+    {
+        if (!metricsEnabled() || !cell_)
+            return;
+        detail::Shard &shard =
+            cell_->shards[parallelWorkerId() %
+                          detail::numShards];
+        shard.value.fetch_add(n, std::memory_order_relaxed);
+    }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Counter(detail::CounterCell *cell) : cell_(cell) {}
+    detail::CounterCell *cell_ = nullptr;
+};
+
+/** Point-in-time gauge handle (set from coordinating code only). */
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    void
+    set(std::int64_t v) const
+    {
+        if (!metricsEnabled() || !cell_)
+            return;
+        cell_->value.store(v, std::memory_order_relaxed);
+    }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Gauge(detail::GaugeCell *cell) : cell_(cell) {}
+    detail::GaugeCell *cell_ = nullptr;
+};
+
+/** Fixed-bucket histogram handle. */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    void
+    observe(std::uint64_t v) const
+    {
+        if (!metricsEnabled() || !cell_)
+            return;
+        std::size_t b = 0;
+        while (b < cell_->bounds.size() && v > cell_->bounds[b])
+            ++b;
+        detail::Shard &shard =
+            cell_->buckets[b].shards[parallelWorkerId() %
+                                     detail::numShards];
+        shard.value.fetch_add(1, std::memory_order_relaxed);
+    }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Histogram(detail::HistogramCell *cell) : cell_(cell) {}
+    detail::HistogramCell *cell_ = nullptr;
+};
+
+/** One merged, name-sorted export of the registry. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+
+    struct HistogramData
+    {
+        std::string name;
+        std::vector<std::uint64_t> bounds;
+        /** counts[i] pairs with bounds[i]; the final extra entry is
+         *  the overflow bucket. */
+        std::vector<std::uint64_t> counts;
+
+        std::uint64_t total() const;
+    };
+    std::vector<HistogramData> histograms;
+
+    /** The manifest "metrics" section. */
+    JsonValue json() const;
+};
+
+/**
+ * The process-wide registry. Registration (counter()/gauge()/
+ * histogram()) takes a lock and is for setup code; the returned
+ * handles are lock-free. Re-registering a name returns the existing
+ * metric (histograms additionally require identical bounds).
+ */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &global();
+
+    Counter counter(const std::string &name);
+    Gauge gauge(const std::string &name);
+    Histogram histogram(const std::string &name,
+                        std::vector<std::uint64_t> bounds);
+
+    /** Deterministic merged export (see file comment). */
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every value; handles stay valid. Tests only. */
+    void reset();
+
+  private:
+    MetricsRegistry() = default;
+
+    mutable std::mutex mutex_;
+    // unique_ptr keeps cell addresses stable across registrations,
+    // which the outstanding handles require.
+    std::vector<std::unique_ptr<detail::CounterCell>> counters_;
+    std::vector<std::unique_ptr<detail::GaugeCell>> gauges_;
+    std::vector<std::unique_ptr<detail::HistogramCell>> histograms_;
+};
+
+} // namespace mbavf::obs
+
+#endif // MBAVF_OBS_METRICS_HH

@@ -1,0 +1,67 @@
+#include "obs/phase.hh"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace mbavf::obs
+{
+
+namespace detail
+{
+std::atomic<bool> timingEnabledFlag{false};
+} // namespace detail
+
+namespace
+{
+
+struct PhaseTable
+{
+    std::mutex mutex;
+    std::map<std::string, PhaseStat> stats;
+};
+
+PhaseTable &
+table()
+{
+    static PhaseTable instance;
+    return instance;
+}
+
+} // namespace
+
+void
+setTimingEnabled(bool enabled)
+{
+    detail::timingEnabledFlag.store(enabled,
+                                    std::memory_order_relaxed);
+}
+
+void
+recordPhase(const char *name, double seconds)
+{
+    PhaseTable &t = table();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    PhaseStat &stat = t.stats[name];
+    stat.seconds += seconds;
+    ++stat.count;
+}
+
+std::vector<std::pair<std::string, PhaseStat>>
+phaseStats()
+{
+    PhaseTable &t = table();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    // std::map iteration is already name-sorted.
+    return {t.stats.begin(), t.stats.end()};
+}
+
+void
+resetPhases()
+{
+    PhaseTable &t = table();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    t.stats.clear();
+}
+
+} // namespace mbavf::obs

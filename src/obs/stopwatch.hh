@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The one wall-clock stopwatch for benches and heartbeats. Every
+ * harness that used to roll its own std::chrono snippet uses this
+ * instead, so elapsed-time reporting is uniform (monotonic clock,
+ * double seconds) across the codebase.
+ */
+
+#ifndef MBAVF_OBS_STOPWATCH_HH
+#define MBAVF_OBS_STOPWATCH_HH
+
+#include <chrono>
+
+namespace mbavf::obs
+{
+
+/** Monotonic elapsed-seconds timer; starts at construction. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /** Seconds since construction or the last restart(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_)
+            .count();
+    }
+
+    /** Reset the origin; returns the elapsed seconds up to now. */
+    double
+    restart()
+    {
+        Clock::time_point now = Clock::now();
+        double elapsed =
+            std::chrono::duration<double>(now - start_).count();
+        start_ = now;
+        return elapsed;
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace mbavf::obs
+
+#endif // MBAVF_OBS_STOPWATCH_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Chrome trace_event collector: scoped slices on per-thread tracks,
+ * exported as the JSON array format chrome://tracing and Perfetto
+ * load directly.
+ *
+ * Events are buffered in per-thread vectors (registered with a
+ * global collector on each thread's first event) so the hot path
+ * never takes a lock; writeChromeTrace() snapshots all buffers,
+ * sorts by (track, start), and emits one complete ("ph":"X") event
+ * per slice plus thread_name metadata per track. Track ids are
+ * parallelWorkerId(), so one track per pool worker — exactly the
+ * shape the campaign-trial and mode-sweep slices want.
+ *
+ * Like metrics, tracing costs one relaxed load and a branch until
+ * setTracingEnabled(true) attaches a sink (--trace-out).
+ */
+
+#ifndef MBAVF_OBS_TRACE_HH
+#define MBAVF_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace mbavf::obs
+{
+
+namespace detail
+{
+extern std::atomic<bool> tracingEnabledFlag;
+} // namespace detail
+
+inline bool
+tracingEnabled()
+{
+    return detail::tracingEnabledFlag.load(std::memory_order_relaxed);
+}
+
+void setTracingEnabled(bool enabled);
+
+/**
+ * Record one complete slice on the calling thread's track.
+ * @p start_us / @p dur_us are microseconds on the process-wide
+ * monotonic timebase (traceNowUs()).
+ */
+void traceComplete(const char *name, double start_us, double dur_us);
+
+/** Microseconds since the collector's epoch (monotonic). */
+double traceNowUs();
+
+/** Scoped slice: records [ctor, dtor) when tracing is enabled. */
+class TraceScope
+{
+  public:
+    explicit TraceScope(const char *name)
+    {
+        if (tracingEnabled()) {
+            name_ = name;
+            startUs_ = traceNowUs();
+        }
+    }
+
+    ~TraceScope()
+    {
+        if (name_)
+            traceComplete(name_, startUs_, traceNowUs() - startUs_);
+    }
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+  private:
+    const char *name_ = nullptr;
+    double startUs_ = 0.0;
+};
+
+/**
+ * Write every buffered event to @p path as a Chrome trace JSON
+ * object. Returns false with a diagnostic in @p error on I/O
+ * failure. Safe to call with tracing still enabled (events recorded
+ * concurrently may or may not be included).
+ */
+bool writeChromeTrace(const std::string &path, std::string &error);
+
+/** Drop all buffered events (tests and tools between runs). */
+void resetTrace();
+
+/** Number of buffered events across all threads (tests). */
+std::size_t traceEventCount();
+
+} // namespace mbavf::obs
+
+#endif // MBAVF_OBS_TRACE_HH

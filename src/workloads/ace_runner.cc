@@ -1,7 +1,11 @@
 #include "workloads/ace_runner.hh"
 
+#include <optional>
+
 #include "gpu/regfile_probe.hh"
 #include "mem/cache_probe.hh"
+#include "obs/metrics.hh"
+#include "obs/phase.hh"
 #include "trace/dataflow.hh"
 
 namespace mbavf
@@ -38,25 +42,45 @@ runAceAnalysis(const std::string &workload_name,
     RegFileAvfProbe vgpr_probe(config.regs);
     gpu.regFile(0).setListener(&vgpr_probe);
 
-    auto workload = makeWorkload(workload_name, options.scale);
-    workload->run(gpu);
-    gpu.finish();
+    {
+        obs::ObsPhase phase("ace.sim");
+        auto workload = makeWorkload(workload_name, options.scale);
+        workload->run(gpu);
+        gpu.finish();
+    }
 
     out.horizon = gpu.horizon();
     out.l1Stats = gpu.l1(0).stats();
     out.l2Stats = gpu.l2().stats();
 
-    Liveness liveness(gpu.dataflow());
-    out.numDefs = liveness.numDefs();
-    out.numDeadDefs = liveness.numDead();
+    // The backward pass: liveness over the dataflow graph, then each
+    // probe resolves its recorded lifetimes against it.
+    std::optional<Liveness> liveness;
+    {
+        obs::ObsPhase phase("ace.liveness");
+        liveness.emplace(gpu.dataflow());
+    }
+    out.numDefs = liveness->numDefs();
+    out.numDeadDefs = liveness->numDead();
 
-    LivenessResolver resolver = [&liveness](DefId def) {
-        return static_cast<std::uint64_t>(liveness.relevance(def));
-    };
-    out.l1 = l1_probe.finalize(out.horizon, resolver);
-    out.vgpr = vgpr_probe.finalize(out.horizon, resolver);
-    if (measure_l2)
-        out.l2 = l2_probe.finalize(out.horizon, resolver);
+    static const obs::Counter defs_counter =
+        obs::MetricsRegistry::global().counter("ace.defs");
+    static const obs::Counter dead_counter =
+        obs::MetricsRegistry::global().counter("ace.dead_defs");
+    defs_counter.add(out.numDefs);
+    dead_counter.add(out.numDeadDefs);
+
+    {
+        obs::ObsPhase phase("ace.backward");
+        LivenessResolver resolver = [&liveness](DefId def) {
+            return static_cast<std::uint64_t>(
+                liveness->relevance(def));
+        };
+        out.l1 = l1_probe.finalize(out.horizon, resolver);
+        out.vgpr = vgpr_probe.finalize(out.horizon, resolver);
+        if (measure_l2)
+            out.l2 = l2_probe.finalize(out.horizon, resolver);
+    }
     return out;
 }
 

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Heartbeat tests: emission exactly on checkpoint-interval
+ * boundaries, the resume (prime) coherence contract — cumulative
+ * counts include the journaled prefix while rate/ETA cover only the
+ * trials this process ran — and thread-safety of record().
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/heartbeat.hh"
+
+using namespace mbavf;
+
+namespace
+{
+
+const std::vector<std::string> kLabels = {"masked", "sdc", "due"};
+
+std::size_t
+countLines(const std::string &text)
+{
+    std::size_t n = 0;
+    for (char c : text)
+        if (c == '\n')
+            ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(HeartbeatTest, EmitsExactlyOnIntervalBoundaries)
+{
+    std::ostringstream os;
+    obs::Heartbeat hb(kLabels, 48, 16, &os);
+    for (int i = 0; i < 48; ++i)
+        hb.record(0);
+    // 48 trials at interval 16: lines at 16, 32, 48.
+    EXPECT_EQ(hb.linesEmitted(), 3u);
+    EXPECT_EQ(countLines(os.str()), 3u);
+    // The final trial landed on a boundary; finish() adds nothing.
+    hb.finish();
+    EXPECT_EQ(hb.linesEmitted(), 3u);
+}
+
+TEST(HeartbeatTest, FinishEmitsOffBoundaryFinalLine)
+{
+    std::ostringstream os;
+    obs::Heartbeat hb(kLabels, 50, 16, &os);
+    for (int i = 0; i < 50; ++i)
+        hb.record(i % kLabels.size());
+    EXPECT_EQ(hb.linesEmitted(), 3u); // 16, 32, 48
+    hb.finish();
+    EXPECT_EQ(hb.linesEmitted(), 4u); // plus the 50/50 line
+    EXPECT_NE(os.str().find("50/50"), std::string::npos) << os.str();
+}
+
+TEST(HeartbeatTest, LineFormat)
+{
+    std::ostringstream os;
+    obs::Heartbeat hb(kLabels, 16, 16, &os);
+    hb.setClock([] { return 2.0; });
+    for (int i = 0; i < 16; ++i)
+        hb.record(i < 10 ? 0 : 1); // 10 masked, 6 sdc
+    const std::string line = os.str();
+    EXPECT_NE(line.find("[heartbeat]"), std::string::npos) << line;
+    EXPECT_NE(line.find("16/16"), std::string::npos) << line;
+    EXPECT_NE(line.find("100.0%"), std::string::npos) << line;
+    EXPECT_NE(line.find("masked=10"), std::string::npos) << line;
+    EXPECT_NE(line.find("sdc=6"), std::string::npos) << line;
+    EXPECT_NE(line.find("due=0"), std::string::npos) << line;
+    // 16 trials in 2 fake seconds.
+    EXPECT_NE(line.find("8.0 trials/s"), std::string::npos) << line;
+}
+
+TEST(HeartbeatTest, NullSinkKeepsTallies)
+{
+    obs::Heartbeat hb(kLabels, 8, 4, nullptr);
+    for (int i = 0; i < 8; ++i)
+        hb.record(2);
+    hb.finish();
+    EXPECT_EQ(hb.linesEmitted(), 0u);
+    EXPECT_EQ(hb.completed(), 8u);
+    EXPECT_EQ(hb.counts(), (std::vector<std::uint64_t>{0, 0, 8}));
+}
+
+TEST(HeartbeatTest, ZeroIntervalDisablesHeartbeats)
+{
+    std::ostringstream os;
+    obs::Heartbeat hb(kLabels, 8, 0, &os);
+    for (int i = 0; i < 8; ++i)
+        hb.record(0);
+    hb.finish();
+    EXPECT_EQ(hb.linesEmitted(), 0u);
+    EXPECT_TRUE(os.str().empty());
+    // Tallies still accumulate for the final campaign summary.
+    EXPECT_EQ(hb.completed(), 8u);
+}
+
+/**
+ * Resume coherence: priming folds the journaled prefix into the
+ * cumulative counts (so percentages and tallies match the final
+ * campaign tally) while the rate only measures trials this process
+ * ran with the wall time it actually spent.
+ */
+TEST(HeartbeatTest, PrimeFoldsPrefixIntoCountsButNotRate)
+{
+    std::ostringstream os;
+    obs::Heartbeat hb(kLabels, 48, 16, &os);
+    hb.setClock([] { return 4.0; });
+    // 32 journaled trials: 20 masked, 12 sdc.
+    hb.prime({20, 12, 0});
+    EXPECT_EQ(hb.completed(), 32u);
+    // No heartbeat for the primed prefix — this process did nothing
+    // yet.
+    EXPECT_EQ(hb.linesEmitted(), 0u);
+
+    for (int i = 0; i < 16; ++i)
+        hb.record(0);
+    EXPECT_EQ(hb.completed(), 48u);
+    EXPECT_EQ(hb.counts(), (std::vector<std::uint64_t>{36, 12, 0}));
+    ASSERT_EQ(hb.linesEmitted(), 1u);
+
+    const std::string line = os.str();
+    // Cumulative view: 48/48 incl. prefix.
+    EXPECT_NE(line.find("48/48"), std::string::npos) << line;
+    EXPECT_NE(line.find("masked=36"), std::string::npos) << line;
+    EXPECT_NE(line.find("sdc=12"), std::string::npos) << line;
+    // Rate view: 16 ran trials over 4 fake seconds, not 48 / 4.
+    EXPECT_NE(line.find("4.0 trials/s"), std::string::npos) << line;
+}
+
+TEST(HeartbeatTest, PrimedBoundaryAlignmentMatchesJournal)
+{
+    // Journal flushed at 16; we resume and the next boundary is 32 —
+    // crossing it after 16 more local trials emits exactly one line.
+    std::ostringstream os;
+    obs::Heartbeat hb(kLabels, 40, 16, &os);
+    hb.prime({16, 0, 0});
+    for (int i = 0; i < 15; ++i)
+        hb.record(0);
+    EXPECT_EQ(hb.linesEmitted(), 0u);
+    hb.record(0); // completes trial 32
+    EXPECT_EQ(hb.linesEmitted(), 1u);
+    EXPECT_NE(os.str().find("32/40"), std::string::npos) << os.str();
+}
+
+TEST(HeartbeatTest, RecordIsThreadSafe)
+{
+    obs::Heartbeat hb(kLabels, 4000, 1000, nullptr);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&hb, t] {
+            for (int i = 0; i < 1000; ++i)
+                hb.record(static_cast<std::size_t>(t) %
+                          kLabels.size());
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    EXPECT_EQ(hb.completed(), 4000u);
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : hb.counts())
+        sum += c;
+    EXPECT_EQ(sum, 4000u);
+}

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * JsonValue writer/parser tests: deterministic output, exact number
+ * round-trips, strict error handling, and the truncation fuzz the
+ * manifest loader's robustness rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "obs/json.hh"
+
+using namespace mbavf;
+using obs::JsonValue;
+
+namespace
+{
+
+JsonValue
+sampleDoc()
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("null", JsonValue());
+    doc.set("true", JsonValue(true));
+    doc.set("false", JsonValue(false));
+    doc.set("uint", JsonValue(std::uint64_t(18446744073709551615u)));
+    doc.set("int", JsonValue(std::int64_t(-42)));
+    doc.set("double", JsonValue(0.1234567890123456789));
+    doc.set("whole_double", JsonValue(3.0));
+    doc.set("string", JsonValue("quote \" slash \\ tab \t end"));
+    JsonValue arr = JsonValue::array();
+    arr.push(JsonValue(1));
+    arr.push(JsonValue("two"));
+    arr.push(JsonValue::object());
+    doc.set("array", std::move(arr));
+    JsonValue nested = JsonValue::object();
+    nested.set("k", JsonValue(2.5e-300));
+    doc.set("object", std::move(nested));
+    return doc;
+}
+
+JsonValue
+parseOk(const std::string &text)
+{
+    JsonValue out;
+    std::string error;
+    EXPECT_TRUE(JsonValue::parse(text, out, error)) << error;
+    return out;
+}
+
+} // namespace
+
+TEST(JsonTest, DumpParseRoundTripIsIdentity)
+{
+    JsonValue doc = sampleDoc();
+    for (int indent : {0, 1, 4}) {
+        std::string text = doc.dump(indent);
+        JsonValue again = parseOk(text);
+        EXPECT_TRUE(doc == again) << text;
+        // The re-dump must be byte-identical: numbers keep their
+        // lexical class and shortest representation.
+        EXPECT_EQ(text, again.dump(indent));
+    }
+}
+
+TEST(JsonTest, NumbersPreserveLexicalClass)
+{
+    JsonValue doc = parseOk("[1, -1, 1.0, 1e3, -0.5]");
+    ASSERT_EQ(doc.items().size(), 5u);
+    EXPECT_EQ(doc.items()[0].kind(), JsonValue::Kind::Uint);
+    EXPECT_EQ(doc.items()[1].kind(), JsonValue::Kind::Int);
+    EXPECT_EQ(doc.items()[2].kind(), JsonValue::Kind::Double);
+    EXPECT_EQ(doc.items()[3].kind(), JsonValue::Kind::Double);
+    EXPECT_EQ(doc.items()[4].kind(), JsonValue::Kind::Double);
+    // A whole-valued double prints with ".0" so it re-parses as a
+    // double, not an integer.
+    EXPECT_EQ(JsonValue(3.0).dump(), "3.0");
+    EXPECT_EQ(parseOk("3.0").dump(), "3.0");
+}
+
+TEST(JsonTest, ExtremeDoublesRoundTrip)
+{
+    for (double v : {std::numeric_limits<double>::max(),
+                     std::numeric_limits<double>::min(),
+                     std::numeric_limits<double>::denorm_min(),
+                     -1.7976931348623157e308, 0.0}) {
+        JsonValue orig(v);
+        JsonValue again = parseOk(orig.dump());
+        EXPECT_EQ(orig.dump(), again.dump()) << v;
+    }
+}
+
+TEST(JsonTest, StringEscapes)
+{
+    JsonValue doc =
+        parseOk("\"a\\n\\t\\\"\\\\\\u0041\\u00e9\\u20ac\"");
+    EXPECT_EQ(doc.asString(), "a\n\t\"\\A\xc3\xa9\xe2\x82\xac");
+    // Control characters dump escaped and survive a round trip.
+    JsonValue ctl(std::string("\x01\x1f"));
+    EXPECT_EQ(parseOk(ctl.dump()).asString(), ctl.asString());
+}
+
+TEST(JsonTest, ObjectOrderPreservedAndEqualityUnordered)
+{
+    JsonValue a = parseOk("{\"z\": 1, \"a\": 2}");
+    EXPECT_EQ(a.dump(), "{\"z\":1,\"a\":2}");
+    JsonValue b = parseOk("{\"a\": 2, \"z\": 1}");
+    EXPECT_TRUE(a == b);
+    JsonValue c = parseOk("{\"a\": 2, \"z\": 3}");
+    EXPECT_FALSE(a == c);
+}
+
+TEST(JsonTest, CrossClassNumericEquality)
+{
+    EXPECT_TRUE(parseOk("1") == parseOk("1.0"));
+    EXPECT_FALSE(parseOk("1") == parseOk("2"));
+    EXPECT_TRUE(parseOk("-3") == parseOk("-3.0"));
+}
+
+TEST(JsonTest, RejectsMalformed)
+{
+    const char *bad[] = {
+        "",        " ",       "{",        "}",       "[1,]",
+        "{\"a\"}", "{\"a\":}", "01",      "+1",      "1.",
+        ".5",      "1e",      "tru",      "nul",     "\"\\x\"",
+        "\"unterminated", "[1] 2", "{\"a\": 1,}", "\"\\u12\"",
+        "nan",     "inf",
+    };
+    for (const char *text : bad) {
+        JsonValue out;
+        std::string error;
+        EXPECT_FALSE(JsonValue::parse(text, out, error))
+            << "accepted: " << text;
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(JsonTest, ErrorsCarryByteOffsets)
+{
+    JsonValue out;
+    std::string error;
+    ASSERT_FALSE(JsonValue::parse("[1, 2, x]", out, error));
+    EXPECT_NE(error.find("7"), std::string::npos) << error;
+}
+
+TEST(JsonTest, DepthLimit)
+{
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    JsonValue out;
+    std::string error;
+    EXPECT_FALSE(JsonValue::parse(deep, out, error));
+
+    std::string ok(50, '[');
+    ok += std::string(50, ']');
+    EXPECT_TRUE(JsonValue::parse(ok, out, error)) << error;
+}
+
+/** Every proper prefix of a valid document must fail to parse. */
+TEST(JsonTest, TruncationAtEveryByteFails)
+{
+    const std::string text = sampleDoc().dump(1);
+    ASSERT_GT(text.size(), 100u);
+    for (std::size_t len = 0; len < text.size(); ++len) {
+        JsonValue out;
+        std::string error;
+        EXPECT_FALSE(JsonValue::parse(
+            std::string_view(text).substr(0, len), out, error))
+            << "prefix of length " << len << " parsed: "
+            << text.substr(0, len);
+    }
+    JsonValue out;
+    std::string error;
+    EXPECT_TRUE(JsonValue::parse(text, out, error)) << error;
+}
+
+/**
+ * Same fuzz on the compact form, whose prefixes exercise different
+ * boundaries (no whitespace between tokens).
+ */
+TEST(JsonTest, CompactTruncationAtEveryByteFails)
+{
+    const std::string text = sampleDoc().dump(0);
+    for (std::size_t len = 0; len < text.size(); ++len) {
+        JsonValue out;
+        std::string error;
+        EXPECT_FALSE(JsonValue::parse(
+            std::string_view(text).substr(0, len), out, error));
+    }
+}

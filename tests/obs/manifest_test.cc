@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Manifest tests: envelope construction, write→load round trip, the
+ * loader's envelope validation, and the truncation-at-every-byte
+ * fuzz — a partially written or cut-off manifest file must never
+ * load successfully.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
+#include "obs/phase.hh"
+
+using namespace mbavf;
+
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void
+spit(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+}
+
+} // namespace
+
+TEST(ManifestTest, EnvelopeIsPopulated)
+{
+    obs::Manifest manifest("test-tool");
+    const obs::JsonValue &root = manifest.root();
+
+    const obs::JsonValue *schema = root.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->asString(), obs::manifestSchema);
+
+    const obs::JsonValue *version = root.find("version");
+    ASSERT_NE(version, nullptr);
+    EXPECT_EQ(version->asUint(), obs::manifestVersion);
+
+    const obs::JsonValue *tool = root.find("tool");
+    ASSERT_NE(tool, nullptr);
+    EXPECT_EQ(tool->asString(), "test-tool");
+
+    const obs::JsonValue *build = root.find("build");
+    ASSERT_NE(build, nullptr);
+    for (const char *key :
+         {"git", "compiler", "build_type", "flags"}) {
+        EXPECT_NE(build->find(key), nullptr) << key;
+    }
+}
+
+TEST(ManifestTest, WriteLoadRoundTrip)
+{
+    obs::Manifest manifest("test-tool");
+    obs::JsonValue run = obs::JsonValue::object();
+    run.set("workload", obs::JsonValue("histogram"));
+    run.set("seed", obs::JsonValue(std::uint64_t(7)));
+    run.set("avf", obs::JsonValue(0.123456789012345));
+    manifest.set("run", std::move(run));
+
+    const std::string path = tempPath("manifest_rt.json");
+    std::string error;
+    ASSERT_TRUE(manifest.write(path, error)) << error;
+
+    obs::JsonValue loaded;
+    ASSERT_TRUE(obs::Manifest::load(path, loaded, error)) << error;
+    EXPECT_TRUE(loaded == manifest.root());
+
+    // Pretty-printed with a trailing newline.
+    const std::string text = slurp(path);
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.back(), '\n');
+
+    // The temporary used for atomic replacement must be gone.
+    std::size_t leftovers = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(
+             testing::TempDir())) {
+        const std::string name = entry.path().filename().string();
+        if (name.find("manifest_rt") != std::string::npos &&
+            name != "manifest_rt.json") {
+            ++leftovers;
+        }
+    }
+    EXPECT_EQ(leftovers, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(ManifestTest, WriteReplacesExistingFile)
+{
+    const std::string path = tempPath("manifest_replace.json");
+    spit(path, "old garbage");
+    obs::Manifest manifest("test-tool");
+    std::string error;
+    ASSERT_TRUE(manifest.write(path, error)) << error;
+    obs::JsonValue loaded;
+    EXPECT_TRUE(obs::Manifest::load(path, loaded, error)) << error;
+    std::remove(path.c_str());
+}
+
+TEST(ManifestTest, LoadRejectsMissingFile)
+{
+    obs::JsonValue out;
+    std::string error;
+    EXPECT_FALSE(obs::Manifest::load(
+        tempPath("no_such_manifest.json"), out, error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(ManifestTest, LoadRejectsBadSchema)
+{
+    const std::string path = tempPath("manifest_bad_schema.json");
+    spit(path, "{\"schema\": \"not-a-manifest\", \"version\": 1}");
+    obs::JsonValue out;
+    std::string error;
+    EXPECT_FALSE(obs::Manifest::load(path, out, error));
+    EXPECT_NE(error.find("schema"), std::string::npos) << error;
+    std::remove(path.c_str());
+}
+
+TEST(ManifestTest, LoadRejectsFutureVersion)
+{
+    const std::string path = tempPath("manifest_bad_version.json");
+    spit(path,
+         "{\"schema\": \"mbavf-manifest\", \"version\": 999}");
+    obs::JsonValue out;
+    std::string error;
+    EXPECT_FALSE(obs::Manifest::load(path, out, error));
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+    std::remove(path.c_str());
+}
+
+TEST(ManifestTest, LoadRejectsNonObject)
+{
+    const std::string path = tempPath("manifest_array.json");
+    spit(path, "[1, 2, 3]");
+    obs::JsonValue out;
+    std::string error;
+    EXPECT_FALSE(obs::Manifest::load(path, out, error));
+    std::remove(path.c_str());
+}
+
+/**
+ * Truncation fuzz: write a real manifest, then for every proper
+ * prefix length rewrite the file cut off at that byte — load must
+ * fail at every length. This is the guarantee that a consumer
+ * racing a non-atomic writer (or reading a disk-full casualty)
+ * can't mistake a fragment for a run record.
+ */
+TEST(ManifestTest, TruncationAtEveryByteFailsToLoad)
+{
+    obs::Manifest manifest("test-tool");
+    obs::JsonValue run = obs::JsonValue::object();
+    run.set("workload", obs::JsonValue("histogram"));
+    run.set("trials", obs::JsonValue(std::uint64_t(48)));
+    manifest.set("run", std::move(run));
+
+    const std::string path = tempPath("manifest_fuzz.json");
+    std::string error;
+    ASSERT_TRUE(manifest.write(path, error)) << error;
+    const std::string text = slurp(path);
+    ASSERT_GT(text.size(), 100u);
+
+    // The last byte is the trailing newline; the prefix without it
+    // is still a complete document, so the fuzz stops one short.
+    ASSERT_EQ(text.back(), '\n');
+    const std::string cut = tempPath("manifest_fuzz_cut.json");
+    for (std::size_t len = 0; len + 1 < text.size(); ++len) {
+        spit(cut, text.substr(0, len));
+        obs::JsonValue out;
+        std::string err;
+        EXPECT_FALSE(obs::Manifest::load(cut, out, err))
+            << "prefix of length " << len << " loaded";
+    }
+    obs::JsonValue out;
+    ASSERT_TRUE(obs::Manifest::load(path, out, error)) << error;
+    std::remove(path.c_str());
+    std::remove(cut.c_str());
+}
+
+TEST(ManifestTest, CaptureObservationsAndEnvSections)
+{
+    obs::setMetricsEnabled(true);
+    obs::setTimingEnabled(true);
+    obs::MetricsRegistry::global().reset();
+    obs::resetPhases();
+
+    obs::MetricsRegistry::global().counter("test.manifest").add(9);
+    obs::recordPhase("test.capture", 0.25);
+
+    obs::Manifest manifest("test-tool");
+    manifest.captureObservations();
+    obs::JsonValue extra = obs::JsonValue::object();
+    extra.set("note", obs::JsonValue("hello"));
+    manifest.setEnv(std::move(extra));
+
+    obs::setMetricsEnabled(false);
+    obs::setTimingEnabled(false);
+    obs::MetricsRegistry::global().reset();
+    obs::resetPhases();
+
+    const obs::JsonValue &root = manifest.root();
+    const obs::JsonValue *phases = root.find("phases");
+    ASSERT_NE(phases, nullptr);
+    ASSERT_TRUE(phases->isArray());
+    bool saw_phase = false;
+    for (const obs::JsonValue &p : phases->items()) {
+        const obs::JsonValue *name = p.find("name");
+        ASSERT_NE(name, nullptr);
+        if (name->asString() == "test.capture") {
+            saw_phase = true;
+            EXPECT_DOUBLE_EQ(p.find("seconds")->asDouble(), 0.25);
+            EXPECT_EQ(p.find("count")->asUint(), 1u);
+        }
+    }
+    EXPECT_TRUE(saw_phase);
+
+    const obs::JsonValue *metrics = root.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    const obs::JsonValue *counters = metrics->find("counters");
+    ASSERT_NE(counters, nullptr);
+    const obs::JsonValue *c = counters->find("test.manifest");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->asUint(), 9u);
+
+    const obs::JsonValue *env = root.find("env");
+    ASSERT_NE(env, nullptr);
+    EXPECT_NE(env->find("threads"), nullptr);
+    const obs::JsonValue *note = env->find("note");
+    ASSERT_NE(note, nullptr);
+    EXPECT_EQ(note->asString(), "hello");
+}

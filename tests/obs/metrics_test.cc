@@ -1,0 +1,210 @@
+/**
+ * @file
+ * MetricsRegistry tests: handle semantics, the disabled-flag no-op
+ * contract, and the determinism claim the manifest diff depends on —
+ * a snapshot is bit-identical whether increments came from one
+ * thread or N racing pool workers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "obs/metrics.hh"
+
+using namespace mbavf;
+
+namespace
+{
+
+/** Enable metrics for one test and restore the default after. */
+struct MetricsOn
+{
+    MetricsOn() { obs::setMetricsEnabled(true); }
+    ~MetricsOn()
+    {
+        obs::setMetricsEnabled(false);
+        obs::MetricsRegistry::global().reset();
+    }
+};
+
+std::uint64_t
+counterValue(const obs::MetricsSnapshot &snap, const std::string &name)
+{
+    for (const auto &[n, v] : snap.counters)
+        if (n == name)
+            return v;
+    ADD_FAILURE() << "no counter " << name;
+    return 0;
+}
+
+} // namespace
+
+TEST(MetricsTest, CounterAccumulates)
+{
+    MetricsOn on;
+    obs::Counter c =
+        obs::MetricsRegistry::global().counter("test.counter");
+    c.add();
+    c.add(41);
+    auto snap = obs::MetricsRegistry::global().snapshot();
+    EXPECT_EQ(counterValue(snap, "test.counter"), 42u);
+}
+
+TEST(MetricsTest, DisabledIsNoOp)
+{
+    obs::setMetricsEnabled(false);
+    obs::Counter c =
+        obs::MetricsRegistry::global().counter("test.disabled");
+    obs::Gauge g =
+        obs::MetricsRegistry::global().gauge("test.disabled_gauge");
+    obs::Histogram h = obs::MetricsRegistry::global().histogram(
+        "test.disabled_hist", {10});
+    c.add(100);
+    g.set(7);
+    h.observe(3);
+
+    MetricsOn on; // enables, but nothing was recorded while disabled
+    auto snap = obs::MetricsRegistry::global().snapshot();
+    EXPECT_EQ(counterValue(snap, "test.disabled"), 0u);
+    for (const auto &[n, v] : snap.gauges) {
+        if (n == "test.disabled_gauge") {
+            EXPECT_EQ(v, 0);
+        }
+    }
+    for (const auto &hd : snap.histograms) {
+        if (hd.name == "test.disabled_hist") {
+            EXPECT_EQ(hd.total(), 0u);
+        }
+    }
+}
+
+TEST(MetricsTest, DefaultConstructedHandlesAreSafe)
+{
+    MetricsOn on;
+    obs::Counter c;
+    obs::Gauge g;
+    obs::Histogram h;
+    c.add();
+    g.set(1);
+    h.observe(1);
+    // No crash is the assertion.
+}
+
+TEST(MetricsTest, RegistrationDedupes)
+{
+    MetricsOn on;
+    obs::Counter a =
+        obs::MetricsRegistry::global().counter("test.dedup");
+    obs::Counter b =
+        obs::MetricsRegistry::global().counter("test.dedup");
+    a.add(1);
+    b.add(2);
+    auto snap = obs::MetricsRegistry::global().snapshot();
+    EXPECT_EQ(counterValue(snap, "test.dedup"), 3u);
+    std::size_t seen = 0;
+    for (const auto &[n, v] : snap.counters)
+        if (n == "test.dedup")
+            ++seen;
+    EXPECT_EQ(seen, 1u);
+}
+
+TEST(MetricsTest, HistogramBucketsByUpperBound)
+{
+    MetricsOn on;
+    obs::Histogram h = obs::MetricsRegistry::global().histogram(
+        "test.hist", {1, 8, 64});
+    // bucket 0: v <= 1, bucket 1: v <= 8, bucket 2: v <= 64,
+    // bucket 3: overflow.
+    for (std::uint64_t v : {0u, 1u, 2u, 8u, 9u, 64u, 65u, 1000u})
+        h.observe(v);
+    auto snap = obs::MetricsRegistry::global().snapshot();
+    bool found = false;
+    for (const auto &hd : snap.histograms) {
+        if (hd.name != "test.hist")
+            continue;
+        found = true;
+        ASSERT_EQ(hd.bounds, (std::vector<std::uint64_t>{1, 8, 64}));
+        ASSERT_EQ(hd.counts.size(), 4u);
+        EXPECT_EQ(hd.counts[0], 2u); // 0, 1
+        EXPECT_EQ(hd.counts[1], 2u); // 2, 8
+        EXPECT_EQ(hd.counts[2], 2u); // 9, 64
+        EXPECT_EQ(hd.counts[3], 2u); // 65, 1000
+        EXPECT_EQ(hd.total(), 8u);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(MetricsTest, SnapshotSortedByName)
+{
+    MetricsOn on;
+    obs::MetricsRegistry::global().counter("test.zzz").add();
+    obs::MetricsRegistry::global().counter("test.aaa").add();
+    obs::MetricsRegistry::global().counter("test.mmm").add();
+    auto snap = obs::MetricsRegistry::global().snapshot();
+    for (std::size_t i = 1; i < snap.counters.size(); ++i)
+        EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+}
+
+TEST(MetricsTest, ResetZeroesButKeepsHandlesValid)
+{
+    MetricsOn on;
+    obs::Counter c =
+        obs::MetricsRegistry::global().counter("test.reset");
+    c.add(5);
+    obs::MetricsRegistry::global().reset();
+    auto snap = obs::MetricsRegistry::global().snapshot();
+    EXPECT_EQ(counterValue(snap, "test.reset"), 0u);
+    c.add(3); // handle still usable after reset
+    snap = obs::MetricsRegistry::global().snapshot();
+    EXPECT_EQ(counterValue(snap, "test.reset"), 3u);
+}
+
+/**
+ * The determinism contract: the exported JSON is byte-identical
+ * whether the same logical increments ran on 1 thread or raced
+ * across a pool of N — sums are commutative and the snapshot is
+ * name-sorted.
+ */
+TEST(MetricsTest, SnapshotBitIdenticalAcrossThreadCounts)
+{
+    constexpr std::size_t tasks = 64;
+    constexpr std::uint64_t perTask = 1000;
+
+    auto run = [&](unsigned threads) {
+        obs::MetricsRegistry::global().reset();
+        setParallelThreads(threads);
+        obs::Counter c =
+            obs::MetricsRegistry::global().counter("test.parallel");
+        obs::Histogram h =
+            obs::MetricsRegistry::global().histogram(
+                "test.parallel_hist", {4, 16, 256});
+        runTasks(tasks, [&](std::size_t t) {
+            for (std::uint64_t i = 0; i < perTask; ++i) {
+                c.add();
+                h.observe((t * perTask + i) % 512);
+            }
+        });
+        return obs::MetricsRegistry::global().snapshot().json().dump(
+            1);
+    };
+
+    MetricsOn on;
+    const std::string serial = run(1);
+    for (unsigned threads : {2u, 4u, 8u})
+        EXPECT_EQ(serial, run(threads)) << threads << " threads";
+    setParallelThreads(1);
+
+    // Sanity: the totals are what the loop wrote.
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::JsonValue::parse(serial, doc, error)) << error;
+    const obs::JsonValue *counters = doc.find("counters");
+    ASSERT_NE(counters, nullptr);
+    const obs::JsonValue *total = counters->find("test.parallel");
+    ASSERT_NE(total, nullptr);
+    EXPECT_EQ(total->asUint(), tasks * perTask);
+}

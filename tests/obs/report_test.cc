@@ -1,0 +1,234 @@
+/**
+ * @file
+ * diffManifests / mergeManifests tests: the drift-vs-structure
+ * split, rate objects compared by Wilson-interval overlap, the
+ * phases/env perf carve-out, and structure-only mode CI uses
+ * against golden manifests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/report.hh"
+
+using namespace mbavf;
+using obs::JsonValue;
+
+namespace
+{
+
+JsonValue
+parse(const std::string &text)
+{
+    JsonValue out;
+    std::string error;
+    EXPECT_TRUE(JsonValue::parse(text, out, error)) << error;
+    return out;
+}
+
+/** A minimal manifest-shaped document for diffing. */
+JsonValue
+baseManifest()
+{
+    return parse(R"({
+        "schema": "mbavf-manifest",
+        "version": 1,
+        "tool": "test",
+        "run": {"workload": "histogram", "seed": 7, "avf": 0.125},
+        "campaign": {
+            "sdc": {"count": 10, "rate": 0.1,
+                    "ci_low": 0.05, "ci_high": 0.18}
+        },
+        "phases": [{"name": "p", "seconds": 1.0, "count": 1}],
+        "env": {"threads": 1}
+    })");
+}
+
+std::string
+joinNotes(const obs::DiffResult &result)
+{
+    std::string all;
+    for (const std::string &note : result.notes)
+        all += note + "\n";
+    return all;
+}
+
+} // namespace
+
+TEST(ReportTest, IdenticalManifestsAreClean)
+{
+    JsonValue a = baseManifest();
+    JsonValue b = baseManifest();
+    obs::DiffResult result = obs::diffManifests(a, b, {});
+    EXPECT_TRUE(result.clean()) << joinNotes(result);
+    EXPECT_TRUE(result.notes.empty());
+}
+
+TEST(ReportTest, ValueDriftIsReported)
+{
+    JsonValue a = baseManifest();
+    JsonValue b = baseManifest();
+    b.find("run")->set("seed", JsonValue(99));
+    obs::DiffResult result = obs::diffManifests(a, b, {});
+    EXPECT_TRUE(result.drifted);
+    EXPECT_FALSE(result.structuralMismatch);
+    EXPECT_NE(joinNotes(result).find("seed"), std::string::npos)
+        << joinNotes(result);
+}
+
+TEST(ReportTest, AvfTolAbsorbsSmallDrift)
+{
+    JsonValue a = baseManifest();
+    JsonValue b = baseManifest();
+    b.find("run")->set("avf", JsonValue(0.1250001));
+
+    obs::DiffResult exact = obs::diffManifests(a, b, {});
+    EXPECT_TRUE(exact.drifted);
+
+    obs::DiffOptions loose;
+    loose.avfTol = 1e-3;
+    EXPECT_TRUE(obs::diffManifests(a, b, loose).clean());
+
+    // But the tolerance is relative, so a big move still drifts.
+    b.find("run")->set("avf", JsonValue(0.5));
+    EXPECT_TRUE(obs::diffManifests(a, b, loose).drifted);
+}
+
+TEST(ReportTest, MissingKeyIsStructural)
+{
+    JsonValue a = baseManifest();
+    JsonValue b = baseManifest();
+    b.find("run")->set("extra", JsonValue(1));
+    obs::DiffResult result = obs::diffManifests(a, b, {});
+    EXPECT_TRUE(result.structuralMismatch);
+}
+
+TEST(ReportTest, TypeChangeIsStructural)
+{
+    JsonValue a = baseManifest();
+    JsonValue b = baseManifest();
+    b.find("run")->set("workload", JsonValue(3));
+    obs::DiffResult result = obs::diffManifests(a, b, {});
+    EXPECT_TRUE(result.structuralMismatch);
+}
+
+TEST(ReportTest, OverlappingRateCIsAreClean)
+{
+    JsonValue a = baseManifest();
+    JsonValue b = baseManifest();
+    // Different point estimate, overlapping intervals: statistically
+    // compatible resamples, not drift.
+    b.find("campaign")->set("sdc", parse(
+        R"({"count": 14, "rate": 0.14,
+            "ci_low": 0.08, "ci_high": 0.23})"));
+    obs::DiffResult result = obs::diffManifests(a, b, {});
+    EXPECT_TRUE(result.clean()) << joinNotes(result);
+}
+
+TEST(ReportTest, DisjointRateCIsDrift)
+{
+    JsonValue a = baseManifest();
+    JsonValue b = baseManifest();
+    b.find("campaign")->set("sdc", parse(
+        R"({"count": 40, "rate": 0.4,
+            "ci_low": 0.3, "ci_high": 0.51})"));
+    obs::DiffResult result = obs::diffManifests(a, b, {});
+    EXPECT_TRUE(result.drifted);
+    EXPECT_FALSE(result.structuralMismatch);
+}
+
+TEST(ReportTest, PhasesAndEnvIgnoredByDefault)
+{
+    JsonValue a = baseManifest();
+    JsonValue b = baseManifest();
+    b.find("phases")->items()[0].set("seconds", JsonValue(50.0));
+    b.find("env")->set("threads", JsonValue(8));
+    obs::DiffResult result = obs::diffManifests(a, b, {});
+    EXPECT_TRUE(result.clean()) << joinNotes(result);
+}
+
+TEST(ReportTest, PerfTolFlagsPhaseDrift)
+{
+    JsonValue a = baseManifest();
+    JsonValue b = baseManifest();
+    b.find("phases")->items()[0].set("seconds", JsonValue(50.0));
+
+    obs::DiffOptions perf;
+    perf.perfTol = 0.5; // allow 50% relative wobble
+    obs::DiffResult result = obs::diffManifests(a, b, perf);
+    EXPECT_TRUE(result.drifted) << joinNotes(result);
+
+    // Within tolerance: 1.0 vs 1.2 at 50%.
+    b.find("phases")->items()[0].set("seconds", JsonValue(1.2));
+    EXPECT_TRUE(obs::diffManifests(a, b, perf).clean());
+}
+
+TEST(ReportTest, StructureOnlyIgnoresValues)
+{
+    JsonValue a = baseManifest();
+    JsonValue b = baseManifest();
+    b.find("run")->set("seed", JsonValue(99));
+    b.find("run")->set("avf", JsonValue(0.9));
+    b.find("campaign")->set("sdc", parse(
+        R"({"count": 40, "rate": 0.4,
+            "ci_low": 0.3, "ci_high": 0.51})"));
+    obs::DiffOptions shape;
+    shape.structureOnly = true;
+    obs::DiffResult result = obs::diffManifests(a, b, shape);
+    EXPECT_TRUE(result.clean()) << joinNotes(result);
+}
+
+TEST(ReportTest, StructureOnlyCatchesShapeChanges)
+{
+    obs::DiffOptions shape;
+    shape.structureOnly = true;
+
+    JsonValue a = baseManifest();
+    JsonValue missing = baseManifest();
+    // Removing a key: rebuild "run" without "avf".
+    missing.set("run", parse(
+        R"({"workload": "histogram", "seed": 7})"));
+    EXPECT_TRUE(
+        obs::diffManifests(a, missing, shape).structuralMismatch);
+
+    JsonValue retyped = baseManifest();
+    retyped.find("run")->set("seed", JsonValue("seven"));
+    EXPECT_TRUE(
+        obs::diffManifests(a, retyped, shape).structuralMismatch);
+}
+
+TEST(ReportTest, MergeSortsByName)
+{
+    std::vector<std::pair<std::string, JsonValue>> inputs;
+    inputs.emplace_back("zeta", baseManifest());
+    inputs.emplace_back("alpha", baseManifest());
+    inputs.emplace_back("mid", baseManifest());
+    JsonValue traj = obs::mergeManifests(std::move(inputs));
+
+    const JsonValue *schema = traj.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->asString(), "mbavf-trajectory");
+
+    const JsonValue *entries = traj.find("entries");
+    ASSERT_NE(entries, nullptr);
+    ASSERT_EQ(entries->items().size(), 3u);
+    EXPECT_EQ(entries->items()[0].find("name")->asString(), "alpha");
+    EXPECT_EQ(entries->items()[1].find("name")->asString(), "mid");
+    EXPECT_EQ(entries->items()[2].find("name")->asString(), "zeta");
+    EXPECT_NE(entries->items()[0].find("manifest"), nullptr);
+}
+
+TEST(ReportTest, PrintManifestMentionsSections)
+{
+    std::ostringstream os;
+    obs::printManifest(baseManifest(), os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("manifest from test"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("run"), std::string::npos);
+    EXPECT_NE(text.find("histogram"), std::string::npos);
+}

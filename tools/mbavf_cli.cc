@@ -32,6 +32,13 @@
 #include "core/sweep.hh"
 #include "inject/campaign.hh"
 #include "inject/journal.hh"
+#include "obs/adapters.hh"
+#include "obs/build_info.hh"
+#include "obs/heartbeat.hh"
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
+#include "obs/phase.hh"
+#include "obs/trace.hh"
 #include "workloads/ace_runner.hh"
 
 using namespace mbavf;
@@ -62,7 +69,14 @@ usage()
         "  --shield-due             DUE detection shields SDC\n"
         "  --save-lifetimes=FILE    persist lifetimes + horizon\n"
         "  --load-lifetimes=FILE    reuse persisted lifetimes\n"
-        "  --list-workloads         print workload names\n\n"
+        "  --list-workloads         print workload names\n"
+        "  --manifest=FILE          write a JSON run manifest; its\n"
+        "                           numbers (outside phases/env) are\n"
+        "                           bit-identical at any --threads\n"
+        "  --trace-out=FILE         write a Chrome trace_event JSON\n"
+        "                           timeline (chrome://tracing,\n"
+        "                           Perfetto)\n"
+        "  --version                print build info and exit\n\n"
         "campaign options (--campaign):\n"
         "  --trials=N               injection trials (1000)\n"
         "  --seed=S                 campaign base seed (1); trial t\n"
@@ -77,7 +91,9 @@ usage()
         "  --checkpoint-every=K     flush every K trials (64)\n"
         "  --resume                 continue FILE's campaign; the\n"
         "                           final tallies are bit-identical\n"
-        "                           to an uninterrupted run\n";
+        "                           to an uninterrupted run\n"
+        "  --heartbeat              progress lines on stderr every\n"
+        "                           --checkpoint-every trials\n";
 }
 
 /** All options both CLI modes accept, for typo rejection. */
@@ -90,8 +106,49 @@ checkOptions(const Args &args)
         "total-fit", "scale", "shield-due", "save-lifetimes",
         "load-lifetimes", "campaign", "trials", "seed", "kind",
         "watchdog", "protect", "protect-domain", "checkpoint",
-        "checkpoint-every", "resume",
+        "checkpoint-every", "resume", "heartbeat", "manifest",
+        "trace-out", "version",
     });
+}
+
+/**
+ * Enable the obs sinks the run asked for. Flipping the flags before
+ * the measured work means the hot-path instrumentation (metrics,
+ * phases, trace slices) actually records; with neither flag passed
+ * everything stays at its one-relaxed-load disabled cost.
+ */
+void
+enableObsSinks(const std::string &manifest_path,
+               const std::string &trace_path)
+{
+    if (!manifest_path.empty()) {
+        obs::setMetricsEnabled(true);
+        obs::setTimingEnabled(true);
+    }
+    if (!trace_path.empty())
+        obs::setTracingEnabled(true);
+}
+
+/** Flush --manifest / --trace-out files after the measured work. */
+void
+writeObsOutputs(obs::Manifest *manifest,
+                const std::string &manifest_path,
+                const std::string &trace_path)
+{
+    if (manifest && !manifest_path.empty()) {
+        manifest->captureObservations();
+        manifest->setEnv();
+        std::string error;
+        if (!manifest->write(manifest_path, error))
+            fatal("cannot write manifest: ", error);
+        inform("wrote manifest to ", manifest_path);
+    }
+    if (!trace_path.empty()) {
+        std::string error;
+        if (!obs::writeChromeTrace(trace_path, error))
+            fatal("cannot write trace: ", error);
+        inform("wrote trace to ", trace_path);
+    }
 }
 
 /** The --campaign mode: injection trials with checkpoint/resume. */
@@ -116,6 +173,11 @@ runCampaignCli(const Args &args)
     const bool resume = args.getBool("resume");
     if (resume && checkpoint.empty())
         fatal("--resume requires --checkpoint=FILE");
+    const std::uint64_t every = static_cast<std::uint64_t>(
+        args.getInt("checkpoint-every", 64));
+    const std::string manifest_path = args.getString("manifest", "");
+    const std::string trace_path = args.getString("trace-out", "");
+    enableObsSinks(manifest_path, trace_path);
 
     JournalHeader header;
     header.workload = workload;
@@ -175,16 +237,34 @@ runCampaignCli(const Args &args)
     const std::size_t remaining =
         static_cast<std::size_t>(trials) - first;
 
+    // Heartbeat lines land on the same boundaries the journal
+    // flushes at, so every line corresponds to a recoverable state.
+    std::vector<std::string> outcome_labels;
+    for (std::size_t i = 0; i < numInjectOutcomes; ++i) {
+        outcome_labels.emplace_back(
+            injectOutcomeName(static_cast<InjectOutcome>(i)));
+    }
+    obs::Heartbeat heartbeat(
+        outcome_labels, trials, every,
+        args.getBool("heartbeat") ? &std::cerr : nullptr);
+    if (!completed.empty()) {
+        std::vector<std::uint64_t> primed(numInjectOutcomes, 0);
+        for (const JournalRecord &record : completed)
+            ++primed[static_cast<std::size_t>(record.result.outcome)];
+        heartbeat.prime(primed);
+    }
+
     CampaignTally tally;
     if (!checkpoint.empty()) {
-        const std::uint64_t every = static_cast<std::uint64_t>(
-            args.getInt("checkpoint-every", 64));
         JournalWriter writer(checkpoint, header, every,
                              std::move(completed));
         campaign.runTrialsDetailed(
             first, remaining, base_seed, kind,
-            [&writer](std::size_t t, const TrialResult &result) {
+            [&writer, &heartbeat](std::size_t t,
+                                  const TrialResult &result) {
                 writer.record(t, result);
+                heartbeat.record(
+                    static_cast<std::size_t>(result.outcome));
             });
         writer.finish();
         tally = writer.journal().tally();
@@ -192,9 +272,14 @@ runCampaignCli(const Args &args)
         for (const JournalRecord &record : completed)
             tally.add(record.result);
         for (const TrialResult &result : campaign.runTrialsDetailed(
-                 first, remaining, base_seed, kind))
+                 first, remaining, base_seed, kind,
+                 [&heartbeat](std::size_t, const TrialResult &r) {
+                     heartbeat.record(
+                         static_cast<std::size_t>(r.outcome));
+                 }))
             tally.add(result);
     }
+    heartbeat.finish();
 
     std::cout << "\n";
     Table table({"outcome", "count", "rate", "95% CI"});
@@ -221,6 +306,22 @@ runCampaignCli(const Args &args)
         for (const auto &[code, count] : tally.codeCounts)
             std::cout << "  " << code << "  " << count << "\n";
     }
+
+    obs::Manifest manifest("mbavf --campaign");
+    if (!manifest_path.empty()) {
+        obs::JsonValue run = obs::JsonValue::object();
+        run.set("workload", workload);
+        run.set("scale", obs::JsonValue(std::uint64_t(scale)));
+        run.set("trials", obs::JsonValue(trials));
+        run.set("seed", obs::JsonValue(base_seed));
+        run.set("kind", std::string(trialKindName(kind)));
+        run.set("protect", protect);
+        run.set("resumed_trials",
+                obs::JsonValue(std::uint64_t(first)));
+        manifest.set("run", std::move(run));
+        manifest.set("campaign", obs::tallyJson(tally));
+    }
+    writeObsOutputs(&manifest, manifest_path, trace_path);
     return 0;
 }
 
@@ -233,6 +334,10 @@ main(int argc, char **argv)
     checkOptions(args);
     if (args.getBool("help")) {
         usage();
+        return 0;
+    }
+    if (args.getBool("version")) {
+        std::cout << obs::versionLine("mbavf") << "\n";
         return 0;
     }
     if (args.getBool("list-workloads")) {
@@ -264,6 +369,11 @@ main(int argc, char **argv)
     if (args.getBool("campaign"))
         return runCampaignCli(args);
 
+    const std::string manifest_path = args.getString("manifest", "");
+    const std::string trace_path = args.getString("trace-out", "");
+    enableObsSinks(manifest_path, trace_path);
+    obs::Manifest manifest("mbavf");
+
     GpuConfig config;
     LifetimeStore life(8, 64);
     Cycle horizon = 0;
@@ -294,6 +404,12 @@ main(int argc, char **argv)
         AceRun run = runAceAnalysis(workload, scale, config,
                                     structure == "l2");
         horizon = run.horizon;
+        if (!manifest_path.empty()) {
+            obs::JsonValue caches = obs::JsonValue::object();
+            caches.set("l1", obs::cacheStatsJson(run.l1Stats));
+            caches.set("l2", obs::cacheStatsJson(run.l2Stats));
+            manifest.set("cache", std::move(caches));
+        }
         if (structure == "l1")
             life = std::move(run.l1);
         else if (structure == "l2")
@@ -393,5 +509,24 @@ main(int argc, char **argv)
         }
         wt.printText(std::cout);
     }
+
+    if (!manifest_path.empty()) {
+        obs::JsonValue run = obs::JsonValue::object();
+        run.set("workload", args.getString("workload", ""));
+        run.set("structure", structure);
+        run.set("scheme", scheme_name);
+        run.set("style", style);
+        run.set("interleave",
+                obs::JsonValue(std::uint64_t(interleave)));
+        run.set("modes", obs::JsonValue(std::uint64_t(max_mode)));
+        run.set("windows", obs::JsonValue(std::uint64_t(windows)));
+        run.set("horizon", obs::JsonValue(std::uint64_t(horizon)));
+        run.set("total_fit", obs::JsonValue(total_fit));
+        run.set("shield_due", obs::JsonValue(opt.dueShieldsSdc));
+        manifest.set("run", std::move(run));
+        manifest.set("avf", obs::modeSweepJson(sweep));
+        manifest.set("ser", obs::serJson(ser));
+    }
+    writeObsOutputs(&manifest, manifest_path, trace_path);
     return 0;
 }

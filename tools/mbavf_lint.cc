@@ -44,6 +44,7 @@
 #include "common/args.hh"
 #include "core/lifetime_io.hh"
 #include "inject/journal.hh"
+#include "obs/build_info.hh"
 #include "workloads/ace_runner.hh"
 
 using namespace mbavf;
@@ -65,6 +66,7 @@ usage()
         "  --max-findings=N     stored findings per code (16)\n"
         "  --seed-corruption=K  corrupt the artifact first; K is\n"
         "                       overlap | read-before-fill | straddle\n"
+        "  --version            print build info and exit\n"
         "\n--journal validates a campaign checkpoint (inject/journal):\n"
         "header fields, contiguous trial indices, outcome names,\n"
         "per-outcome diagnostic codes, and per-trial seeds.\n"
@@ -156,10 +158,14 @@ main(int argc, char **argv)
     args.requireKnown({
         "help", "workload", "lifetimes", "horizon", "journal",
         "geometry-only", "scale", "modes", "max-findings",
-        "seed-corruption",
+        "seed-corruption", "version",
     });
     if (args.getBool("help")) {
         usage();
+        return 0;
+    }
+    if (args.getBool("version")) {
+        std::cout << obs::versionLine("mbavf_lint") << "\n";
         return 0;
     }
 

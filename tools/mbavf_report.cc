@@ -1,0 +1,237 @@
+/**
+ * @file
+ * mbavf_report — inspect, compare, and merge run manifests.
+ *
+ *   mbavf_report FILE                     pretty-print one manifest
+ *   mbavf_report --diff REF CAND [opts]   compare two manifests
+ *   mbavf_report --merge=DIR --out=FILE   bench manifests -> trajectory
+ *   mbavf_report --check-trace=FILE       validate a Chrome trace
+ *
+ * --diff compares a reference run against a candidate and exits 0
+ * when they agree, 1 on drift (an AVF/result number moved beyond
+ * --avf-tol, a campaign rate's Wilson CI became disjoint from the
+ * reference's, or with --perf-tol a phase slowed beyond the
+ * threshold), and 2 on structural mismatch or unusable input. The
+ * "phases" and "env" sections are perf/context data and never count
+ * as structural drift; --structure-only restricts the whole
+ * comparison to key sets and value types, which is how CI guards the
+ * manifest schema against a checked-in golden file without pinning
+ * any measured value.
+ *
+ * --merge collects every BENCH_*.json (or *.json) manifest in a
+ * directory into one name-sorted trajectory document for plotting
+ * perf/AVF history across commits.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "common/args.hh"
+#include "common/logging.hh"
+#include "obs/build_info.hh"
+#include "obs/json.hh"
+#include "obs/manifest.hh"
+#include "obs/report.hh"
+
+using namespace mbavf;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "usage: mbavf_report FILE\n"
+        "       mbavf_report --diff REF CAND [options]\n"
+        "       mbavf_report --merge=DIR --out=FILE\n"
+        "       mbavf_report --check-trace=FILE\n\n"
+        "diff options:\n"
+        "  --avf-tol=T          relative tolerance for result\n"
+        "                       numbers (0 = bit-exact)\n"
+        "  --perf-tol=T         flag phases slower/faster than T\n"
+        "                       relative (default: ignore timing)\n"
+        "  --structure-only     compare key sets and types only\n"
+        "                       (golden-manifest schema guard)\n\n"
+        "other options:\n"
+        "  --out=FILE           trajectory output for --merge\n"
+        "  --version            print build info and exit\n\n"
+        "exit codes: 0 match/success, 1 drift, 2 structural\n"
+        "mismatch or unusable input\n";
+}
+
+/** Load + envelope-validate, exiting 2 on anything unusable. */
+obs::JsonValue
+loadManifestOrDie(const std::string &path)
+{
+    obs::JsonValue doc;
+    std::string error;
+    if (!obs::Manifest::load(path, doc, error)) {
+        std::cerr << "mbavf_report: " << error << "\n";
+        std::exit(2);
+    }
+    return doc;
+}
+
+int
+runDiff(const std::string &ref_path, const std::string &cand_path,
+        const Args &args)
+{
+    obs::DiffOptions options;
+    options.structureOnly = args.getBool("structure-only");
+    options.avfTol = args.getDouble("avf-tol", 0.0);
+    options.perfTol = args.getDouble("perf-tol", -1.0);
+
+    obs::JsonValue ref = loadManifestOrDie(ref_path);
+    obs::JsonValue cand = loadManifestOrDie(cand_path);
+
+    obs::DiffResult result = obs::diffManifests(ref, cand, options);
+    for (const std::string &note : result.notes)
+        std::cout << note << "\n";
+    if (result.clean()) {
+        std::cout << "manifests match\n";
+        return 0;
+    }
+    std::cout << result.notes.size() << " difference"
+              << (result.notes.size() == 1 ? "" : "s") << "\n";
+    return result.structuralMismatch ? 2 : 1;
+}
+
+int
+runMerge(const std::string &dir, const std::string &out_path)
+{
+    namespace fs = std::filesystem;
+    if (out_path.empty())
+        fatal("--merge requires --out=FILE");
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec)
+        fatal("cannot read directory '", dir, "': ", ec.message());
+
+    std::vector<std::pair<std::string, obs::JsonValue>> manifests;
+    for (const fs::directory_entry &entry : it) {
+        if (!entry.is_regular_file() ||
+            entry.path().extension() != ".json") {
+            continue;
+        }
+        obs::JsonValue doc;
+        std::string error;
+        if (!obs::Manifest::load(entry.path().string(), doc,
+                                 error)) {
+            // A trace or trajectory file sharing the directory is
+            // expected; only actual manifests merge.
+            warn("skipping ", entry.path().string(), ": ", error);
+            continue;
+        }
+        manifests.emplace_back(entry.path().stem().string(),
+                               std::move(doc));
+    }
+    if (manifests.empty())
+        fatal("no manifests found in '", dir, "'");
+
+    const std::size_t count = manifests.size();
+    obs::JsonValue trajectory =
+        obs::mergeManifests(std::move(manifests));
+    std::ofstream os(out_path, std::ios::binary);
+    if (!os)
+        fatal("cannot open '", out_path, "' for writing");
+    os << trajectory.dump(1) << "\n";
+    if (!os.flush())
+        fatal("write to '", out_path, "' failed");
+    std::cout << "merged " << count << " manifests into "
+              << out_path << "\n";
+    return 0;
+}
+
+/** Minimal Chrome-trace shape check: the format Perfetto ingests. */
+int
+runCheckTrace(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        std::cerr << "mbavf_report: cannot open '" << path << "'\n";
+        return 2;
+    }
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    obs::JsonValue doc;
+    std::string error;
+    if (!obs::JsonValue::parse(text, doc, error)) {
+        std::cerr << "mbavf_report: " << path << ": " << error
+                  << "\n";
+        return 2;
+    }
+    const obs::JsonValue *events = doc.find("traceEvents");
+    if (!events || !events->isArray()) {
+        std::cerr << "mbavf_report: " << path
+                  << ": no traceEvents array\n";
+        return 2;
+    }
+    std::size_t slices = 0;
+    for (const obs::JsonValue &event : events->items()) {
+        const obs::JsonValue *ph = event.find("ph");
+        if (!ph || !ph->isString()) {
+            std::cerr << "mbavf_report: " << path
+                      << ": event without ph\n";
+            return 2;
+        }
+        if (ph->asString() == "X") {
+            if (!event.find("name") || !event.find("ts") ||
+                !event.find("dur") || !event.find("pid") ||
+                !event.find("tid")) {
+                std::cerr << "mbavf_report: " << path
+                          << ": incomplete X event\n";
+                return 2;
+            }
+            ++slices;
+        }
+    }
+    std::cout << path << ": " << events->items().size()
+              << " events, " << slices << " slices\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv, Args::Positional::Allow);
+    args.requireKnown({
+        "help", "version", "diff", "merge", "out", "check-trace",
+        "avf-tol", "perf-tol", "structure-only",
+    });
+    if (args.getBool("help")) {
+        usage();
+        return 0;
+    }
+    if (args.getBool("version")) {
+        std::cout << obs::versionLine("mbavf_report") << "\n";
+        return 0;
+    }
+
+    const std::string merge_dir = args.getString("merge", "");
+    if (!merge_dir.empty())
+        return runMerge(merge_dir, args.getString("out", ""));
+
+    const std::string trace = args.getString("check-trace", "");
+    if (!trace.empty())
+        return runCheckTrace(trace);
+
+    const std::vector<std::string> &files = args.positional();
+    if (args.getBool("diff")) {
+        if (files.size() != 2) {
+            usage();
+            return 2;
+        }
+        return runDiff(files[0], files[1], args);
+    }
+    if (files.size() != 1) {
+        usage();
+        return 2;
+    }
+    obs::printManifest(loadManifestOrDie(files[0]), std::cout);
+    return 0;
+}
