@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Microbenchmark: single-pass multi-mode sweep kernel vs the
+ * reference per-mode path.
+ *
+ * Runs the Figure 4 workload shape — L1 cache lifetimes, parity, x2
+ * interleaving — through sweepModes() twice per workload: once with
+ * MbAvfOptions::referenceKernel (max_mode independent computeMbAvf
+ * walks over the LifetimeStore) and once on the default flat-arena
+ * kernel (one traversal emits every mode). Both paths must produce
+ * bit-identical AVF fractions and window series; the table records
+ * the per-workload speedup and its geomean.
+ *
+ *   micro_sweep_kernel [--workloads=a,b] [--scale=N] [--modes=8]
+ *                      [--repeats=3] [--threads=N] [--min-speedup=X]
+ *
+ * Exit status is nonzero if any workload's results diverge between
+ * the two paths, or if the geomean speedup falls below
+ * --min-speedup (0 disables the gate). CI runs this with a floor so
+ * a kernel perf regression fails the bench-smoke job directly,
+ * independent of runner-to-runner timing noise in the manifests.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "core/protection.hh"
+#include "core/sweep.hh"
+#include "obs/stopwatch.hh"
+#include "workloads/ace_runner.hh"
+
+using namespace mbavf;
+
+namespace
+{
+
+bool
+sameSweep(const ModeSweep &a, const ModeSweep &b)
+{
+    if (a.results.size() != b.results.size())
+        return false;
+    for (std::size_t m = 0; m < a.results.size(); ++m) {
+        const MbAvfResult &x = a.results[m];
+        const MbAvfResult &y = b.results[m];
+        if (x.avf.sdc != y.avf.sdc || x.avf.trueDue != y.avf.trueDue ||
+            x.avf.falseDue != y.avf.falseDue ||
+            x.numGroups != y.numGroups ||
+            x.windows.size() != y.windows.size()) {
+            return false;
+        }
+        for (std::size_t w = 0; w < x.windows.size(); ++w) {
+            if (x.windows[w].sdc != y.windows[w].sdc ||
+                x.windows[w].trueDue != y.windows[w].trueDue ||
+                x.windows[w].falseDue != y.windows[w].falseDue) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+/** Best-of-@p repeats wall time of one sweepModes() call, seconds. */
+double
+timeSweep(const PhysicalArray &array, const LifetimeStore &store,
+          const ProtectionScheme &scheme, const MbAvfOptions &opt,
+          unsigned max_mode, unsigned repeats, ModeSweep &out)
+{
+    double best = 0.0;
+    for (unsigned r = 0; r < repeats; ++r) {
+        obs::Stopwatch watch;
+        ModeSweep sweep = sweepModes(array, store, scheme, opt, max_mode);
+        double s = watch.seconds();
+        if (r == 0 || s < best)
+            best = s;
+        out = std::move(sweep);
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv);
+    BenchReporter bench("micro_sweep_kernel", &args);
+    const unsigned threads = configureThreads(args);
+    const unsigned scale =
+        static_cast<unsigned>(args.getInt("scale", 1));
+    const unsigned max_mode =
+        static_cast<unsigned>(args.getInt("modes", 8));
+    const unsigned repeats =
+        static_cast<unsigned>(args.getInt("repeats", 3));
+    const double min_speedup = args.getDouble("min-speedup", 0.0);
+
+    std::cout << "sweep kernel: reference per-mode path vs "
+                 "single-pass arena kernel, "
+              << max_mode << " modes\n\n";
+
+    Table table({"workload", "ref ms", "arena ms", "speedup"});
+    RunningStats g_speedup;
+    ParityScheme parity;
+    bool identical = true;
+
+    for (const std::string &name : selectedWorkloads(args)) {
+        note("running " + name);
+        AceRun run = runAceAnalysis(name, scale);
+        CacheGeometry geom{run.config.l1.sets, run.config.l1.ways,
+                           run.config.l1.lineBytes};
+        auto array = makeCacheArray(geom, CacheInterleave::Logical, 2);
+
+        MbAvfOptions opt;
+        opt.horizon = run.horizon;
+        opt.numWindows = 8;
+        opt.numThreads = threads;
+
+        ModeSweep ref, arena;
+        opt.referenceKernel = true;
+        double ref_s = timeSweep(*array, run.l1, parity, opt,
+                                 max_mode, repeats, ref);
+        opt.referenceKernel = false;
+        double arena_s = timeSweep(*array, run.l1, parity, opt,
+                                   max_mode, repeats, arena);
+
+        if (!sameSweep(ref, arena)) {
+            std::cerr << "FAIL: kernel results diverge from the "
+                         "reference path on " << name << "\n";
+            identical = false;
+        }
+
+        double speedup = arena_s > 0 ? ref_s / arena_s : 0.0;
+        g_speedup.add(speedup);
+        table.beginRow()
+            .cell(name)
+            .cell(ref_s * 1e3, 2)
+            .cell(arena_s * 1e3, 2)
+            .cell(speedup, 2);
+    }
+
+    table.beginRow()
+        .cell("geomean")
+        .cell("")
+        .cell("")
+        .cell(g_speedup.geomean(), 2);
+    bench.emit(table);
+    bench.meta("modes", static_cast<std::uint64_t>(max_mode));
+    bench.meta("repeats", static_cast<std::uint64_t>(repeats));
+    bench.meta("min_speedup", min_speedup);
+
+    if (!identical) {
+        std::cout << "\nRESULT MISMATCH between kernels\n";
+        return 1;
+    }
+    std::cout << "\nresults bit-identical across both kernels\n";
+    if (min_speedup > 0 && g_speedup.geomean() < min_speedup) {
+        std::cout << "FAIL: geomean speedup "
+                  << g_speedup.geomean() << "x below the required "
+                  << min_speedup << "x\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Structural lint of a LifetimeArena against its source store.
+ *
+ * The multi-mode sweep kernel trusts the arena blindly: word handles
+ * index the offset table, (offset, count) pairs index the flat
+ * segment arrays, and segments are assumed sorted and disjoint
+ * because the source WordLifetime was. A stale snapshot (store
+ * mutated after the arena was built) or a packing bug silently
+ * corrupts every AVF number downstream, so this pass re-derives the
+ * invariants from scratch:
+ *
+ * Codes reported:
+ * - arena.config          word width / words-per-container mismatch
+ * - arena.offset          word offsets not contiguous-monotone, or
+ *                         (offset, count) escapes the segment arrays
+ * - arena.segment-order   a word's flat segments unsorted, empty,
+ *                         backwards, or overlapping
+ * - arena.missing-word    store has a non-empty word the arena
+ *                         cannot find (or maps to the wrong slot)
+ * - arena.stale-word      arena word absent from the store, or its
+ *                         segments differ from the store's
+ */
+
+#ifndef MBAVF_CHECK_ARENA_LINT_HH
+#define MBAVF_CHECK_ARENA_LINT_HH
+
+#include "check/report.hh"
+#include "core/lifetime.hh"
+#include "core/lifetime_arena.hh"
+
+namespace mbavf
+{
+
+/** Lint @p arena's internal layout and its fidelity to @p store. */
+void lintLifetimeArena(const LifetimeArena &arena,
+                       const LifetimeStore &store,
+                       CheckReport &report);
+
+} // namespace mbavf
+
+#endif // MBAVF_CHECK_ARENA_LINT_HH

@@ -1,0 +1,99 @@
+#include "core/lifetime_arena.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mbavf
+{
+
+LifetimeArena::LifetimeArena(const LifetimeStore &store)
+    : wordWidth_(store.wordWidth()),
+      wordsPerContainer_(store.wordsPerContainer())
+{
+    // Deterministic layout: containers in ascending id order, words
+    // in index order within each container.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(store.containers().size());
+    for (const auto &[id, container] : store.containers())
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+
+    std::size_t total_segments = 0;
+    std::size_t total_words = 0;
+    for (std::uint64_t id : ids) {
+        const ContainerLifetime &container =
+            store.containers().at(id);
+        for (const WordLifetime &word : container.words) {
+            if (word.empty())
+                continue;
+            ++total_words;
+            total_segments += word.segments().size();
+        }
+    }
+    if (total_words >= noWord)
+        fatal("lifetime arena overflow: ", total_words, " words");
+
+    segBegin_.reserve(total_segments);
+    segEnd_.reserve(total_segments);
+    segMasks_.reserve(total_segments);
+    wordOffset_.reserve(total_words);
+    wordCount_.reserve(total_words);
+    wordContainer_.reserve(total_words);
+    wordIndex_.reserve(total_words);
+    handles_.reserve(ids.size() * wordsPerContainer_);
+    containerBase_.reserve(ids.size());
+
+    for (std::uint64_t id : ids) {
+        const ContainerLifetime &container =
+            store.containers().at(id);
+        containerBase_.emplace(
+            id, static_cast<std::uint32_t>(handles_.size()));
+        // Malformed (lint-path) stores may hold containers with a
+        // word count differing from the store config; pad the handle
+        // block so every container spans at least wordsPerContainer_
+        // slots and findWord() stays in bounds.
+        const std::size_t block = std::max<std::size_t>(
+            container.words.size(), wordsPerContainer_);
+        for (std::size_t w = 0; w < block; ++w) {
+            if (w >= container.words.size()) {
+                handles_.push_back(noWord);
+                continue;
+            }
+            const WordLifetime &word = container.words[w];
+            if (word.empty()) {
+                handles_.push_back(noWord);
+                continue;
+            }
+            handles_.push_back(
+                static_cast<std::uint32_t>(wordOffset_.size()));
+            wordOffset_.push_back(
+                static_cast<std::uint32_t>(segBegin_.size()));
+            wordCount_.push_back(static_cast<std::uint32_t>(
+                word.segments().size()));
+            wordContainer_.push_back(id);
+            wordIndex_.push_back(static_cast<unsigned>(w));
+            for (const LifeSegment &seg : word.segments()) {
+                segBegin_.push_back(seg.begin);
+                segEnd_.push_back(seg.end);
+                segMasks_.push_back({seg.aceMask, seg.readMask});
+            }
+        }
+    }
+}
+
+std::uint32_t
+LifetimeArena::findWord(std::uint64_t container, unsigned word) const
+{
+    auto it = containerBase_.find(container);
+    if (it == containerBase_.end())
+        return noWord;
+    // Containers materialize all their words on first touch, so the
+    // handle block always spans wordsPerContainer_ slots; an index
+    // beyond that is a caller bug, exactly as in LifetimeStore.
+    if (word >= wordsPerContainer_)
+        panic("LifetimeArena word index ", word, " out of range");
+    return handles_[it->second + word];
+}
+
+} // namespace mbavf

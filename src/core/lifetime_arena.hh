@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Flat structure-of-arrays view of a LifetimeStore.
+ *
+ * The MB-AVF sweep is bound by memory traffic: the per-mode engine
+ * chases one std::vector<LifeSegment> per word, so consecutive
+ * anchors touch scattered heap blocks. A LifetimeArena is built once
+ * per store and lays every segment of every non-empty word out in
+ * three contiguous arrays (begin cycles, end cycles, packed
+ * ace/read masks), with a per-word (offset, count) pair on top, so
+ * the sweep kernel reads sequential memory and words are addressed
+ * by a dense 32-bit handle instead of a pointer.
+ *
+ * The arena is a read-only snapshot: mutating the source store after
+ * construction is not reflected (and is what `mbavf_lint --arena`
+ * exists to catch). Word handles are assigned in ascending
+ * (container id, word index) order, so the layout is deterministic
+ * for any given store content.
+ */
+
+#ifndef MBAVF_CORE_LIFETIME_ARENA_HH
+#define MBAVF_CORE_LIFETIME_ARENA_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/lifetime.hh"
+
+namespace mbavf
+{
+
+/** Packed per-segment classification masks (one load per slice). */
+struct SegMasks
+{
+    std::uint64_t ace = 0;
+    std::uint64_t read = 0;
+};
+
+class LifetimeArena
+{
+  public:
+    /** Sentinel word handle: no lifetime (bit Unace forever). */
+    static constexpr std::uint32_t noWord = 0xffffffffu;
+
+    /** Snapshot @p store into flat arrays. */
+    explicit LifetimeArena(const LifetimeStore &store);
+
+    unsigned wordWidth() const { return wordWidth_; }
+    unsigned wordsPerContainer() const { return wordsPerContainer_; }
+
+    /** Number of non-empty words in the arena. */
+    std::uint32_t
+    numWords() const
+    {
+        return static_cast<std::uint32_t>(wordCount_.size());
+    }
+
+    /** Total segments across all words. */
+    std::size_t numSegments() const { return segBegin_.size(); }
+
+    /**
+     * Handle of a word, or noWord when the container or word was
+     * never touched. Mirrors LifetimeStore::find().
+     */
+    std::uint32_t findWord(std::uint64_t container,
+                           unsigned word) const;
+
+    /**
+     * Handle of the word holding a bit addressed within its
+     * container; @p bit_in_word receives the bit index within the
+     * word. Mirrors LifetimeStore::findBit().
+     */
+    std::uint32_t
+    findBit(std::uint64_t container, unsigned bit_in_container,
+            unsigned &bit_in_word) const
+    {
+        bit_in_word = bit_in_container % wordWidth_;
+        return findWord(container, bit_in_container / wordWidth_);
+    }
+
+    /** First segment slot of word @p w. */
+    std::uint32_t offset(std::uint32_t w) const
+    {
+        return wordOffset_[w];
+    }
+
+    /** Segment count of word @p w. */
+    std::uint32_t count(std::uint32_t w) const { return wordCount_[w]; }
+
+    /** SoA segment columns, indexed by absolute segment slot. */
+    const Cycle *begins() const { return segBegin_.data(); }
+    const Cycle *ends() const { return segEnd_.data(); }
+    const SegMasks *masks() const { return segMasks_.data(); }
+
+    /** Source container id of word @p w (lint / diagnostics). */
+    std::uint64_t wordContainer(std::uint32_t w) const
+    {
+        return wordContainer_[w];
+    }
+
+    /** Word index within its container of word @p w. */
+    unsigned wordIndex(std::uint32_t w) const { return wordIndex_[w]; }
+
+  private:
+    unsigned wordWidth_;
+    unsigned wordsPerContainer_;
+
+    std::vector<Cycle> segBegin_;
+    std::vector<Cycle> segEnd_;
+    std::vector<SegMasks> segMasks_;
+
+    std::vector<std::uint32_t> wordOffset_;
+    std::vector<std::uint32_t> wordCount_;
+    std::vector<std::uint64_t> wordContainer_;
+    std::vector<unsigned> wordIndex_;
+
+    /**
+     * container id -> base slot into handles_; the handle of word w
+     * of the container is handles_[base + w] (noWord when empty).
+     */
+    std::unordered_map<std::uint64_t, std::uint32_t> containerBase_;
+    std::vector<std::uint32_t> handles_;
+};
+
+} // namespace mbavf
+
+#endif // MBAVF_CORE_LIFETIME_ARENA_HH

@@ -70,6 +70,15 @@ struct MbAvfOptions
      * band order.
      */
     unsigned numThreads = 1;
+
+    /**
+     * Force sweepModes() onto the original one-mode-at-a-time path
+     * (computeMbAvf per mode) instead of the single-pass multi-mode
+     * arena kernel. The two are bit-identical at any thread count;
+     * the reference path exists for differential testing and for
+     * bench/micro_sweep_kernel's before/after measurement.
+     */
+    bool referenceKernel = false;
 };
 
 /** Result of one MB-AVF computation. */
@@ -97,6 +106,34 @@ MbAvfResult computeMbAvf(const PhysicalArray &array,
                          const ProtectionScheme &scheme,
                          const FaultMode &mode,
                          const MbAvfOptions &opt);
+
+class LifetimeArena;
+
+/**
+ * Single-pass multi-mode sweep kernel: compute the MB-AVF of every
+ * contiguous wordline mode 1x1 .. (max_mode)x1 in one traversal of
+ * the array.
+ *
+ * For each anchor position the kernel merges the member words'
+ * segment boundaries once (reading the flat arena, not per-word
+ * vectors) and, per elementary time slice, grows the fault group one
+ * member at a time: after member m joins, the per-region flip
+ * counts, ACE/read state, and region outcomes are updated
+ * incrementally (only the region the new member lands in can
+ * change), and the group outcome for mode (m)x1 is emitted into that
+ * mode's accumulator. An M-mode sweep therefore costs O(M) region
+ * updates per slice instead of the per-mode path's O(M^2), and one
+ * boundary merge per anchor instead of M.
+ *
+ * results[m-1] is bit-identical to
+ * computeMbAvf(array, store, scheme, mx1(m), opt) — AVF fractions,
+ * window series, and group counts — at any thread count.
+ */
+std::vector<MbAvfResult> computeMbAvfModes(const PhysicalArray &array,
+                                           const LifetimeArena &arena,
+                                           const ProtectionScheme &scheme,
+                                           const MbAvfOptions &opt,
+                                           unsigned max_mode);
 
 /**
  * Convenience: single-bit AVF of the structure (a 1x1 "multi-bit"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.hh"
+#include "core/lifetime_arena.hh"
 #include "obs/phase.hh"
 
 namespace mbavf
@@ -14,6 +15,18 @@ sweepModes(const PhysicalArray &array, const LifetimeStore &store,
            unsigned max_mode)
 {
     obs::ObsPhase obs_phase("avf.sweep");
+
+    if (!opt.referenceKernel) {
+        // Default path: flatten the store once and emit every mode
+        // in a single traversal (computeMbAvfModes), which row-band
+        // parallelizes on the shared pool internally.
+        LifetimeArena arena(store);
+        ModeSweep sweep;
+        sweep.results =
+            computeMbAvfModes(array, arena, scheme, opt, max_mode);
+        return sweep;
+    }
+
     ModeSweep sweep;
     sweep.results.resize(max_mode);
     if (opt.numThreads == 1) {

@@ -114,17 +114,29 @@ struct Differ
                            kindName(b.kind()));
             return;
         }
-        const bool timing = timingPath(path);
+        if (timingPath(path)) {
+            // Timing subtrees: values answer only to --perf-tol,
+            // which composes with --structure-only — a golden gate
+            // checks shape everywhere and, when a tolerance is set,
+            // phase-time drift here. compareTiming recurses on its
+            // own, so fire it once at each subtree root.
+            if (path == "/phases" || path == "/env")
+                compareTiming(path, a, b);
+            if (!options.structureOnly)
+                return;
+        }
         if (options.structureOnly) {
-            if (a.isObject())
+            if (a.isObject()) {
                 compareObjectShape(path, a, b);
+                for (const auto &[key, value] : a.members()) {
+                    const JsonValue *other = b.find(key);
+                    if (other)
+                        compare(path + "/" + key, value, *other);
+                }
+            }
             // Arrays and leaves: shape checked by kind above;
             // element counts and values legitimately move run to
             // run (phases, per-window rows).
-            return;
-        }
-        if (timing) {
-            compareTiming(path, a, b);
             return;
         }
         switch (a.kind()) {
@@ -182,26 +194,19 @@ struct Differ
         }
     }
 
+    /**
+     * Key-set symmetry only; member kinds and recursion are
+     * compare()'s job so timing subtrees keep their special
+     * handling on the way down.
+     */
     void
     compareObjectShape(const std::string &path, const JsonValue &a,
                        const JsonValue &b)
     {
         for (const auto &[key, value] : a.members()) {
-            const JsonValue *other = b.find(key);
-            if (!other) {
+            if (!b.find(key))
                 structural(path + "/" + key,
                            "missing from candidate");
-            } else if (options.structureOnly) {
-                if (!sameShapeKind(value, *other)) {
-                    structural(path + "/" + key,
-                               std::string(kindName(value.kind())) +
-                                   " vs " +
-                                   kindName(other->kind()));
-                } else if (value.isObject()) {
-                    compareObjectShape(path + "/" + key, value,
-                                       *other);
-                }
-            }
         }
         for (const auto &[key, value] : b.members()) {
             if (!a.find(key))

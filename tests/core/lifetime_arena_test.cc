@@ -1,0 +1,119 @@
+/**
+ * @file
+ * LifetimeArena snapshot tests: handle lookup parity with the source
+ * store, (offset, count) tiling of the flat segment arrays, and
+ * deterministic (container, word) layout order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "core/lifetime.hh"
+#include "core/lifetime_arena.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+/** Empty words, an untouched container, and varied segment shapes. */
+LifetimeStore
+mixedStore()
+{
+    LifetimeStore store(8, 4);
+    for (unsigned w = 0; w < 4; ++w) {
+        store.container(5).words[w].append({w, 10 + w, 0x0f, 0x0f});
+        store.container(5).words[w].append({20, 30, 0x01, 0x03});
+    }
+    store.container(3).words[2].append({5, 9, 0x80, 0x80});
+    store.container(7); // touched, but every word left empty
+    return store;
+}
+
+TEST(LifetimeArena, CountsOnlyNonEmptyWords)
+{
+    LifetimeStore store = mixedStore();
+    LifetimeArena arena(store);
+    EXPECT_EQ(arena.wordWidth(), 8u);
+    EXPECT_EQ(arena.wordsPerContainer(), 4u);
+    EXPECT_EQ(arena.numWords(), 5u);
+    EXPECT_EQ(arena.numSegments(), 9u);
+}
+
+TEST(LifetimeArena, FindParityWithStore)
+{
+    LifetimeStore store = mixedStore();
+    LifetimeArena arena(store);
+
+    // Every addressable bit, including absent containers and empty
+    // words, resolves the same way through both lookups.
+    for (std::uint64_t c = 0; c < 10; ++c) {
+        for (unsigned b = 0; b < store.containerBits(); ++b) {
+            unsigned store_bit = 0;
+            unsigned arena_bit = 0;
+            const WordLifetime *word = store.findBit(c, b, store_bit);
+            const std::uint32_t handle =
+                arena.findBit(c, b, arena_bit);
+            EXPECT_EQ(arena_bit, store_bit) << c << ":" << b;
+            if (!word || word->empty()) {
+                EXPECT_EQ(handle, LifetimeArena::noWord)
+                    << c << ":" << b;
+                continue;
+            }
+            ASSERT_NE(handle, LifetimeArena::noWord)
+                << c << ":" << b;
+            EXPECT_EQ(arena.wordContainer(handle), c);
+            EXPECT_EQ(arena.wordIndex(handle), b / 8);
+        }
+    }
+}
+
+TEST(LifetimeArena, OffsetsTileTheSegmentArrays)
+{
+    LifetimeStore store = mixedStore();
+    LifetimeArena arena(store);
+
+    std::uint32_t expect_offset = 0;
+    for (std::uint32_t w = 0; w < arena.numWords(); ++w) {
+        EXPECT_EQ(arena.offset(w), expect_offset);
+        const WordLifetime *word =
+            store.find(arena.wordContainer(w), arena.wordIndex(w));
+        ASSERT_NE(word, nullptr);
+        ASSERT_EQ(arena.count(w), word->segments().size());
+        for (std::uint32_t s = 0; s < arena.count(w); ++s) {
+            const LifeSegment &seg = word->segments()[s];
+            const std::uint32_t slot = arena.offset(w) + s;
+            EXPECT_EQ(arena.begins()[slot], seg.begin);
+            EXPECT_EQ(arena.ends()[slot], seg.end);
+            EXPECT_EQ(arena.masks()[slot].ace, seg.aceMask);
+            EXPECT_EQ(arena.masks()[slot].read, seg.readMask);
+        }
+        expect_offset += arena.count(w);
+    }
+    EXPECT_EQ(expect_offset, arena.numSegments());
+}
+
+TEST(LifetimeArena, LayoutIsDeterministicAndOrdered)
+{
+    LifetimeStore store = mixedStore();
+    LifetimeArena a(store);
+    LifetimeArena b(store);
+
+    ASSERT_EQ(a.numWords(), b.numWords());
+    std::pair<std::uint64_t, unsigned> prev{0, 0};
+    for (std::uint32_t w = 0; w < a.numWords(); ++w) {
+        EXPECT_EQ(a.wordContainer(w), b.wordContainer(w));
+        EXPECT_EQ(a.wordIndex(w), b.wordIndex(w));
+        // Handles ascend in (container id, word index) order, so the
+        // layout is a pure function of the store contents.
+        std::pair<std::uint64_t, unsigned> cur{a.wordContainer(w),
+                                               a.wordIndex(w)};
+        if (w > 0)
+            EXPECT_LT(prev, cur);
+        prev = cur;
+    }
+}
+
+} // namespace
+} // namespace mbavf

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Differential fuzz of the single-pass multi-mode sweep kernel
+ * against the per-mode reference path (MbAvfOptions::referenceKernel).
+ *
+ * Random lifetime stores over random physical layouts, swept under
+ * every protection scheme at varied horizons and window counts, must
+ * produce bit-identical AVF fractions, per-window series, group
+ * counts, and SER folds — serially and on the thread pool. Seeds are
+ * fixed (splitMix64 streams), so any failure is exactly reproducible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "common/rng.hh"
+#include "core/layout.hh"
+#include "core/sweep.hh"
+
+namespace mbavf
+{
+namespace
+{
+
+/** One-row array of 1-bit containers with a tunable domain width. */
+class FlatArray : public PhysicalArray
+{
+  public:
+    FlatArray(std::uint64_t bits, unsigned domain_bits)
+        : bits_(bits), domainBits_(domain_bits)
+    {}
+
+    std::uint64_t rows() const override { return 1; }
+    std::uint64_t cols() const override { return bits_; }
+
+    PhysBit
+    at(std::uint64_t, std::uint64_t col) const override
+    {
+        return {col, 0, col / domainBits_};
+    }
+
+  private:
+    std::uint64_t bits_;
+    unsigned domainBits_;
+};
+
+/**
+ * Random store: some containers absent, some words empty, segment
+ * chains with gaps that may extend past the sweep horizon, random
+ * ACE/read masks (ACE kept a subset of read, per the lint contract).
+ */
+LifetimeStore
+randomStore(Rng &rng, unsigned word_width,
+            unsigned words_per_container,
+            std::uint64_t num_containers, Cycle span)
+{
+    LifetimeStore store(word_width, words_per_container);
+    const std::uint64_t width_mask =
+        word_width >= 64 ? ~0ull : ((1ull << word_width) - 1);
+    for (std::uint64_t c = 0; c < num_containers; ++c) {
+        if (!rng.chance(0.8))
+            continue;
+        ContainerLifetime &container = store.container(c);
+        for (unsigned w = 0; w < words_per_container; ++w) {
+            if (!rng.chance(0.7))
+                continue;
+            Cycle t = rng.below(span / 2 + 1);
+            const unsigned n = 1 + (unsigned)rng.below(5);
+            for (unsigned s = 0; s < n; ++s) {
+                const Cycle begin = t + rng.below(span / 4 + 1);
+                const Cycle end = begin + 1 + rng.below(span / 3 + 1);
+                const std::uint64_t read = rng.next() & width_mask;
+                const std::uint64_t ace = rng.next() & read;
+                container.words[w].append({begin, end, ace, read});
+                t = end;
+            }
+        }
+    }
+    return store;
+}
+
+/**
+ * Bit-exact equality, except both-NaN counts as equal: a zero-width
+ * window (horizon < numWindows) divides 0 cycles by 0 on both paths.
+ */
+void
+expectSameDouble(double a, double b, const std::string &at)
+{
+    if (std::isnan(a) && std::isnan(b))
+        return;
+    EXPECT_EQ(a, b) << at;
+}
+
+void
+expectIdentical(const ModeSweep &ref, const ModeSweep &got,
+                const std::string &label)
+{
+    ASSERT_EQ(ref.results.size(), got.results.size()) << label;
+    for (std::size_t m = 0; m < ref.results.size(); ++m) {
+        const MbAvfResult &a = ref.results[m];
+        const MbAvfResult &b = got.results[m];
+        const std::string at = label + " mode " + std::to_string(m + 1);
+        EXPECT_EQ(a.numGroups, b.numGroups) << at;
+        EXPECT_EQ(a.horizon, b.horizon) << at;
+        expectSameDouble(a.avf.sdc, b.avf.sdc, at);
+        expectSameDouble(a.avf.trueDue, b.avf.trueDue, at);
+        expectSameDouble(a.avf.falseDue, b.avf.falseDue, at);
+        ASSERT_EQ(a.windows.size(), b.windows.size()) << at;
+        for (std::size_t w = 0; w < a.windows.size(); ++w) {
+            const std::string win = at + " window " + std::to_string(w);
+            expectSameDouble(a.windows[w].sdc, b.windows[w].sdc, win);
+            expectSameDouble(a.windows[w].trueDue,
+                             b.windows[w].trueDue, win);
+            expectSameDouble(a.windows[w].falseDue,
+                             b.windows[w].falseDue, win);
+        }
+    }
+    auto fits = caseStudyFaultRates(100.0);
+    const StructureSer sa = sweepSer(ref, fits);
+    const StructureSer sb = sweepSer(got, fits);
+    expectSameDouble(sa.sdc, sb.sdc, label);
+    expectSameDouble(sa.trueDue, sb.trueDue, label);
+    expectSameDouble(sa.falseDue, sb.falseDue, label);
+}
+
+/**
+ * Sweep @p array / @p store through a random scheme, horizon, window
+ * count, and combine rule, with the reference path and the arena
+ * kernel at 1 and 4 threads; all three must agree exactly.
+ */
+void
+runTrial(const PhysicalArray &array, const LifetimeStore &store,
+         Rng &rng, const std::string &label)
+{
+    static const char *const kSchemes[] = {"none", "parity", "secded",
+                                           "dected", "crc"};
+    static const unsigned kWindows[] = {0, 1, 3, 8};
+    const std::unique_ptr<ProtectionScheme> scheme =
+        makeScheme(kSchemes[rng.below(5)]);
+    MbAvfOptions opt;
+    opt.horizon = 1 + rng.below(200);
+    opt.numWindows = kWindows[rng.below(4)];
+    opt.dueShieldsSdc = rng.chance(0.5);
+    const unsigned max_mode = 1 + (unsigned)rng.below(8);
+    const std::string at = label + " (" + scheme->name() + " N=" +
+                           std::to_string(opt.horizon) + " W=" +
+                           std::to_string(opt.numWindows) + " M=" +
+                           std::to_string(max_mode) + ")";
+
+    MbAvfOptions ref_opt = opt;
+    ref_opt.referenceKernel = true;
+    const ModeSweep ref =
+        sweepModes(array, store, *scheme, ref_opt, max_mode);
+
+    expectIdentical(ref, sweepModes(array, store, *scheme, opt,
+                                    max_mode),
+                    at + " serial");
+
+    MbAvfOptions pooled = opt;
+    pooled.numThreads = 4;
+    expectIdentical(ref, sweepModes(array, store, *scheme, pooled,
+                                    max_mode),
+                    at + " pooled");
+}
+
+TEST(SweepKernelFuzz, CacheLayouts)
+{
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        Rng rng(splitMix64(0x5eedcafe, seed));
+        CacheGeometry geom;
+        geom.sets = 4u << rng.below(2);
+        geom.ways = 2u << rng.below(2);
+        geom.lineBytes = 2u << rng.below(2);
+        static const CacheInterleave kStyles[] = {
+            CacheInterleave::Logical, CacheInterleave::WayPhysical,
+            CacheInterleave::IndexPhysical};
+        const CacheInterleave style = kStyles[rng.below(3)];
+        // 1 or 2 divides every sets/ways/lineBits choice above.
+        const unsigned factor = 1u << rng.below(2);
+        auto array = makeCacheArray(geom, style, factor);
+        LifetimeStore store = randomStore(
+            rng, 8, geom.lineBytes, geom.numLines(), 120);
+        runTrial(*array, store, rng,
+                 "cache " + cacheInterleaveName(style) + " seed " +
+                     std::to_string(seed));
+    }
+}
+
+TEST(SweepKernelFuzz, RegFileLayouts)
+{
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        Rng rng(splitMix64(0x2e9f11e, seed));
+        RegFileGeometry geom;
+        geom.numRegs = 4;
+        geom.numLanes = 4;
+        geom.numSlots = 2;
+        const RegInterleave style = rng.chance(0.5)
+                                        ? RegInterleave::IntraThread
+                                        : RegInterleave::InterThread;
+        const unsigned factor = 1 + (unsigned)rng.below(2);
+        auto array = makeRegFileArray(geom, style, factor);
+        LifetimeStore store =
+            randomStore(rng, 32, 1, geom.numContainers(), 120);
+        runTrial(*array, store, rng,
+                 "regfile seed " + std::to_string(seed));
+    }
+}
+
+TEST(SweepKernelFuzz, NarrowArrays)
+{
+    // cols in [1, 6] with max_mode up to 8: modes wider than the
+    // array must agree on the zero-group result, and 1-bit words
+    // exercise the narrowest mask path.
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        Rng rng(splitMix64(0xf1a7, seed));
+        const std::uint64_t bits = 1 + rng.below(6);
+        const unsigned domain_bits = 1 + (unsigned)rng.below(3);
+        FlatArray array(bits, domain_bits);
+        LifetimeStore store = randomStore(rng, 1, 1, bits, 60);
+        runTrial(array, store, rng,
+                 "flat " + std::to_string(bits) + "b seed " +
+                     std::to_string(seed));
+    }
+}
+
+TEST(SweepKernelFuzz, TinyHorizonManyWindows)
+{
+    // More windows than cycles: several window boundaries coincide,
+    // the degenerate case of the cached-bounds window lookup.
+    Rng rng(splitMix64(0xbeef, 1));
+    FlatArray array(6, 2);
+    LifetimeStore store = randomStore(rng, 1, 1, 6, 8);
+    const std::unique_ptr<ProtectionScheme> scheme =
+        makeScheme("parity");
+    MbAvfOptions opt;
+    opt.horizon = 5;
+    opt.numWindows = 8;
+    MbAvfOptions ref_opt = opt;
+    ref_opt.referenceKernel = true;
+    expectIdentical(sweepModes(array, store, *scheme, ref_opt, 8),
+                    sweepModes(array, store, *scheme, opt, 8),
+                    "tiny horizon");
+}
+
+} // namespace
+} // namespace mbavf

@@ -201,6 +201,30 @@ TEST(ReportTest, StructureOnlyCatchesShapeChanges)
         obs::diffManifests(a, retyped, shape).structuralMismatch);
 }
 
+TEST(ReportTest, StructureOnlyComposesWithPerfTol)
+{
+    // CI's main-branch gate: schema guard plus a perf floor in one
+    // diff. Values outside /phases stay unchecked, but a phase that
+    // slows beyond the tolerance still fails.
+    JsonValue a = baseManifest();
+    JsonValue b = baseManifest();
+    b.find("run")->set("avf", JsonValue(0.9));
+    b.find("phases")->items()[0].set("seconds", JsonValue(50.0));
+
+    obs::DiffOptions gate;
+    gate.structureOnly = true;
+    gate.perfTol = 0.5;
+    obs::DiffResult result = obs::diffManifests(a, b, gate);
+    EXPECT_TRUE(result.drifted) << joinNotes(result);
+    EXPECT_FALSE(result.structuralMismatch) << joinNotes(result);
+    EXPECT_NE(joinNotes(result).find("perf:"), std::string::npos)
+        << joinNotes(result);
+
+    // Within tolerance the combined gate is clean again.
+    b.find("phases")->items()[0].set("seconds", JsonValue(1.2));
+    EXPECT_TRUE(obs::diffManifests(a, b, gate).clean());
+}
+
 TEST(ReportTest, MergeSortsByName)
 {
     std::vector<std::pair<std::string, JsonValue>> inputs;

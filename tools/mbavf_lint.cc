@@ -24,12 +24,19 @@
  *       with a message, never a crash
  *   mbavf_lint --geometry-only               lint geometry combos only
  *
+ * --arena additionally flattens each linted store into the sweep
+ * kernel's LifetimeArena and checks the arena against its source:
+ * offsets contiguous-monotone, per-word segments sorted and
+ * disjoint, and an exact store <-> arena round trip.
+ *
  * Exit codes: 0 = clean (warnings allowed), 1 = lint errors,
  * 2 = unusable input (bad file, bad arguments).
  *
- * --seed-corruption=overlap|read-before-fill|straddle deliberately
- * corrupts the analyzed artifact first; the regression suite uses it
- * to pin each diagnostic and its exit code.
+ * --seed-corruption=overlap|read-before-fill|straddle|stale-arena
+ * deliberately corrupts the analyzed artifact first; the regression
+ * suite uses it to pin each diagnostic and its exit code.
+ * stale-arena (requires --arena) mutates the store after the arena
+ * snapshot is built, so the round-trip check must fire.
  */
 
 #include <cstring>
@@ -37,6 +44,7 @@
 #include <iostream>
 #include <string_view>
 
+#include "check/arena_lint.hh"
 #include "check/event_lint.hh"
 #include "check/geometry_lint.hh"
 #include "check/lifetime_lint.hh"
@@ -63,9 +71,12 @@ usage()
         "options:\n"
         "  --scale=N            workload problem-size multiplier\n"
         "  --modes=M            geometry lint covers 1x1..Mx1 (4)\n"
+        "  --arena              also lint the flattened LifetimeArena\n"
+        "                       of every linted store\n"
         "  --max-findings=N     stored findings per code (16)\n"
         "  --seed-corruption=K  corrupt the artifact first; K is\n"
         "                       overlap | read-before-fill | straddle\n"
+        "                       | stale-arena (needs --arena)\n"
         "  --version            print build info and exit\n"
         "\n--journal validates a campaign checkpoint (inject/journal):\n"
         "header fields, contiguous trial indices, outcome names,\n"
@@ -142,6 +153,25 @@ lintGeometry(const GpuConfig &config, unsigned max_mode,
     lintGeometryCombos(l2_combos, report);
 }
 
+/**
+ * Flatten @p store into an arena snapshot and lint it against the
+ * store. With @p stale_after, the store is corrupted after the
+ * snapshot is built — the round-trip check must then fire.
+ */
+bool
+lintArenaOf(LifetimeStore &store, const std::string &label,
+            bool stale_after, CheckReport &report)
+{
+    LifetimeArena arena(store);
+    if (stale_after && !seedOverlap(store))
+        return false;
+    std::cout << "linted arena of " << label << ": "
+              << arena.numWords() << " word(s), "
+              << arena.numSegments() << " segment(s)\n";
+    lintLifetimeArena(arena, store, report);
+    return true;
+}
+
 int
 finish(const CheckReport &report)
 {
@@ -157,7 +187,7 @@ main(int argc, char **argv)
     Args args(argc, argv);
     args.requireKnown({
         "help", "workload", "lifetimes", "horizon", "journal",
-        "geometry-only", "scale", "modes", "max-findings",
+        "geometry-only", "arena", "scale", "modes", "max-findings",
         "seed-corruption", "version",
     });
     if (args.getBool("help")) {
@@ -188,9 +218,16 @@ main(int argc, char **argv)
     const std::string corruption =
         args.getString("seed-corruption", "");
     if (!corruption.empty() && corruption != "overlap" &&
-        corruption != "read-before-fill" && corruption != "straddle") {
+        corruption != "read-before-fill" &&
+        corruption != "straddle" && corruption != "stale-arena") {
         std::cerr << "mbavf_lint: unknown corruption '" << corruption
                   << "'\n";
+        return 2;
+    }
+    const bool lint_arena = args.getBool("arena");
+    if (corruption == "stale-arena" && !lint_arena) {
+        std::cerr << "mbavf_lint: --seed-corruption=stale-arena "
+                     "needs --arena\n";
         return 2;
     }
     const unsigned max_mode =
@@ -245,6 +282,12 @@ main(int argc, char **argv)
         lintLifetimeStore(*store, opts, report);
         std::cout << "linted " << store->numContainers()
                   << " container(s) from " << lifetimes_path << "\n";
+        if (lint_arena &&
+            !lintArenaOf(*store, lifetimes_path,
+                         corruption == "stale-arena", report)) {
+            std::cerr << "mbavf_lint: no lifetime to corrupt\n";
+            return 2;
+        }
         return finish(report);
     }
 
@@ -315,6 +358,18 @@ main(int argc, char **argv)
     LifetimeLintOptions l2_opts;
     l2_opts.horizon = run.horizon + options.config.dramLatency;
     lintLifetimeStore(run.l2, l2_opts, report);
+
+    // Arena lint: the flattened snapshot the multi-mode sweep kernel
+    // actually reads must mirror each store exactly.
+    if (lint_arena) {
+        if (!lintArenaOf(run.l1, "l1", corruption == "stale-arena",
+                         report)) {
+            std::cerr << "mbavf_lint: no lifetime to corrupt\n";
+            return 2;
+        }
+        lintArenaOf(run.vgpr, "vgpr", false, report);
+        lintArenaOf(run.l2, "l2", false, report);
+    }
 
     // Event-stream lint.
     lintCacheEvents(l1_recorder.trace(), report);

@@ -13,10 +13,12 @@
  * reference's, or with --perf-tol a phase slowed beyond the
  * threshold), and 2 on structural mismatch or unusable input. The
  * "phases" and "env" sections are perf/context data and never count
- * as structural drift; --structure-only restricts the whole
+ * as structural drift; --structure-only restricts the result
  * comparison to key sets and value types, which is how CI guards the
  * manifest schema against a checked-in golden file without pinning
- * any measured value.
+ * any measured value. --structure-only composes with --perf-tol:
+ * phase timings are still tolerance-gated, so a main-branch golden
+ * can hold both the schema and the performance floor.
  *
  * --merge collects every BENCH_*.json (or *.json) manifest in a
  * directory into one name-sorted trajectory document for plotting
