@@ -1,31 +1,52 @@
 /**
  * @file
- * Microbenchmark: single-pass multi-mode sweep kernel vs the
- * reference per-mode path.
+ * Microbenchmark: the sweep-kernel implementation ladder.
  *
  * Runs the Figure 4 workload shape — L1 cache lifetimes, parity, x2
- * interleaving — through sweepModes() twice per workload: once with
- * MbAvfOptions::referenceKernel (max_mode independent computeMbAvf
- * walks over the LifetimeStore) and once on the default flat-arena
- * kernel (one traversal emits every mode). Both paths must produce
- * bit-identical AVF fractions and window series; the table records
- * the per-workload speedup and its geomean.
+ * interleaving — through four paths per workload:
+ *
+ *   ref     max_mode independent computeMbAvf walks over the store
+ *           (MbAvfOptions::referenceKernel)
+ *   scalar  the single-pass flat-arena kernel, portable scalar
+ *           implementation (MbAvfOptions::scalarKernel)
+ *   simd    the same kernel with runtime dispatch enabled — the AVX2
+ *           lane-transposed path where the host supports it, the
+ *           scalar path otherwise
+ *   mmap    the simd path again, but sweeping an arena persisted
+ *           with core/arena_io.hh and mapped back from disk
+ *
+ * All four must produce bit-identical AVF fractions and window
+ * series; the table records the per-workload times plus the
+ * ref-over-simd and scalar-over-simd speedups and their geomeans.
  *
  *   micro_sweep_kernel [--workloads=a,b] [--scale=N] [--modes=8]
  *                      [--repeats=3] [--threads=N] [--min-speedup=X]
+ *                      [--min-simd-speedup=Y]
  *
- * Exit status is nonzero if any workload's results diverge between
- * the two paths, or if the geomean speedup falls below
- * --min-speedup (0 disables the gate). CI runs this with a floor so
- * a kernel perf regression fails the bench-smoke job directly,
- * independent of runner-to-runner timing noise in the manifests.
+ * Exit status is nonzero if any path's results diverge from the
+ * reference, if the geomean ref-over-simd speedup falls below
+ * --min-speedup, or if the geomean scalar-over-simd speedup falls
+ * below --min-simd-speedup (0 disables either gate; the SIMD gate is
+ * skipped, with a note, when the host has no AVX2 path or
+ * --modes=1 pins the dispatch to scalar). Workloads below the
+ * --min-speedup floor are listed in the manifest's run section as
+ * "below_floor", so CI failures name the regressing subset instead
+ * of just the aggregate. CI runs both floors so a kernel perf
+ * regression fails the bench-smoke job directly, independent of
+ * runner-to-runner timing noise in the manifests.
  */
 
+#include <cstdio>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.hh"
 #include "common/stats.hh"
+#include "core/arena_io.hh"
+#include "core/lifetime_arena.hh"
+#include "core/mbavf_kernel.hh"
 #include "core/protection.hh"
 #include "core/sweep.hh"
 #include "obs/stopwatch.hh"
@@ -79,6 +100,25 @@ timeSweep(const PhysicalArray &array, const LifetimeStore &store,
     return best;
 }
 
+/** Same, over a pre-built (here: disk-mapped) arena. */
+double
+timeSweepArena(const PhysicalArray &array, const LifetimeArena &arena,
+               const ProtectionScheme &scheme, const MbAvfOptions &opt,
+               unsigned max_mode, unsigned repeats, ModeSweep &out)
+{
+    double best = 0.0;
+    for (unsigned r = 0; r < repeats; ++r) {
+        obs::Stopwatch watch;
+        ModeSweep sweep =
+            sweepModesArena(array, arena, scheme, opt, max_mode);
+        double s = watch.seconds();
+        if (r == 0 || s < best)
+            best = s;
+        out = std::move(sweep);
+    }
+    return best;
+}
+
 } // namespace
 
 int
@@ -94,15 +134,24 @@ main(int argc, char **argv)
     const unsigned repeats =
         static_cast<unsigned>(args.getInt("repeats", 3));
     const double min_speedup = args.getDouble("min-speedup", 0.0);
+    const double min_simd = args.getDouble("min-simd-speedup", 0.0);
+    // --modes=1 dispatches to the scalar kernel by design, so the
+    // simd and scalar columns measure the same code there.
+    const bool simd_live =
+        detail::avx2KernelAvailable() && max_mode > 1;
 
-    std::cout << "sweep kernel: reference per-mode path vs "
-                 "single-pass arena kernel, "
-              << max_mode << " modes\n\n";
+    std::cout << "sweep kernel ladder: reference per-mode path vs "
+                 "scalar / simd / mmap arena kernel, "
+              << max_mode << " modes (simd "
+              << (simd_live ? "avx2" : "scalar fallback") << ")\n\n";
 
-    Table table({"workload", "ref ms", "arena ms", "speedup"});
+    Table table({"workload", "ref ms", "scalar ms", "simd ms",
+                 "mmap ms", "speedup", "simd x"});
     RunningStats g_speedup;
+    RunningStats g_simd;
     ParityScheme parity;
     bool identical = true;
+    std::vector<std::string> below_floor;
 
     for (const std::string &name : selectedWorkloads(args)) {
         note("running " + name);
@@ -116,49 +165,105 @@ main(int argc, char **argv)
         opt.numWindows = 8;
         opt.numThreads = threads;
 
-        ModeSweep ref, arena;
+        ModeSweep ref, scalar, simd, mapped;
         opt.referenceKernel = true;
         double ref_s = timeSweep(*array, run.l1, parity, opt,
                                  max_mode, repeats, ref);
         opt.referenceKernel = false;
-        double arena_s = timeSweep(*array, run.l1, parity, opt,
-                                   max_mode, repeats, arena);
+        opt.scalarKernel = true;
+        double scalar_s = timeSweep(*array, run.l1, parity, opt,
+                                    max_mode, repeats, scalar);
+        opt.scalarKernel = false;
+        double simd_s = timeSweep(*array, run.l1, parity, opt,
+                                  max_mode, repeats, simd);
 
-        if (!sameSweep(ref, arena)) {
+        // Persist + map back: the disk round trip must neither
+        // change a single bit nor cost measurable sweep time.
+        const std::string arena_path =
+            "micro_sweep_" + name + ".arena.tmp";
+        streamArenaFromStore(run.l1, arena_path, run.horizon);
+        std::string error;
+        std::optional<LifetimeArena> disk_arena =
+            tryLoadArena(arena_path, error);
+        if (!disk_arena) {
+            std::cerr << "FAIL: cannot map " << arena_path << ": "
+                      << error << "\n";
+            return 1;
+        }
+        double mmap_s = timeSweepArena(*array, *disk_arena, parity,
+                                       opt, max_mode, repeats, mapped);
+        std::remove(arena_path.c_str());
+
+        if (!sameSweep(ref, scalar) || !sameSweep(ref, simd) ||
+            !sameSweep(ref, mapped)) {
             std::cerr << "FAIL: kernel results diverge from the "
                          "reference path on " << name << "\n";
             identical = false;
         }
 
-        double speedup = arena_s > 0 ? ref_s / arena_s : 0.0;
+        double speedup = simd_s > 0 ? ref_s / simd_s : 0.0;
+        double simd_x = simd_s > 0 ? scalar_s / simd_s : 0.0;
         g_speedup.add(speedup);
+        g_simd.add(simd_x);
+        if (min_speedup > 0 && speedup < min_speedup)
+            below_floor.push_back(name);
         table.beginRow()
             .cell(name)
             .cell(ref_s * 1e3, 2)
-            .cell(arena_s * 1e3, 2)
-            .cell(speedup, 2);
+            .cell(scalar_s * 1e3, 2)
+            .cell(simd_s * 1e3, 2)
+            .cell(mmap_s * 1e3, 2)
+            .cell(speedup, 2)
+            .cell(simd_x, 2);
     }
 
     table.beginRow()
         .cell("geomean")
         .cell("")
         .cell("")
-        .cell(g_speedup.geomean(), 2);
+        .cell("")
+        .cell("")
+        .cell(g_speedup.geomean(), 2)
+        .cell(g_simd.geomean(), 2);
     bench.emit(table);
     bench.meta("modes", static_cast<std::uint64_t>(max_mode));
     bench.meta("repeats", static_cast<std::uint64_t>(repeats));
     bench.meta("min_speedup", min_speedup);
+    bench.meta("min_simd_speedup", min_simd);
+    bench.meta("simd", std::string(simd_live ? "avx2" : "scalar"));
+    obs::JsonValue floor_list = obs::JsonValue::array();
+    for (const std::string &name : below_floor)
+        floor_list.push(obs::JsonValue(name));
+    bench.meta("below_floor", std::move(floor_list));
 
     if (!identical) {
         std::cout << "\nRESULT MISMATCH between kernels\n";
         return 1;
     }
-    std::cout << "\nresults bit-identical across both kernels\n";
+    std::cout << "\nresults bit-identical across all kernel paths\n";
     if (min_speedup > 0 && g_speedup.geomean() < min_speedup) {
         std::cout << "FAIL: geomean speedup "
                   << g_speedup.geomean() << "x below the required "
-                  << min_speedup << "x\n";
+                  << min_speedup << "x";
+        if (!below_floor.empty()) {
+            std::cout << " (below floor:";
+            for (const std::string &name : below_floor)
+                std::cout << " " << name;
+            std::cout << ")";
+        }
+        std::cout << "\n";
         return 1;
+    }
+    if (min_simd > 0) {
+        if (!simd_live) {
+            std::cout << "note: --min-simd-speedup skipped (no simd "
+                         "path on this build/host)\n";
+        } else if (g_simd.geomean() < min_simd) {
+            std::cout << "FAIL: geomean simd-over-scalar speedup "
+                      << g_simd.geomean() << "x below the required "
+                      << min_simd << "x\n";
+            return 1;
+        }
     }
     return 0;
 }

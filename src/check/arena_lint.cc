@@ -18,20 +18,8 @@ wordWhere(const LifetimeArena &arena, std::uint32_t w)
 } // namespace
 
 void
-lintLifetimeArena(const LifetimeArena &arena,
-                  const LifetimeStore &store, CheckReport &report)
+lintArenaStructure(const LifetimeArena &arena, CheckReport &report)
 {
-    if (arena.wordWidth() != store.wordWidth() ||
-        arena.wordsPerContainer() != store.wordsPerContainer()) {
-        report.error("arena.config", "arena",
-                     "arena is " +
-                         std::to_string(arena.wordWidth()) + "x" +
-                         std::to_string(arena.wordsPerContainer()) +
-                         ", store is " +
-                         std::to_string(store.wordWidth()) + "x" +
-                         std::to_string(store.wordsPerContainer()));
-    }
-
     // Layout: word (offset, count) pairs must tile the segment
     // arrays contiguously in handle order — the build appends words
     // and segments in lockstep, so any gap or overlap is a packing
@@ -84,6 +72,26 @@ lintLifetimeArena(const LifetimeArena &arena,
             }
         }
     }
+}
+
+void
+lintLifetimeArena(const LifetimeArena &arena,
+                  const LifetimeStore &store, CheckReport &report)
+{
+    if (arena.wordWidth() != store.wordWidth() ||
+        arena.wordsPerContainer() != store.wordsPerContainer()) {
+        report.error("arena.config", "arena",
+                     "arena is " +
+                         std::to_string(arena.wordWidth()) + "x" +
+                         std::to_string(arena.wordsPerContainer()) +
+                         ", store is " +
+                         std::to_string(store.wordWidth()) + "x" +
+                         std::to_string(store.wordsPerContainer()));
+    }
+
+    lintArenaStructure(arena, report);
+
+    const std::size_t num_segments = arena.numSegments();
 
     // Round trip, arena -> store: every arena word must trace back
     // to a word that exists in the store (segment equality is
@@ -110,8 +118,10 @@ lintLifetimeArena(const LifetimeArena &arena,
             const std::string where =
                 "container " + std::to_string(id) + " word " +
                 std::to_string(word);
-            // findWord() panics above the configured width; such
-            // containers are reported by lifetime.word-count.
+            // findWord() answers noWord above the configured width;
+            // resolving such words through it would mask the
+            // lifetime.word-count finding, so they are pinned to
+            // noWord here and left to that check.
             const std::uint32_t handle =
                 word < store.wordsPerContainer()
                     ? arena.findWord(id,

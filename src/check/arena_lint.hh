@@ -20,6 +20,13 @@
  *                         cannot find (or maps to the wrong slot)
  * - arena.stale-word      arena word absent from the store, or its
  *                         segments differ from the store's
+ *
+ * The structure-only entry point covers the first three codes and
+ * needs no store — it is what `mbavf_lint --arena=FILE` runs on an
+ * arena loaded from disk (the file loader already validated the
+ * byte-level framing; this pass re-derives the semantic layout
+ * invariants the kernel trusts). The file loader's own rejections
+ * surface as `arena.file` in the tool.
  */
 
 #ifndef MBAVF_CHECK_ARENA_LINT_HH
@@ -36,6 +43,10 @@ namespace mbavf
 void lintLifetimeArena(const LifetimeArena &arena,
                        const LifetimeStore &store,
                        CheckReport &report);
+
+/** Layout-only lint for arenas with no source store (file mode). */
+void lintArenaStructure(const LifetimeArena &arena,
+                        CheckReport &report);
 
 } // namespace mbavf
 

@@ -47,6 +47,31 @@ lowMask(unsigned n)
     return n >= 64 ? ~std::uint64_t(0) : ((std::uint64_t(1) << n) - 1);
 }
 
+/**
+ * Saturating unsigned add: @p a + @p b, clamped to UINT64_MAX on
+ * overflow. Cycle arithmetic near the top of the range (horizons at
+ * or near UINT64_MAX, file-offset math on untrusted headers) must
+ * clamp instead of wrapping past the value it is compared against.
+ */
+inline std::uint64_t
+satAdd(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t sum = 0;
+    if (__builtin_add_overflow(a, b, &sum))
+        return ~std::uint64_t(0);
+    return sum;
+}
+
+/** Saturating unsigned multiply: clamps to UINT64_MAX on overflow. */
+inline std::uint64_t
+satMul(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t product = 0;
+    if (__builtin_mul_overflow(a, b, &product))
+        return ~std::uint64_t(0);
+    return product;
+}
+
 } // namespace mbavf
 
 #endif // MBAVF_COMMON_BITS_HH

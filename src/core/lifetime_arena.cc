@@ -34,21 +34,23 @@ LifetimeArena::LifetimeArena(const LifetimeStore &store)
     if (total_words >= noWord)
         fatal("lifetime arena overflow: ", total_words, " words");
 
-    segBegin_.reserve(total_segments);
-    segEnd_.reserve(total_segments);
-    segMasks_.reserve(total_segments);
-    wordOffset_.reserve(total_words);
-    wordCount_.reserve(total_words);
-    wordContainer_.reserve(total_words);
-    wordIndex_.reserve(total_words);
-    handles_.reserve(ids.size() * wordsPerContainer_);
+    auto owned = std::make_shared<Storage>();
+    Storage &s = *owned;
+    s.segBegin.reserve(total_segments);
+    s.segEnd.reserve(total_segments);
+    s.segMasks.reserve(total_segments);
+    s.wordOffset.reserve(total_words);
+    s.wordCount.reserve(total_words);
+    s.wordContainer.reserve(total_words);
+    s.wordIndex.reserve(total_words);
+    s.handles.reserve(ids.size() * wordsPerContainer_);
     containerBase_.reserve(ids.size());
 
     for (std::uint64_t id : ids) {
         const ContainerLifetime &container =
             store.containers().at(id);
         containerBase_.emplace(
-            id, static_cast<std::uint32_t>(handles_.size()));
+            id, static_cast<std::uint32_t>(s.handles.size()));
         // Malformed (lint-path) stores may hold containers with a
         // word count differing from the store config; pad the handle
         // block so every container spans at least wordsPerContainer_
@@ -57,29 +59,42 @@ LifetimeArena::LifetimeArena(const LifetimeStore &store)
             container.words.size(), wordsPerContainer_);
         for (std::size_t w = 0; w < block; ++w) {
             if (w >= container.words.size()) {
-                handles_.push_back(noWord);
+                s.handles.push_back(noWord);
                 continue;
             }
             const WordLifetime &word = container.words[w];
             if (word.empty()) {
-                handles_.push_back(noWord);
+                s.handles.push_back(noWord);
                 continue;
             }
-            handles_.push_back(
-                static_cast<std::uint32_t>(wordOffset_.size()));
-            wordOffset_.push_back(
-                static_cast<std::uint32_t>(segBegin_.size()));
-            wordCount_.push_back(static_cast<std::uint32_t>(
+            s.handles.push_back(
+                static_cast<std::uint32_t>(s.wordOffset.size()));
+            s.wordOffset.push_back(
+                static_cast<std::uint32_t>(s.segBegin.size()));
+            s.wordCount.push_back(static_cast<std::uint32_t>(
                 word.segments().size()));
-            wordContainer_.push_back(id);
-            wordIndex_.push_back(static_cast<unsigned>(w));
+            s.wordContainer.push_back(id);
+            s.wordIndex.push_back(static_cast<std::uint32_t>(w));
             for (const LifeSegment &seg : word.segments()) {
-                segBegin_.push_back(seg.begin);
-                segEnd_.push_back(seg.end);
-                segMasks_.push_back({seg.aceMask, seg.readMask});
+                s.segBegin.push_back(seg.begin);
+                s.segEnd.push_back(seg.end);
+                s.segMasks.push_back({seg.aceMask, seg.readMask});
             }
         }
     }
+
+    numWords_ = static_cast<std::uint32_t>(s.wordOffset.size());
+    numSegments_ = s.segBegin.size();
+    numHandles_ = s.handles.size();
+    segBegin_ = s.segBegin.data();
+    segEnd_ = s.segEnd.data();
+    segMasks_ = s.segMasks.data();
+    wordOffset_ = s.wordOffset.data();
+    wordCount_ = s.wordCount.data();
+    wordContainer_ = s.wordContainer.data();
+    wordIndex_ = s.wordIndex.data();
+    handles_ = s.handles.data();
+    backing_ = std::move(owned);
 }
 
 std::uint32_t
@@ -90,9 +105,10 @@ LifetimeArena::findWord(std::uint64_t container, unsigned word) const
         return noWord;
     // Containers materialize all their words on first touch, so the
     // handle block always spans wordsPerContainer_ slots; an index
-    // beyond that is a caller bug, exactly as in LifetimeStore.
+    // beyond that has no slot and no lifetime — answer noWord, as
+    // for an untouched word (lint paths probe arbitrary indices).
     if (word >= wordsPerContainer_)
-        panic("LifetimeArena word index ", word, " out of range");
+        return noWord;
     return handles_[it->second + word];
 }
 

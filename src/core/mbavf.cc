@@ -8,17 +8,23 @@
 #include "common/parallel.hh"
 #include "core/ace_class.hh"
 #include "core/lifetime_arena.hh"
+#include "core/mbavf_kernel.hh"
 #include "obs/metrics.hh"
 #include "obs/phase.hh"
 
 namespace mbavf
 {
 
+// The classification helpers and accumulators are shared with the
+// AVX2 kernel translation unit (core/mbavf_kernel.hh).
+using detail::classifyRegion;
+using detail::combineOutcomes;
+using detail::maxModeBits;
+using detail::ModeAccumulators;
+using detail::OutcomeAccumulator;
+
 namespace
 {
-
-/** Largest fault-mode size the sweep kernel supports. */
-constexpr unsigned maxModeBits = 64;
 
 /** Resolved view of one member bit of a fault group. */
 struct MemberBit
@@ -33,139 +39,6 @@ struct MemberBit
 struct SweepScratch
 {
     std::vector<Cycle> boundaries;
-};
-
-/**
- * Classify one region (bits of the group sharing a protection domain)
- * given the ACE classes present among its member bits and the action
- * the scheme takes on this region's flip count.
- */
-Outcome
-classifyRegion(FaultAction action, bool any_ace_live, bool any_read)
-{
-    switch (action) {
-      case FaultAction::Corrected:
-        return Outcome::Unace;
-      case FaultAction::Detected:
-        if (any_ace_live)
-            return Outcome::TrueDue;
-        if (any_read)
-            return Outcome::FalseDue;
-        return Outcome::Unace;
-      case FaultAction::Undetected:
-        if (any_ace_live)
-            return Outcome::Sdc;
-        return Outcome::Unace;
-    }
-    panic("unreachable fault action");
-}
-
-/**
- * Combine region outcomes into the group outcome. Default precedence
- * is SDC > trueDUE > falseDUE > unACE; with due_shields_sdc a
- * detected region converts would-be SDC into a true DUE.
- */
-Outcome
-combineOutcomes(bool has_sdc, bool has_true_due, bool has_false_due,
-                bool due_shields_sdc)
-{
-    if (has_sdc && has_true_due && due_shields_sdc)
-        return Outcome::TrueDue;
-    if (has_sdc)
-        return Outcome::Sdc;
-    if (has_true_due)
-        return Outcome::TrueDue;
-    if (has_false_due)
-        return Outcome::FalseDue;
-    return Outcome::Unace;
-}
-
-/** Accumulates outcome time, whole-run and per-window. */
-class OutcomeAccumulator
-{
-  public:
-    OutcomeAccumulator(Cycle horizon, unsigned num_windows)
-        : horizon_(horizon), numWindows_(num_windows)
-    {
-        if (num_windows) {
-            windows_.resize(std::size_t(num_windows) * 3, 0);
-            // Cache the exact integer boundaries: the 128-bit
-            // division is far too hot to repeat inside add().
-            bounds_.resize(std::size_t(num_windows) + 1);
-            for (unsigned w = 0; w <= num_windows; ++w) {
-                bounds_[w] = static_cast<Cycle>(
-                    static_cast<unsigned __int128>(horizon_) * w /
-                    num_windows);
-            }
-        }
-    }
-
-    /** Exact integer window boundary: window w covers
-     *  [bound(w), bound(w+1)). */
-    Cycle bound(unsigned w) const { return bounds_[w]; }
-
-    void
-    add(Outcome outcome, Cycle begin, Cycle end)
-    {
-        if (outcome == Outcome::Unace || end <= begin)
-            return;
-        unsigned idx = classIndex(outcome);
-        totals_[idx] += end - begin;
-        if (!numWindows_)
-            return;
-        // Split the slice across windows (binary search over the
-        // cached exact boundaries).
-        auto window_of = [this](Cycle t) {
-            const auto it = std::upper_bound(bounds_.begin() + 1,
-                                             bounds_.end(), t);
-            return static_cast<unsigned>(it - bounds_.begin()) - 1;
-        };
-        unsigned w0 = window_of(begin);
-        unsigned w1 = window_of(end - 1);
-        w1 = std::min(w1, numWindows_ - 1);
-        for (unsigned w = w0; w <= w1; ++w) {
-            Cycle lo = std::max(begin, bound(w));
-            Cycle hi = std::min(end, bound(w + 1));
-            if (lo < hi)
-                windows_[std::size_t(w) * 3 + idx] += hi - lo;
-        }
-    }
-
-    const std::array<Cycle, 3> &totals() const { return totals_; }
-
-    Cycle
-    windowTotal(unsigned window, unsigned idx) const
-    {
-        return windows_[std::size_t(window) * 3 + idx];
-    }
-
-    /** Fold another accumulator's counts in (exact integer sums). */
-    void
-    mergeFrom(const OutcomeAccumulator &other)
-    {
-        for (unsigned i = 0; i < 3; ++i)
-            totals_[i] += other.totals_[i];
-        for (std::size_t i = 0; i < windows_.size(); ++i)
-            windows_[i] += other.windows_[i];
-    }
-
-    static unsigned
-    classIndex(Outcome outcome)
-    {
-        switch (outcome) {
-          case Outcome::Sdc: return 0;
-          case Outcome::TrueDue: return 1;
-          case Outcome::FalseDue: return 2;
-          default: panic("no class index for unACE");
-        }
-    }
-
-  private:
-    Cycle horizon_;
-    unsigned numWindows_;
-    std::array<Cycle, 3> totals_ = {0, 0, 0};
-    std::vector<Cycle> windows_;
-    std::vector<Cycle> bounds_;
 };
 
 /**
@@ -446,18 +319,7 @@ computeSbAvf(const PhysicalArray &array, const LifetimeStore &store,
 namespace
 {
 
-/** Resolved view of one physical column for the multi-mode kernel. */
-/**
- * One change point of a single physical bit's lifetime: from @c at
- * onward the bit is ACE-live and/or read-shadowed, until the bit's
- * next event. Both zero is equivalent to a lifetime gap.
- */
-struct BitEvent
-{
-    Cycle at;
-    std::uint8_t live;
-    std::uint8_t read;
-};
+using detail::BitEvent;
 
 /** The bits of one arena word touched by the current anchor row. */
 struct WordGroup
@@ -473,27 +335,6 @@ struct ArenaBit
     std::uint32_t word = LifetimeArena::noWord;
     std::uint32_t bitInWord = 0;
     DomainId domain = invalidDomain;
-};
-
-/** One OutcomeAccumulator per mode, merged pairwise in band order. */
-struct ModeAccumulators
-{
-    std::vector<OutcomeAccumulator> modes;
-
-    ModeAccumulators(Cycle horizon, unsigned num_windows,
-                     unsigned max_mode)
-    {
-        modes.reserve(max_mode);
-        for (unsigned m = 0; m < max_mode; ++m)
-            modes.emplace_back(horizon, num_windows);
-    }
-
-    void
-    mergeFrom(const ModeAccumulators &other)
-    {
-        for (std::size_t m = 0; m < modes.size(); ++m)
-            modes[m].mergeFrom(other.modes[m]);
-    }
 };
 
 } // namespace
@@ -535,6 +376,15 @@ computeMbAvfModes(const PhysicalArray &array, const LifetimeArena &arena,
     for (unsigned k = 1; k <= max_mode; ++k)
         action_of[k] = scheme.action(k);
 
+    // Kernel selection: the AVX2 lane-per-prefix kernel when it is
+    // compiled in and the CPU supports it, else the scalar kernel
+    // below. Both are bit-identical; scalarKernel pins the scalar
+    // path for differential testing and benchmarking. A single-mode
+    // sweep stays scalar — one useful lane cannot amortize the
+    // vector bookkeeping.
+    const bool use_simd = !opt.scalarKernel && max_mode > 1 &&
+                          detail::avx2KernelAvailable();
+
     // Sweep anchor rows [row_begin, row_end) into per-mode
     // accumulators. Every anchor column grows the group from 1 to
     // min(max_mode, cols - c) members; modes wider than the
@@ -543,6 +393,21 @@ computeMbAvfModes(const PhysicalArray &array, const LifetimeArena &arena,
     auto sweep_rows = [&](std::uint64_t row_begin,
                           std::uint64_t row_end,
                           ModeAccumulators &out) {
+        if (use_simd) {
+            detail::SweepCtx ctx;
+            ctx.array = &array;
+            ctx.arena = &arena;
+            ctx.horizon = horizon;
+            ctx.dueShields = due_shields;
+            ctx.maxMode = max_mode;
+            ctx.actionOf = action_of.data();
+            detail::SweepTallies tallies;
+            detail::sweepRowsAvx2(ctx, row_begin, row_end, out,
+                                  tallies);
+            groups_counter.add(tallies.groups);
+            anchors_counter.add(tallies.anchors);
+            return;
+        }
         const Cycle *seg_begin = arena.begins();
         const Cycle *seg_end = arena.ends();
         const SegMasks *seg_masks = arena.masks();
@@ -657,7 +522,13 @@ computeMbAvfModes(const PhysicalArray &array, const LifetimeArena &arena,
                          seg_masks[s].read & wg.mask);
                     state_end = std::min(seg_end[s], horizon);
                 }
-                if (prev_ace | prev_read)
+                // A close at exactly the horizon is never
+                // materialized: it cannot open a slice, and at
+                // horizon UINT64_MAX its timestamp would collide
+                // with the no_event sentinel below, silently
+                // dropping the final run. Open runs are flushed to
+                // the horizon at the end of the anchor instead.
+                if ((prev_ace | prev_read) && state_end < horizon)
                     emit(state_end, 0, 0);
             }
 
@@ -795,9 +666,10 @@ computeMbAvfModes(const PhysicalArray &array, const LifetimeArena &arena,
                             mode_since[i] = prev;
                         }
                     }
-                    // Every bit's last event zeroes its state, so
-                    // activity always ends in the gap branch above;
-                    // running dry here cannot lose an open run.
+                    // Lifetimes that stop before the horizon close
+                    // through the gap branch above; ones still open
+                    // when the events run dry extend to the horizon
+                    // and are flushed below.
                     if (next == no_event)
                         break;
                     prev = next;
@@ -805,7 +677,7 @@ computeMbAvfModes(const PhysicalArray &array, const LifetimeArena &arena,
                 for (unsigned i = 0; i < maxm; ++i) {
                     if (mode_out[i] != Outcome::Unace)
                         out.modes[i].add(mode_out[i], mode_since[i],
-                                         prev);
+                                         horizon);
                 }
             }
         }

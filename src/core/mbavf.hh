@@ -79,6 +79,15 @@ struct MbAvfOptions
      * bench/micro_sweep_kernel's before/after measurement.
      */
     bool referenceKernel = false;
+
+    /**
+     * Force the arena kernel's portable scalar implementation even
+     * when the runtime-dispatched AVX2 kernel is available. The two
+     * are bit-identical on every input; the flag exists for
+     * differential testing and for benchmarking the SIMD speedup
+     * against the scalar arena baseline.
+     */
+    bool scalarKernel = false;
 };
 
 /** Result of one MB-AVF computation. */

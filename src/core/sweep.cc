@@ -49,6 +49,18 @@ sweepModes(const PhysicalArray &array, const LifetimeStore &store,
     return sweep;
 }
 
+ModeSweep
+sweepModesArena(const PhysicalArray &array, const LifetimeArena &arena,
+                const ProtectionScheme &scheme, const MbAvfOptions &opt,
+                unsigned max_mode)
+{
+    obs::ObsPhase obs_phase("avf.sweep");
+    ModeSweep sweep;
+    sweep.results =
+        computeMbAvfModes(array, arena, scheme, opt, max_mode);
+    return sweep;
+}
+
 StructureSer
 sweepSer(const ModeSweep &sweep, std::span<const double> fits)
 {

@@ -50,6 +50,19 @@ ModeSweep sweepModes(const PhysicalArray &array,
                      unsigned max_mode = maxTabulatedMode);
 
 /**
+ * Sweep a pre-built arena — the entry point for arenas mapped from
+ * disk (core/arena_io.hh), which have no backing store to flatten.
+ * Always runs the single-pass multi-mode kernel; results are
+ * bit-identical to sweepModes() on the store the arena was built
+ * from, at any thread count.
+ */
+ModeSweep sweepModesArena(const PhysicalArray &array,
+                          const LifetimeArena &arena,
+                          const ProtectionScheme &scheme,
+                          const MbAvfOptions &opt,
+                          unsigned max_mode = maxTabulatedMode);
+
+/**
  * Fold a mode sweep with per-mode FIT rates into a structure SER
  * (Eq. 3). @p fits[m-1] is the raw rate of mode (m)x1; modes beyond
  * the sweep are ignored.

@@ -109,10 +109,49 @@ TEST(LifetimeArena, LayoutIsDeterministicAndOrdered)
         // layout is a pure function of the store contents.
         std::pair<std::uint64_t, unsigned> cur{a.wordContainer(w),
                                                a.wordIndex(w)};
-        if (w > 0)
+        if (w > 0) {
             EXPECT_LT(prev, cur);
+        }
         prev = cur;
     }
+}
+
+// Regression: out-of-range queries must answer noWord, never index
+// the handle block (or divide by zero) — an interleaved layout can
+// legitimately address a word index at the container width, and a
+// disk loader hands out default-constructed arenas on its error
+// paths.
+TEST(LifetimeArena, OutOfRangeLookupsAnswerNoWord)
+{
+    LifetimeStore store = mixedStore();
+    LifetimeArena arena(store);
+
+    // Word index at and beyond the configured width, on a container
+    // that exists (its handle block has exactly width slots).
+    EXPECT_EQ(arena.findWord(5, 4), LifetimeArena::noWord);
+    EXPECT_EQ(arena.findWord(5, 1000), LifetimeArena::noWord);
+    // Absent container.
+    EXPECT_EQ(arena.findWord(999, 0), LifetimeArena::noWord);
+    // findBit at the first bit past the container: maps to word
+    // index wordsPerContainer(), which has no handle slot.
+    unsigned bit = 42;
+    EXPECT_EQ(arena.findBit(5, 4 * 8, bit), LifetimeArena::noWord);
+    EXPECT_EQ(bit, 0u);
+}
+
+TEST(LifetimeArena, DefaultConstructedArenaIsEmpty)
+{
+    LifetimeArena arena;
+    EXPECT_EQ(arena.wordWidth(), 0u);
+    EXPECT_EQ(arena.numWords(), 0u);
+    EXPECT_EQ(arena.numSegments(), 0u);
+    EXPECT_EQ(arena.numContainers(), 0u);
+    // findBit on a zero-width arena must not divide by zero.
+    unsigned bit = 42;
+    EXPECT_EQ(arena.findBit(0, 0, bit), LifetimeArena::noWord);
+    EXPECT_EQ(bit, 0u);
+    EXPECT_EQ(arena.findWord(0, 0), LifetimeArena::noWord);
+    EXPECT_EQ(arena.handleBlock(0), nullptr);
 }
 
 } // namespace

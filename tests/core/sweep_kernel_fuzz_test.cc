@@ -129,7 +129,8 @@ expectIdentical(const ModeSweep &ref, const ModeSweep &got,
 /**
  * Sweep @p array / @p store through a random scheme, horizon, window
  * count, and combine rule, with the reference path and the arena
- * kernel at 1 and 4 threads; all three must agree exactly.
+ * kernel — dispatched (AVX2 where available) and pinned scalar — at
+ * 1 and 4 threads; all paths must agree exactly.
  */
 void
 runTrial(const PhysicalArray &array, const LifetimeStore &store,
@@ -158,6 +159,12 @@ runTrial(const PhysicalArray &array, const LifetimeStore &store,
     expectIdentical(ref, sweepModes(array, store, *scheme, opt,
                                     max_mode),
                     at + " serial");
+
+    MbAvfOptions scalar = opt;
+    scalar.scalarKernel = true;
+    expectIdentical(ref, sweepModes(array, store, *scheme, scalar,
+                                    max_mode),
+                    at + " scalar");
 
     MbAvfOptions pooled = opt;
     pooled.numThreads = 4;
@@ -223,6 +230,56 @@ TEST(SweepKernelFuzz, NarrowArrays)
         runTrial(array, store, rng,
                  "flat " + std::to_string(bits) + "b seed " +
                      std::to_string(seed));
+    }
+}
+
+TEST(SweepKernelFuzz, ExtremeHorizons)
+{
+    // Lifetimes and horizons pushed against the top of the Cycle
+    // range: window-boundary, projected-transition, and run-length
+    // arithmetic must not wrap (satAdd in the event builders,
+    // __int128 window bounds in the accumulator, and the kernel's
+    // rule that closes at or past the horizon never materialize).
+    constexpr Cycle kMax = ~Cycle(0);
+    FlatArray array(6, 2);
+    LifetimeStore store(1, 1);
+    for (std::uint64_t b = 0; b < 6; ++b) {
+        WordLifetime &word = store.container(b).words[0];
+        word.append({0, 5, 1, 1});
+        word.append({kMax / 2, kMax / 2 + 9, 1, 1});
+        word.append({kMax - 40, kMax - 2 + (b % 3), 1, 1});
+    }
+    const std::unique_ptr<ProtectionScheme> scheme =
+        makeScheme("parity");
+    for (const Cycle horizon : {kMax, kMax - 1, kMax - 30}) {
+        for (const unsigned windows : {0u, 3u}) {
+            MbAvfOptions opt;
+            opt.horizon = horizon;
+            opt.numWindows = windows;
+            MbAvfOptions ref_opt = opt;
+            ref_opt.referenceKernel = true;
+            const ModeSweep ref =
+                sweepModes(array, store, *scheme, ref_opt, 8);
+            const std::string at =
+                "extreme horizon " +
+                std::to_string(kMax - horizon) + " below max, W=" +
+                std::to_string(windows);
+            expectIdentical(ref,
+                            sweepModes(array, store, *scheme, opt, 8),
+                            at);
+            MbAvfOptions scalar = opt;
+            scalar.scalarKernel = true;
+            expectIdentical(ref,
+                            sweepModes(array, store, *scheme, scalar,
+                                       8),
+                            at + " scalar");
+            MbAvfOptions pooled = opt;
+            pooled.numThreads = 4;
+            expectIdentical(ref,
+                            sweepModes(array, store, *scheme, pooled,
+                                       8),
+                            at + " pooled");
+        }
     }
 }
 

@@ -16,16 +16,22 @@
  *
  * --save-lifetimes writes the structure's ACE lifetimes (plus the
  * horizon) so later invocations with --load-lifetimes can sweep
- * designs without re-simulating.
+ * designs without re-simulating. --arena-out goes one step further
+ * and persists the flattened LifetimeArena the sweep kernel actually
+ * reads (DESIGN.md Section 13); --arena-in maps such a file back and
+ * sweeps it directly, skipping both simulation and flattening.
  */
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "common/args.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/table.hh"
+#include "core/arena_io.hh"
+#include "core/lifetime_arena.hh"
 #include "core/lifetime_io.hh"
 #include "core/mbavf.hh"
 #include "core/protection.hh"
@@ -69,6 +75,13 @@ usage()
         "  --shield-due             DUE detection shields SDC\n"
         "  --save-lifetimes=FILE    persist lifetimes + horizon\n"
         "  --load-lifetimes=FILE    reuse persisted lifetimes\n"
+        "  --arena-out=FILE         persist the structure's flattened\n"
+        "                           sweep arena (mmap-able binary,\n"
+        "                           DESIGN.md Section 13)\n"
+        "  --arena-in=FILE          map a saved arena and sweep it\n"
+        "                           directly (no store, no flatten;\n"
+        "                           results identical at any\n"
+        "                           --threads)\n"
         "  --list-workloads         print workload names\n"
         "  --manifest=FILE          write a JSON run manifest; its\n"
         "                           numbers (outside phases/env) are\n"
@@ -104,7 +117,8 @@ checkOptions(const Args &args)
         "help", "list-workloads", "workload", "structure", "scheme",
         "style", "interleave", "modes", "windows", "threads",
         "total-fit", "scale", "shield-due", "save-lifetimes",
-        "load-lifetimes", "campaign", "trials", "seed", "kind",
+        "load-lifetimes", "arena-out", "arena-in", "campaign",
+        "trials", "seed", "kind",
         "watchdog", "protect", "protect-domain", "checkpoint",
         "checkpoint-every", "resume", "heartbeat", "manifest",
         "trace-out", "version",
@@ -379,7 +393,33 @@ main(int argc, char **argv)
     Cycle horizon = 0;
 
     const std::string load_path = args.getString("load-lifetimes", "");
-    if (!load_path.empty()) {
+    const std::string save_path = args.getString("save-lifetimes", "");
+    const std::string arena_out = args.getString("arena-out", "");
+    const std::string arena_in = args.getString("arena-in", "");
+
+    // An arena file has no backing store, so every store-producing
+    // or store-consuming option is incoherent next to --arena-in.
+    std::optional<LifetimeArena> arena;
+    if (!arena_in.empty()) {
+        if (!load_path.empty() || args.has("workload"))
+            fatal("--arena-in replaces --workload/--load-lifetimes");
+        if (!save_path.empty() || !arena_out.empty()) {
+            fatal("--save-lifetimes/--arena-out need a lifetime "
+                  "store; --arena-in provides none");
+        }
+        std::string error;
+        arena = tryLoadArena(arena_in, error, &horizon);
+        if (!arena)
+            fatal("cannot load arena '", arena_in, "': ", error);
+        if (horizon == 0) {
+            fatal("arena '", arena_in, "' records no producer "
+                  "horizon; re-save it with --arena-out");
+        }
+        std::cout << "mapped arena from " << arena_in << " ("
+                  << arena->numWords() << " word(s), "
+                  << arena->numSegments() << " segment(s), horizon "
+                  << horizon << ")\n";
+    } else if (!load_path.empty()) {
         std::ifstream is(load_path, std::ios::binary);
         if (!is)
             fatal("cannot open '", load_path, "'");
@@ -420,7 +460,6 @@ main(int argc, char **argv)
             fatal("unknown structure '", structure, "'");
     }
 
-    const std::string save_path = args.getString("save-lifetimes", "");
     if (!save_path.empty()) {
         std::ofstream os(save_path, std::ios::binary);
         if (!os)
@@ -430,12 +469,20 @@ main(int argc, char **argv)
         saveLifetimeStore(life, os);
         std::cout << "saved lifetimes to " << save_path << "\n";
     }
+    if (!arena_out.empty()) {
+        // Stream straight from the store: byte-identical to the
+        // in-memory snapshot path without holding both copies.
+        streamArenaFromStore(life, arena_out, horizon);
+        std::cout << "saved arena to " << arena_out << "\n";
+    }
 
     // Guard against pairing saved lifetimes with the wrong
     // structure: VGPR stores are 32-bit words, cache stores 8-bit.
+    const unsigned word_width =
+        arena ? arena->wordWidth() : life.wordWidth();
     unsigned expected_width = structure == "vgpr" ? 32 : 8;
-    if (life.wordWidth() != expected_width) {
-        fatal("lifetime store word width ", life.wordWidth(),
+    if (word_width != expected_width) {
+        fatal("lifetime word width ", word_width,
               " does not match structure '", structure, "'");
     }
 
@@ -468,7 +515,9 @@ main(int argc, char **argv)
               << style << " x" << interleave << ", horizon "
               << horizon << "\n\n";
 
-    ModeSweep sweep = sweepModes(*array, life, *scheme, opt, max_mode);
+    ModeSweep sweep = arena
+        ? sweepModesArena(*array, *arena, *scheme, opt, max_mode)
+        : sweepModes(*array, life, *scheme, opt, max_mode);
 
     Table table({"mode", "SDC AVF", "trueDUE AVF", "falseDUE AVF",
                  "total"});

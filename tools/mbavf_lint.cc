@@ -29,19 +29,30 @@
  * offsets contiguous-monotone, per-word segments sorted and
  * disjoint, and an exact store <-> arena round trip.
  *
+ * --arena=FILE instead lints an arena persisted by
+ * `mbavf --arena-out` (core/arena_io.hh): the loader's byte-level
+ * rejections surface as `arena.file` (exit 2, unusable input), and a
+ * file that maps cleanly gets the structure-only layout lint — there
+ * is no source store to round-trip against.
+ *
  * Exit codes: 0 = clean (warnings allowed), 1 = lint errors,
  * 2 = unusable input (bad file, bad arguments).
  *
- * --seed-corruption=overlap|read-before-fill|straddle|stale-arena
- * deliberately corrupts the analyzed artifact first; the regression
- * suite uses it to pin each diagnostic and its exit code.
+ * --seed-corruption=overlap|read-before-fill|straddle|stale-arena|
+ * arena-file deliberately corrupts the analyzed artifact first; the
+ * regression suite uses it to pin each diagnostic and its exit code.
  * stale-arena (requires --arena) mutates the store after the arena
- * snapshot is built, so the round-trip check must fire.
+ * snapshot is built, so the round-trip check must fire. arena-file
+ * (requires --arena=FILE) lints a magic-smashed copy of the file,
+ * which the loader must reject.
  */
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
+#include <optional>
 #include <string_view>
 
 #include "check/arena_lint.hh"
@@ -50,6 +61,7 @@
 #include "check/lifetime_lint.hh"
 #include "check/report.hh"
 #include "common/args.hh"
+#include "core/arena_io.hh"
 #include "core/lifetime_io.hh"
 #include "inject/journal.hh"
 #include "obs/build_info.hh"
@@ -67,16 +79,22 @@ usage()
         "usage: mbavf_lint --workload=NAME [options]\n"
         "       mbavf_lint --lifetimes=FILE [--horizon=N]\n"
         "       mbavf_lint --journal=FILE\n"
+        "       mbavf_lint --arena=FILE\n"
         "       mbavf_lint --geometry-only\n\n"
         "options:\n"
         "  --scale=N            workload problem-size multiplier\n"
         "  --modes=M            geometry lint covers 1x1..Mx1 (4)\n"
         "  --arena              also lint the flattened LifetimeArena\n"
         "                       of every linted store\n"
+        "  --arena=FILE         lint an arena file written by\n"
+        "                       `mbavf --arena-out` (layout checks\n"
+        "                       only; loader rejections are\n"
+        "                       arena.file, exit 2)\n"
         "  --max-findings=N     stored findings per code (16)\n"
         "  --seed-corruption=K  corrupt the artifact first; K is\n"
         "                       overlap | read-before-fill | straddle\n"
         "                       | stale-arena (needs --arena)\n"
+        "                       | arena-file (needs --arena=FILE)\n"
         "  --version            print build info and exit\n"
         "\n--journal validates a campaign checkpoint (inject/journal):\n"
         "header fields, contiguous trial indices, outcome names,\n"
@@ -219,15 +237,26 @@ main(int argc, char **argv)
         args.getString("seed-corruption", "");
     if (!corruption.empty() && corruption != "overlap" &&
         corruption != "read-before-fill" &&
-        corruption != "straddle" && corruption != "stale-arena") {
+        corruption != "straddle" && corruption != "stale-arena" &&
+        corruption != "arena-file") {
         std::cerr << "mbavf_lint: unknown corruption '" << corruption
                   << "'\n";
         return 2;
     }
-    const bool lint_arena = args.getBool("arena");
+    // Bare --arena parses as the value "1" (legacy store-companion
+    // mode); any other value names an arena file to lint on its own.
+    const std::string arena_value = args.getString("arena", "");
+    const std::string arena_file =
+        arena_value == "1" ? "" : arena_value;
+    const bool lint_arena = arena_file.empty() && args.getBool("arena");
     if (corruption == "stale-arena" && !lint_arena) {
         std::cerr << "mbavf_lint: --seed-corruption=stale-arena "
                      "needs --arena\n";
+        return 2;
+    }
+    if (corruption == "arena-file" && arena_file.empty()) {
+        std::cerr << "mbavf_lint: --seed-corruption=arena-file "
+                     "needs --arena=FILE\n";
         return 2;
     }
     const unsigned max_mode =
@@ -236,6 +265,51 @@ main(int argc, char **argv)
     CheckReport report;
     report.setPerCodeLimit(
         static_cast<std::size_t>(args.getInt("max-findings", 16)));
+
+    if (!arena_file.empty()) {
+        std::string load_path = arena_file;
+        if (corruption == "arena-file") {
+            // Lint a magic-smashed copy; the original stays usable
+            // for the rest of the regression chain.
+            std::ifstream is(arena_file, std::ios::binary);
+            if (!is) {
+                std::cerr << "mbavf_lint: cannot open '" << arena_file
+                          << "'\n";
+                return 2;
+            }
+            std::string bytes(
+                (std::istreambuf_iterator<char>(is)),
+                std::istreambuf_iterator<char>());
+            for (std::size_t i = 0; i < bytes.size() && i < 8; ++i)
+                bytes[i] ^= static_cast<char>(0xff);
+            load_path = arena_file + ".corrupt";
+            std::ofstream os(load_path, std::ios::binary);
+            os.write(bytes.data(),
+                     static_cast<std::streamsize>(bytes.size()));
+            if (!os.flush()) {
+                std::cerr << "mbavf_lint: cannot write '" << load_path
+                          << "'\n";
+                return 2;
+            }
+        }
+        std::string error;
+        std::optional<LifetimeArena> arena =
+            tryLoadArena(load_path, error);
+        if (corruption == "arena-file")
+            std::remove(load_path.c_str());
+        if (!arena) {
+            // A file the loader rejects is unusable input, framed
+            // with the same code the loader's validation uses.
+            report.error("arena.file", load_path, error);
+            report.print(std::cout);
+            return 2;
+        }
+        std::cout << "linted arena file " << arena_file << ": "
+                  << arena->numWords() << " word(s), "
+                  << arena->numSegments() << " segment(s)\n";
+        lintArenaStructure(*arena, report);
+        return finish(report);
+    }
 
     const std::string lifetimes_path =
         args.getString("lifetimes", "");
