@@ -348,7 +348,18 @@ class ArenaIo
         // Cross-array indices: every word's segment range inside the
         // segment columns, every handle a real word or noWord, and
         // container blocks ordered, disjoint, and at least a full
-        // container wide.
+        // container wide. Segment chains must also be non-empty and
+        // sorted per word — the sweep kernels subtract end - begin
+        // unchecked, so a backwards or overlapping chain would sweep
+        // memory-safely but deposit wrapped run lengths and report
+        // garbage AVF with no diagnostic.
+        const auto *seg_begin =
+            reinterpret_cast<const Cycle *>(base + l.segBegin);
+        const auto *seg_end =
+            reinterpret_cast<const Cycle *>(base + l.segEnd);
+        const auto *word_index =
+            reinterpret_cast<const std::uint32_t *>(base +
+                                                    l.wordIndex);
         for (std::uint64_t w = 0; w < h.numWords; ++w) {
             if (word_offset[w] > h.numSegments ||
                 word_count[w] >
@@ -356,6 +367,24 @@ class ArenaIo
                 error = "word " + std::to_string(w) +
                         " points outside the segment columns";
                 return std::nullopt;
+            }
+            if (word_index[w] >= h.wordsPerContainer) {
+                error = "word " + std::to_string(w) +
+                        " claims index " +
+                        std::to_string(word_index[w]) +
+                        " outside its container";
+                return std::nullopt;
+            }
+            const std::uint64_t lo = word_offset[w];
+            const std::uint64_t hi = lo + word_count[w];
+            for (std::uint64_t s = lo; s < hi; ++s) {
+                if (seg_end[s] <= seg_begin[s] ||
+                    (s > lo && seg_begin[s] < seg_end[s - 1])) {
+                    error = "word " + std::to_string(w) +
+                            " segment " + std::to_string(s - lo) +
+                            " empty, backwards, or unsorted";
+                    return std::nullopt;
+                }
             }
         }
         for (std::uint64_t c = 0; c < h.numContainers; ++c) {

@@ -726,6 +726,14 @@ class Avx2Sweeper
             }
             anchorSigLive_[a] = sig_live;
             anchorSigRead_[a] = sig_read;
+        } else {
+            // With >8 regions the bytes alias and the signature is
+            // lossy; park the cache at the unmatchable reset value so
+            // a later exact-signature update (e.g. the anchor going
+            // fully dead, signature 0,0) cannot match a stale entry
+            // and skip closing the runs this update opens.
+            anchorSigLive_[a] = ~std::uint64_t(0);
+            anchorSigRead_[a] = ~std::uint64_t(0);
         }
 
         const bool due_shields = ctx_.dueShields;

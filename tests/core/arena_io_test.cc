@@ -304,6 +304,52 @@ TEST(ArenaIo, CorruptHeaderFieldsAreRejected)
     std::remove(cut.c_str());
 }
 
+TEST(ArenaIo, MalformedSegmentColumnsAreRejected)
+{
+    // Two segments in one word; corrupting the begin column so the
+    // chain runs backwards or out of order must be rejected at load
+    // time: the sweep kernels subtract end - begin unchecked, so a
+    // wrapped run length would otherwise report garbage AVF with no
+    // diagnostic.
+    LifetimeStore store(8, 1);
+    WordLifetime &word = store.container(0).words[0];
+    word.append({5, 10, 0x1, 0x1});
+    word.append({20, 30, 0x3, 0x3});
+    const std::string path = tempPath("segorder_src.bin");
+    saveArena(LifetimeArena(store), path, 40);
+    const std::string bytes = readFile(path);
+    std::remove(path.c_str());
+
+    // The segBegin column is the first section after the 128-byte
+    // header, one 8-byte little-endian Cycle per segment.
+    struct Patch
+    {
+        const char *label;
+        std::size_t offset;
+        unsigned char value;
+    };
+    const Patch patches[] = {
+        // begin[0] high byte: begin far past end -> backwards.
+        {"backwards segment", 128 + 7, 0xff},
+        // begin[1] low byte: 20 -> 0, before end[0] -> unsorted.
+        {"unsorted chain", 128 + 8, 0},
+    };
+    const std::string cut = tempPath("segorder.bin");
+    for (const Patch &patch : patches) {
+        std::string corrupt = bytes;
+        corrupt[patch.offset] = static_cast<char>(patch.value);
+        writeFile(cut, corrupt);
+        std::string error;
+        std::optional<LifetimeArena> loaded =
+            tryLoadArena(cut, error);
+        EXPECT_FALSE(loaded.has_value())
+            << "accepted a " << patch.label;
+        EXPECT_NE(error.find("segment"), std::string::npos)
+            << patch.label << ": " << error;
+    }
+    std::remove(cut.c_str());
+}
+
 TEST(ArenaIo, OutOfRangeHandleIsRejected)
 {
     // Smash every byte of the trailing handle section to 0x7f: each

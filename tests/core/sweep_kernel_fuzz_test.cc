@@ -130,11 +130,14 @@ expectIdentical(const ModeSweep &ref, const ModeSweep &got,
  * Sweep @p array / @p store through a random scheme, horizon, window
  * count, and combine rule, with the reference path and the arena
  * kernel — dispatched (AVX2 where available) and pinned scalar — at
- * 1 and 4 threads; all paths must agree exactly.
+ * 1 and 4 threads; all paths must agree exactly. @p forced_max_mode
+ * of 0 draws a random mode count in [1, 8]; wide-mode callers pass
+ * an explicit value up to 64.
  */
 void
 runTrial(const PhysicalArray &array, const LifetimeStore &store,
-         Rng &rng, const std::string &label)
+         Rng &rng, const std::string &label,
+         unsigned forced_max_mode = 0)
 {
     static const char *const kSchemes[] = {"none", "parity", "secded",
                                            "dected", "crc"};
@@ -145,7 +148,9 @@ runTrial(const PhysicalArray &array, const LifetimeStore &store,
     opt.horizon = 1 + rng.below(200);
     opt.numWindows = kWindows[rng.below(4)];
     opt.dueShieldsSdc = rng.chance(0.5);
-    const unsigned max_mode = 1 + (unsigned)rng.below(8);
+    const unsigned max_mode = forced_max_mode
+                                  ? forced_max_mode
+                                  : 1 + (unsigned)rng.below(8);
     const std::string at = label + " (" + scheme->name() + " N=" +
                            std::to_string(opt.horizon) + " W=" +
                            std::to_string(opt.numWindows) + " M=" +
@@ -230,6 +235,31 @@ TEST(SweepKernelFuzz, NarrowArrays)
         runTrial(array, store, rng,
                  "flat " + std::to_string(bits) + "b seed " +
                      std::to_string(seed));
+    }
+}
+
+TEST(SweepKernelFuzz, WideModes)
+{
+    // max_mode in [9, 64]: multi-block vector lanes, blocksMax_
+    // strides, lane padding past the last mode, and — with 1-bit
+    // domains putting one region per column in the anchor window —
+    // the >8-region setups whose lossy anchor signature must never
+    // be trusted (a stale match here once swallowed the dead ->
+    // live -> dead close and silently diverged from the scalar
+    // kernel).
+    static const unsigned kModes[] = {9, 16, 17, 33, 64};
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        Rng rng(splitMix64(0x71de60de, seed));
+        const unsigned max_mode = kModes[rng.below(5)];
+        const std::uint64_t bits = max_mode + rng.below(24);
+        const unsigned domain_bits = 1 + (unsigned)rng.below(2);
+        FlatArray array(bits, domain_bits);
+        LifetimeStore store = randomStore(rng, 1, 1, bits, 120);
+        runTrial(array, store, rng,
+                 "wide M=" + std::to_string(max_mode) + " " +
+                     std::to_string(bits) + "b seed " +
+                     std::to_string(seed),
+                 max_mode);
     }
 }
 
