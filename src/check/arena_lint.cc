@@ -180,6 +180,16 @@ lintLifetimeArena(const LifetimeArena &arena,
                                  "arena segment differs from the "
                                  "store (stale snapshot?)");
                 }
+                // Untagged (version-1) arenas have no tag column to
+                // compare; a present column must match the store.
+                if (arena.tags() &&
+                    arena.tags()[slot] != segs[s].tag) {
+                    report.error("arena.stale-tag",
+                                 where + " segment " +
+                                     std::to_string(s),
+                                 "arena attribution tag differs from "
+                                 "the store (stale snapshot?)");
+                }
             }
         }
     }

@@ -25,7 +25,7 @@ CacheTraceRecorder::onRead(unsigned set, unsigned way, Addr addr,
 
 void
 CacheTraceRecorder::onWrite(unsigned set, unsigned way, Addr addr,
-                            unsigned size, Cycle t)
+                            unsigned size, Cycle t, InstrTag)
 {
     trace_.events.push_back(
         {CacheEvent::Kind::Write, set, way, addr, size, 0, t, noDef});

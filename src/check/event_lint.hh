@@ -78,7 +78,7 @@ class CacheTraceRecorder : public CacheListener
     void onRead(unsigned set, unsigned way, Addr addr, unsigned size,
                 Cycle t, DefId def) override;
     void onWrite(unsigned set, unsigned way, Addr addr, unsigned size,
-                 Cycle t) override;
+                 Cycle t, InstrTag tag) override;
     void onEvict(unsigned set, unsigned way, Addr line_addr,
                  std::uint64_t dirty_bytes, Cycle t) override;
 

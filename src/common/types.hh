@@ -29,6 +29,36 @@ using DefId = std::uint64_t;
 /** Marker for "no producing definition" (e.g., constants). */
 constexpr DefId noDef = ~DefId(0);
 
+/**
+ * Packed identity of the static instruction that produced a value:
+ * kernel launch id in the high 16 bits, wave-local program counter in
+ * the low 16 bits. The attribution passes (src/analyze) use it to
+ * walk MB-AVF contributions back to program locations.
+ */
+using InstrTag = std::uint32_t;
+
+/** Marker for "no producing instruction" (fills, pre-run garbage). */
+constexpr InstrTag noInstrTag = ~InstrTag(0);
+
+/**
+ * Pack (kernel launch id, wave-local pc) into an InstrTag. Both
+ * fields saturate; the pc saturates one short of full so a saturated
+ * tag can never collide with noInstrTag.
+ */
+constexpr InstrTag
+makeInstrTag(unsigned kernel, unsigned pc)
+{
+    const InstrTag k = kernel < 0xFFFFu ? kernel : 0xFFFFu;
+    const InstrTag p = pc < 0xFFFEu ? pc : 0xFFFEu;
+    return (k << 16) | p;
+}
+
+/** Kernel launch id of @p tag. */
+constexpr unsigned tagKernel(InstrTag tag) { return tag >> 16; }
+
+/** Wave-local program counter of @p tag. */
+constexpr unsigned tagPc(InstrTag tag) { return tag & 0xFFFFu; }
+
 } // namespace mbavf
 
 #endif // MBAVF_COMMON_TYPES_HH

@@ -22,7 +22,16 @@ namespace
 
 constexpr char arenaMagic[8] = {'M', 'B', 'A', 'V', 'F', 'A',
                                 'R', '1'};
-constexpr std::uint32_t arenaVersion = 1;
+/**
+ * Version history:
+ *  1 — original three segment columns (begin / end / masks).
+ *  2 — appends a per-segment InstrTag attribution column after the
+ *      handle table; all version-1 sections keep their offsets.
+ * Writers emit version 2; the loader accepts both, leaving the tag
+ * column null for version-1 files (an "untagged" arena).
+ */
+constexpr std::uint32_t arenaVersion = 2;
+constexpr std::uint32_t arenaVersionUntagged = 1;
 constexpr std::uint32_t nativeByteOrder = 0x01020304u;
 
 /** Same untrusted-input cap as the lifetime store format. */
@@ -65,6 +74,7 @@ struct Layout
     std::uint64_t wordOffset, wordCount, wordContainer, wordIndex;
     std::uint64_t containerIds, containerBase;
     std::uint64_t handles;
+    std::uint64_t segTag; ///< version >= 2 only
     std::uint64_t total;
 };
 
@@ -92,6 +102,9 @@ computeLayout(const FileHeader &h)
     l.containerIds = section(h.numContainers, sizeof(std::uint64_t));
     l.containerBase = section(h.numContainers, sizeof(std::uint32_t));
     l.handles = section(h.numHandles, sizeof(std::uint32_t));
+    l.segTag = h.version >= 2
+                   ? section(h.numSegments, sizeof(InstrTag))
+                   : 0;
     l.total = off;
     return l;
 }
@@ -211,6 +224,17 @@ class ArenaIo
                 sizeof(std::uint32_t));
         section(l.handles, a.handles_, h.numHandles,
                 sizeof(std::uint32_t));
+        if (a.segTag_) {
+            section(l.segTag, a.segTag_, h.numSegments,
+                    sizeof(InstrTag));
+        } else {
+            // Re-saving an untagged (version-1) arena: the format
+            // always carries the column, so fill it with noInstrTag.
+            const std::vector<InstrTag> none(h.numSegments,
+                                             noInstrTag);
+            section(l.segTag, none.data(), h.numSegments,
+                    sizeof(InstrTag));
+        }
         sink.os.flush();
         if (!sink.os || sink.pos != l.total)
             fatal("arena file: write to '", tmp, "' failed");
@@ -288,7 +312,8 @@ class ArenaIo
             error = "bad magic";
             return std::nullopt;
         }
-        if (h.version != arenaVersion) {
+        if (h.version != arenaVersion &&
+            h.version != arenaVersionUntagged) {
             error = "unsupported version " +
                     std::to_string(h.version);
             return std::nullopt;
@@ -423,6 +448,10 @@ class ArenaIo
         a.segEnd_ = reinterpret_cast<const Cycle *>(base + l.segEnd);
         a.segMasks_ =
             reinterpret_cast<const SegMasks *>(base + l.segMasks);
+        a.segTag_ = h.version >= 2
+                        ? reinterpret_cast<const InstrTag *>(
+                              base + l.segTag)
+                        : nullptr;
         a.wordOffset_ = word_offset;
         a.wordCount_ = word_count;
         a.wordContainer_ = reinterpret_cast<const std::uint64_t *>(
@@ -472,9 +501,9 @@ ArenaStreamWriter::ArenaStreamWriter(std::string path,
     : path_(std::move(path)), wordWidth_(word_width),
       wordsPerContainer_(words_per_container), horizon_(horizon)
 {
-    static const char *const suffix[3] = {".segb.tmp", ".sege.tmp",
-                                          ".segm.tmp"};
-    for (int i = 0; i < 3; ++i) {
+    static const char *const suffix[4] = {".segb.tmp", ".sege.tmp",
+                                          ".segm.tmp", ".segt.tmp"};
+    for (int i = 0; i < 4; ++i) {
         spill_[i].open(path_ + suffix[i],
                        std::ios::binary | std::ios::trunc);
         if (!spill_[i])
@@ -489,7 +518,8 @@ ArenaStreamWriter::~ArenaStreamWriter()
         return;
     // Abandoned mid-stream: drop the spill files (and any partial
     // final image); the destination is untouched.
-    for (const char *s : {".segb.tmp", ".sege.tmp", ".segm.tmp"}) {
+    for (const char *s :
+         {".segb.tmp", ".sege.tmp", ".segm.tmp", ".segt.tmp"}) {
         std::remove((path_ + s).c_str());
     }
     std::remove((path_ + ".tmp").c_str());
@@ -549,6 +579,8 @@ ArenaStreamWriter::addWord(unsigned index,
                         sizeof(seg.end));
         spill_[2].write(reinterpret_cast<const char *>(&masks),
                         sizeof(masks));
+        spill_[3].write(reinterpret_cast<const char *>(&seg.tag),
+                        sizeof(seg.tag));
     }
     numSegments_ += num_segments;
 }
@@ -558,9 +590,9 @@ ArenaStreamWriter::finish()
 {
     if (finished_)
         fatal("arena stream: finish() called twice");
-    static const char *const suffix[3] = {".segb.tmp", ".sege.tmp",
-                                          ".segm.tmp"};
-    for (int i = 0; i < 3; ++i) {
+    static const char *const suffix[4] = {".segb.tmp", ".sege.tmp",
+                                          ".segm.tmp", ".segt.tmp"};
+    for (int i = 0; i < 4; ++i) {
         spill_[i].flush();
         if (!spill_[i])
             fatal("arena stream: spill write to '",
@@ -625,11 +657,12 @@ ArenaStreamWriter::finish()
             h.numContainers * sizeof(std::uint32_t));
     section(l.handles, handles_.data(),
             h.numHandles * sizeof(std::uint32_t));
+    spill_section(l.segTag, 3);
     sink.os.flush();
     if (!sink.os || sink.pos != l.total)
         fatal("arena stream: write to '", tmp, "' failed");
     sink.os.close();
-    for (int i = 0; i < 3; ++i)
+    for (int i = 0; i < 4; ++i)
         std::remove((path_ + suffix[i]).c_str());
     renameInto(tmp, path_);
     finished_ = true;

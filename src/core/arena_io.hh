@@ -26,6 +26,11 @@
  * holding the segment columns in memory, for stores too large to
  * snapshot: segments stream through temporary spill files and only
  * the per-word and per-container tables stay resident.
+ *
+ * Format version 2 appends a per-segment InstrTag attribution column
+ * after the handle table; version-1 files still load, yielding an
+ * untagged arena (LifetimeArena::tags() == nullptr). All version-1
+ * section offsets are unchanged.
  */
 
 #ifndef MBAVF_CORE_ARENA_IO_HH
@@ -116,7 +121,7 @@ class ArenaStreamWriter
     Cycle horizon_;
     bool finished_ = false;
 
-    std::ofstream spill_[3]; ///< segment begin / end / masks columns
+    std::ofstream spill_[4]; ///< segment begin/end/masks/tag columns
     std::uint64_t numSegments_ = 0;
 
     bool haveContainer_ = false;

@@ -37,6 +37,14 @@ struct LifeSegment
     Cycle end = 0;
     std::uint64_t aceMask = 0;
     std::uint64_t readMask = 0;
+    /**
+     * Static instruction whose write most recently (re)defined the
+     * word at this segment's start; noInstrTag when the data predates
+     * tracking (pre-first-write garbage, fills from untracked
+     * producers). The attribution passes charge this segment's MB-AVF
+     * contribution to it.
+     */
+    InstrTag tag = noInstrTag;
 };
 
 /**

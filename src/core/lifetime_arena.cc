@@ -39,6 +39,7 @@ LifetimeArena::LifetimeArena(const LifetimeStore &store)
     s.segBegin.reserve(total_segments);
     s.segEnd.reserve(total_segments);
     s.segMasks.reserve(total_segments);
+    s.segTag.reserve(total_segments);
     s.wordOffset.reserve(total_words);
     s.wordCount.reserve(total_words);
     s.wordContainer.reserve(total_words);
@@ -79,6 +80,7 @@ LifetimeArena::LifetimeArena(const LifetimeStore &store)
                 s.segBegin.push_back(seg.begin);
                 s.segEnd.push_back(seg.end);
                 s.segMasks.push_back({seg.aceMask, seg.readMask});
+                s.segTag.push_back(seg.tag);
             }
         }
     }
@@ -89,6 +91,7 @@ LifetimeArena::LifetimeArena(const LifetimeStore &store)
     segBegin_ = s.segBegin.data();
     segEnd_ = s.segEnd.data();
     segMasks_ = s.segMasks.data();
+    segTag_ = s.segTag.data();
     wordOffset_ = s.wordOffset.data();
     wordCount_ = s.wordCount.data();
     wordContainer_ = s.wordContainer.data();

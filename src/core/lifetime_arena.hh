@@ -133,6 +133,16 @@ class LifetimeArena
     const Cycle *ends() const { return segEnd_; }
     const SegMasks *masks() const { return segMasks_; }
 
+    /**
+     * Per-segment producing-instruction column, or nullptr for an
+     * untagged arena (one loaded from a version-1 file). Attribution
+     * is the only consumer; the sweep kernels never read it.
+     */
+    const InstrTag *tags() const { return segTag_; }
+
+    /** True when the per-segment attribution column is present. */
+    bool tagged() const { return segTag_ != nullptr; }
+
     /** Source container id of word @p w (lint / diagnostics). */
     std::uint64_t wordContainer(std::uint32_t w) const
     {
@@ -152,6 +162,7 @@ class LifetimeArena
         std::vector<Cycle> segBegin;
         std::vector<Cycle> segEnd;
         std::vector<SegMasks> segMasks;
+        std::vector<InstrTag> segTag;
         std::vector<std::uint32_t> wordOffset;
         std::vector<std::uint32_t> wordCount;
         std::vector<std::uint64_t> wordContainer;
@@ -169,6 +180,7 @@ class LifetimeArena
     const Cycle *segBegin_ = nullptr;
     const Cycle *segEnd_ = nullptr;
     const SegMasks *segMasks_ = nullptr;
+    const InstrTag *segTag_ = nullptr;
     const std::uint32_t *wordOffset_ = nullptr;
     const std::uint32_t *wordCount_ = nullptr;
     const std::uint64_t *wordContainer_ = nullptr;

@@ -27,6 +27,21 @@ buildWordLifetime(const WordEventLog &log, Cycle end_time, unsigned width,
                     " mask wider than the ", width, "-bit word");
     }
 
+    // Forward tag prepass: tag_at[i] is the static instruction whose
+    // write most recently defined the word among events[0..i]. The
+    // segment emitted just after event i fires carries exactly that
+    // producer; before the first write the cell holds untracked data
+    // (noInstrTag).
+    std::vector<InstrTag> tag_at(events.size());
+    {
+        InstrTag tag = noInstrTag;
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            if (events[i].kind == WordEvent::Kind::Write)
+                tag = events[i].tag;
+            tag_at[i] = tag;
+        }
+    }
+
     // Backward pass. State masks describe the future as seen from just
     // before the segment being emitted: liveAhead(b) = a live
     // consumption of b happens before b is overwritten; readAhead(b) =
@@ -42,7 +57,7 @@ buildWordLifetime(const WordEventLog &log, Cycle end_time, unsigned width,
         const WordEvent &e = events[i];
         if (e.time < seg_end) {
             rev.push_back({e.time, seg_end, liveAhead & all,
-                           (liveAhead | readAhead) & all});
+                           (liveAhead | readAhead) & all, tag_at[i]});
             seg_end = e.time;
         }
         switch (e.kind) {

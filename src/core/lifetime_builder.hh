@@ -70,6 +70,9 @@ struct WordEvent
 
     /** Read only (exact): consumer-value bit offset of word bit 0. */
     std::uint8_t relShift = 0;
+
+    /** Write only: static instruction producing the written data. */
+    InstrTag tag = noInstrTag;
 };
 
 /** Event list of one word (append-only, time-ordered). */
@@ -78,10 +81,10 @@ struct WordEventLog
     std::vector<WordEvent> events;
 
     void
-    write(Cycle t, std::uint64_t mask)
+    write(Cycle t, std::uint64_t mask, InstrTag tag = noInstrTag)
     {
         events.push_back({t, WordEvent::Kind::Write, mask, noDef,
-                          false, 0});
+                          false, 0, tag});
     }
 
     /** All-or-nothing read: consumed bits matter iff @p def is live. */

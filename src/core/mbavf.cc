@@ -286,6 +286,7 @@ computeMbAvf(const PhysicalArray &array, const LifetimeStore &store,
     const double denom =
         static_cast<double>(result.numGroups) *
         static_cast<double>(opt.horizon);
+    result.cycles = acc.totals();
     result.avf.sdc = acc.totals()[0] / denom;
     result.avf.trueDue = acc.totals()[1] / denom;
     result.avf.falseDue = acc.totals()[2] / denom;
@@ -720,6 +721,7 @@ computeMbAvfModes(const PhysicalArray &array, const LifetimeArena &arena,
         const double denom =
             static_cast<double>(result.numGroups) *
             static_cast<double>(horizon);
+        result.cycles = mode_acc.totals();
         result.avf.sdc = mode_acc.totals()[0] / denom;
         result.avf.trueDue = mode_acc.totals()[1] / denom;
         result.avf.falseDue = mode_acc.totals()[2] / denom;

@@ -15,6 +15,7 @@
 #ifndef MBAVF_CORE_MBAVF_HH
 #define MBAVF_CORE_MBAVF_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -98,6 +99,15 @@ struct MbAvfResult
 
     /** Per-window AVF fractions when numWindows > 0. */
     std::vector<AvfFractions> windows;
+
+    /**
+     * Raw integer group-cycle totals per outcome class
+     * {SDC, TrueDue, FalseDue} before division by
+     * numGroups * horizon. Exact: the attribution engine
+     * (analyze/attribution.hh) conserves these sums bit-for-bit,
+     * which a comparison of rounded fractions could not witness.
+     */
+    std::array<Cycle, 3> cycles = {0, 0, 0};
 
     /** Number of fault groups G of the mode in the array. */
     std::uint64_t numGroups = 0;

@@ -43,6 +43,9 @@ Gpu::launch(const std::function<void(Wave &)> &kernel,
 {
     if (finished_)
         panic("launch after finish()");
+    if (launchedOnce_)
+        ++kernelId_;
+    launchedOnce_ = true;
     for (unsigned w = 0; w < num_waves; ++w) {
         unsigned cu = w % config_.numCus;
         unsigned slot = cuWaveCount_[cu] % config_.regs.numSlots;

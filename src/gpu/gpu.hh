@@ -104,6 +104,23 @@ class Gpu
     bool tracking() const { return tracking_; }
 
     /**
+     * Attribution-tag toggle: when on (the default), every register
+     * and memory write carries the static instruction identity
+     * (kernel launch id, wave-local pc) that produced its data, and
+     * the ACE lifetimes it feeds become attributable per instruction.
+     * Turning it off makes all writes carry noInstrTag; lifetimes and
+     * MB-AVF totals are unaffected.
+     */
+    void setTagging(bool on) { tagging_ = on; }
+    bool tagging() const { return tagging_; }
+
+    /**
+     * Id of the kernel launch currently executing (0-based, bumped
+     * per launch()); pairs with a wave-local pc to form an InstrTag.
+     */
+    unsigned kernelId() const { return kernelId_; }
+
+    /**
      * Launch @p num_waves wavefronts of @p kernel. Waves are assigned
      * to CUs round-robin and to wave slots round-robin within a CU;
      * wave w covers global work-items [w*64, (w+1)*64).
@@ -185,6 +202,9 @@ class Gpu
     MemRefIndex refIndex_;
     DataflowLog dataflow_;
     bool tracking_ = true;
+    bool tagging_ = true;
+    unsigned kernelId_ = 0;
+    bool launchedOnce_ = false;
     std::uint64_t instrCount_ = 0;
     std::uint64_t watchdogInstrs_ = 0;
     Cycle watchdogCycles_ = 0;

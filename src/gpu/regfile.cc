@@ -10,13 +10,13 @@ VectorRegFile::VectorRegFile(const RegFileGeometry &geom)
 
 void
 VectorRegFile::set(unsigned slot, unsigned reg, unsigned lane,
-                   const Value &value, Cycle t)
+                   const Value &value, Cycle t, InstrTag tag)
 {
     std::uint64_t id = geom_.regId(slot, reg, lane);
     values_[id] = value;
     ++writes_;
     if (listener_)
-        listener_->onRegWrite(id, t);
+        listener_->onRegWrite(id, t, tag);
 }
 
 void

@@ -27,8 +27,13 @@ class RegFileListener
   public:
     virtual ~RegFileListener() = default;
 
-    /** Full 32-bit write of @p container at cycle @p t. */
-    virtual void onRegWrite(std::uint64_t container, Cycle t) = 0;
+    /**
+     * Full 32-bit write of @p container at cycle @p t. @p tag is the
+     * static instruction performing the write (noInstrTag when the
+     * producer is untracked).
+     */
+    virtual void onRegWrite(std::uint64_t container, Cycle t,
+                            InstrTag tag) = 0;
 
     /**
      * Read of @p container at cycle @p t by definition @p def.
@@ -57,7 +62,7 @@ class VectorRegFile
 
     /** Write a register and notify the listener. */
     void set(unsigned slot, unsigned reg, unsigned lane,
-             const Value &value, Cycle t);
+             const Value &value, Cycle t, InstrTag tag = noInstrTag);
 
     /** Record a read (the caller fetched the value via get()). */
     void noteRead(unsigned slot, unsigned reg, unsigned lane, Cycle t,

@@ -29,9 +29,9 @@ class RegFileAvfProbe : public RegFileListener
     {}
 
     void
-    onRegWrite(std::uint64_t container, Cycle t) override
+    onRegWrite(std::uint64_t container, Cycle t, InstrTag tag) override
     {
-        logs_[container].write(t, 0xFFFFFFFFull);
+        logs_[container].write(t, 0xFFFFFFFFull, tag);
     }
 
     void
@@ -60,6 +60,17 @@ class RegFileAvfProbe : public RegFileListener
     }
 
     const RegFileGeometry &geometry() const { return geom_; }
+
+    /**
+     * Raw per-register event logs (container id -> time-ordered
+     * events). The program-analysis passes read these directly to
+     * find overwritten-before-read and uninitialized-read patterns.
+     */
+    const std::unordered_map<std::uint64_t, WordEventLog> &
+    logs() const
+    {
+        return logs_;
+    }
 
   private:
     RegFileGeometry geom_;

@@ -74,6 +74,18 @@ void
 Wave::beginInstr()
 {
     gpu_.preInstruction(time_);
+    ++pc_;
+}
+
+InstrTag
+Wave::currentTag() const
+{
+    // pc_ counts issued operations, so the op in flight is pc_ - 1;
+    // identical kernels give every wave the same pc sequence, making
+    // (kernel, pc) a *static* instruction identity.
+    if (!gpu_.tagging())
+        return noInstrTag;
+    return makeInstrTag(gpu_.kernelId(), pc_ - 1);
 }
 
 Addr
@@ -115,7 +127,8 @@ Wave::readReg(unsigned lane, unsigned reg, std::uint32_t consume,
 void
 Wave::writeReg(unsigned lane, unsigned reg, const Value &value)
 {
-    gpu_.regFile(cu_).set(slot_, reg, lane, value, laneTime(lane));
+    gpu_.regFile(cu_).set(slot_, reg, lane, value, laneTime(lane),
+                          currentTag());
 }
 
 void
@@ -141,7 +154,7 @@ Wave::binaryOp(unsigned dst, unsigned a, unsigned b, bool bitwise,
             std::array<SrcUse, 2> srcs{
                 SrcUse{va.def, ra, bitwise},
                 SrcUse{vb.def, rb, bitwise}};
-            out.def = gpu_.dataflow().record(srcs);
+            out.def = gpu_.dataflow().record(srcs, currentTag());
         }
         // The register file reads both operands regardless of
         // relevance; zero-relevance reads are pure array reads.
@@ -170,7 +183,7 @@ Wave::immOp(unsigned dst, unsigned a, std::uint32_t imm, bool bitwise,
         if (tracking) {
             std::array<SrcUse, 1> srcs{
                 SrcUse{va.def, relevance, bitwise}};
-            out.def = gpu_.dataflow().record(srcs);
+            out.def = gpu_.dataflow().record(srcs, currentTag());
         }
         readReg(lane, a, relevance, out.def, bitwise);
         writeReg(lane, dst, out);
@@ -189,7 +202,7 @@ Wave::movi(unsigned dst, std::uint32_t imm)
             continue;
         Value out{imm, noDef};
         if (tracking)
-            out.def = gpu_.dataflow().record({});
+            out.def = gpu_.dataflow().record({}, currentTag());
         writeReg(lane, dst, out);
     }
     time_ += gpu_.config().aluCycles;
@@ -206,7 +219,7 @@ Wave::globalId(unsigned dst)
             continue;
         Value out{waveId_ * laneCount() + lane, noDef};
         if (tracking)
-            out.def = gpu_.dataflow().record({});
+            out.def = gpu_.dataflow().record({}, currentTag());
         writeReg(lane, dst, out);
     }
     time_ += gpu_.config().aluCycles;
@@ -223,7 +236,7 @@ Wave::laneIdx(unsigned dst)
             continue;
         Value out{lane, noDef};
         if (tracking)
-            out.def = gpu_.dataflow().record({});
+            out.def = gpu_.dataflow().record({}, currentTag());
         writeReg(lane, dst, out);
     }
     time_ += gpu_.config().aluCycles;
@@ -284,7 +297,7 @@ Wave::mad(unsigned dst, unsigned a, unsigned b, unsigned c)
             std::array<SrcUse, 3> srcs{
                 SrcUse{va.def, ra, false}, SrcUse{vb.def, rb, false},
                 SrcUse{vc.def, allBits, false}};
-            out.def = gpu_.dataflow().record(srcs);
+            out.def = gpu_.dataflow().record(srcs, currentTag());
         }
         readReg(lane, a, ra, out.def, false);
         readReg(lane, b, rb, out.def, false);
@@ -483,7 +496,7 @@ Wave::select(unsigned dst, unsigned pred, unsigned a, unsigned b)
             std::array<SrcUse, 2> srcs{
                 SrcUse{vp.def, allBits, false},
                 SrcUse{vt.def, allBits, false}};
-            out.def = gpu_.dataflow().record(srcs);
+            out.def = gpu_.dataflow().record(srcs, currentTag());
         }
         readReg(lane, pred, allBits, out.def, false);
         // The taken operand is consumed; the untaken one is still
@@ -547,7 +560,8 @@ Wave::load(unsigned dst, unsigned addr, std::uint32_t offset)
             if (nsrcs < DataflowLog::maxSrcs)
                 srcs[nsrcs++] = {va.def, allBits, false};
             out.def = gpu_.dataflow().record(
-                std::span<const SrcUse>(srcs.data(), nsrcs));
+                std::span<const SrcUse>(srcs.data(), nsrcs),
+                currentTag());
             gpu_.refIndex().addLoad(ea, 4, laneTime(lane), out.def);
         }
 
@@ -583,7 +597,7 @@ Wave::store(unsigned addr, unsigned src, std::uint32_t offset)
         DefId store_def = noDef;
         if (tracking) {
             std::array<SrcUse, 1> srcs{SrcUse{vs.def, allBits, true}};
-            store_def = gpu_.dataflow().record(srcs);
+            store_def = gpu_.dataflow().record(srcs, currentTag());
             gpu_.refIndex().addStore(ea, 4, laneTime(lane));
             // A corrupt store address clobbers arbitrary state: the
             // whole address chain is conservatively live.
@@ -595,7 +609,7 @@ Wave::store(unsigned addr, unsigned src, std::uint32_t offset)
         readReg(lane, addr, allBits, noDef, false);
         readReg(lane, src, allBits, store_def, true);
 
-        MemRequest req{ea, 4, MemCmd::Write, noDef};
+        MemRequest req{ea, 4, MemCmd::Write, noDef, currentTag()};
         done = std::max(done, l1.access(req, laneTime(lane)));
         mem.write32(ea, vs.bits);
         mem.setOrigin(ea, 4, store_def);
@@ -625,7 +639,7 @@ Wave::storeOut(unsigned addr, unsigned src, std::uint32_t offset)
         DefId store_def = noDef;
         if (tracking) {
             std::array<SrcUse, 1> srcs{SrcUse{vs.def, allBits, true}};
-            store_def = gpu_.dataflow().record(srcs);
+            store_def = gpu_.dataflow().record(srcs, currentTag());
             gpu_.dataflow().markOutput(store_def);
             gpu_.refIndex().addStore(ea, 4, laneTime(lane));
             std::array<SrcUse, 1> asrc{SrcUse{va.def, allBits, false}};
@@ -636,7 +650,7 @@ Wave::storeOut(unsigned addr, unsigned src, std::uint32_t offset)
         readReg(lane, addr, allBits, noDef, false);
         readReg(lane, src, allBits, store_def, true);
 
-        MemRequest req{ea, 4, MemCmd::Write, noDef};
+        MemRequest req{ea, 4, MemCmd::Write, noDef, currentTag()};
         done = std::max(done, l1.access(req, laneTime(lane)));
         mem.write32(ea, vs.bits);
         mem.setOrigin(ea, 4, store_def);

@@ -147,6 +147,14 @@ class Wave
     /** Charge one ALU instruction and bump the instruction counter. */
     void beginInstr();
 
+    /**
+     * Attribution tag of the instruction currently executing: the
+     * launch's kernel id paired with the wave-local program counter
+     * (operation issue index, identical across the waves of one
+     * launch). noInstrTag when tagging is disabled on the device.
+     */
+    InstrTag currentTag() const;
+
     /** Generic two-register ALU op. */
     void binaryOp(unsigned dst, unsigned a, unsigned b, bool bitwise,
                   BinFn fn, RelFn rel_a, RelFn rel_b);
@@ -177,6 +185,7 @@ class Wave
     unsigned waveId_;
     std::vector<std::uint64_t> execStack_;
     Cycle time_; ///< wave-local time on the shared clock
+    unsigned pc_ = 0; ///< wave-local operation issue index
 };
 
 } // namespace mbavf

@@ -141,7 +141,7 @@ Cache::access(const MemRequest &req, Cycle now)
         l.dirtyBytes |= mask;
         if (listener_) {
             listener_->onWrite(set, way, req.addr, req.size,
-                               data_ready);
+                               data_ready, req.tag);
         }
     } else if (listener_) {
         listener_->onRead(set, way, req.addr, req.size, data_ready,

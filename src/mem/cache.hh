@@ -31,6 +31,8 @@ struct MemRequest
     MemCmd cmd = MemCmd::Read;
     /** For reads: the dynamic definition the loaded value becomes. */
     DefId def = noDef;
+    /** For writes: the static instruction producing the data. */
+    InstrTag tag = noInstrTag;
 };
 
 /** Anything that can serve memory requests with a completion time. */
@@ -77,9 +79,13 @@ class CacheListener
     virtual void onRead(unsigned set, unsigned way, Addr addr,
                         unsigned size, Cycle t, DefId def) = 0;
 
-    /** @p size bytes at @p addr were written into (set, way). */
+    /**
+     * @p size bytes at @p addr were written into (set, way). @p tag
+     * is the static instruction that produced the written data
+     * (noInstrTag when untracked).
+     */
     virtual void onWrite(unsigned set, unsigned way, Addr addr,
-                         unsigned size, Cycle t) = 0;
+                         unsigned size, Cycle t, InstrTag tag) = 0;
 
     /**
      * The line in (set, way) was evicted at @p t. @p dirty_bytes is a
@@ -123,12 +129,12 @@ class CacheListenerTee : public CacheListener
 
     void
     onWrite(unsigned set, unsigned way, Addr addr, unsigned size,
-            Cycle t) override
+            Cycle t, InstrTag tag) override
     {
         if (first_)
-            first_->onWrite(set, way, addr, size, t);
+            first_->onWrite(set, way, addr, size, t, tag);
         if (second_)
-            second_->onWrite(set, way, addr, size, t);
+            second_->onWrite(set, way, addr, size, t, tag);
     }
 
     void

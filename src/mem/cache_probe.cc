@@ -60,7 +60,7 @@ CacheAvfProbe::onRead(unsigned set, unsigned way, Addr addr,
 
 void
 CacheAvfProbe::onWrite(unsigned set, unsigned way, Addr addr,
-                       unsigned size, Cycle t)
+                       unsigned size, Cycle t, InstrTag tag)
 {
     SlotLog &s = slot(set, way);
     // A write into the array is also an access that reads the line
@@ -71,7 +71,8 @@ CacheAvfProbe::onWrite(unsigned set, unsigned way, Addr addr,
                 "write of ", size, " byte(s) at line offset ", offset,
                 " spills past the line");
     for (unsigned i = 0; i < size; ++i)
-        s.bytes[offset + i].push_back({t, true, noDef, 0});
+        s.bytes[offset + i].push_back({t, true, noDef, 0, false, 0,
+                                       tag});
 }
 
 void
@@ -135,7 +136,7 @@ CacheAvfProbe::finalize(Cycle horizon, const LivenessResolver &live) const
                 WordEvent ev;
                 if (a.isWrite) {
                     ev = {a.time, WordEvent::Kind::Write, 0xFF, noDef,
-                          false, 0};
+                          false, 0, a.tag};
                 } else if (a.resolveFuture) {
                     ev = {a.time, WordEvent::Kind::Read, 0, noDef,
                           false, 0};

@@ -63,7 +63,7 @@ class CacheAvfProbe : public CacheListener
     void onRead(unsigned set, unsigned way, Addr addr, unsigned size,
                 Cycle t, DefId def) override;
     void onWrite(unsigned set, unsigned way, Addr addr, unsigned size,
-                 Cycle t) override;
+                 Cycle t, InstrTag tag) override;
     void onEvict(unsigned set, unsigned way, Addr line_addr,
                  std::uint64_t dirty_bytes, Cycle t) override;
 
@@ -98,6 +98,7 @@ class CacheAvfProbe : public CacheListener
         /** Resolve consumption from the reference index (L2 mode). */
         bool resolveFuture = false;
         Addr addr = 0;     ///< absolute byte address (L2 mode)
+        InstrTag tag = noInstrTag; ///< writes: producing instruction
     };
 
     struct SlotLog

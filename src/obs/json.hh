@@ -84,6 +84,7 @@ class JsonValue
     bool isObject() const { return kind_ == Kind::Object; }
     bool isArray() const { return kind_ == Kind::Array; }
     bool isString() const { return kind_ == Kind::String; }
+    bool isBool() const { return kind_ == Kind::Bool; }
 
     bool
     isNumber() const

@@ -7,7 +7,7 @@ namespace mbavf
 {
 
 DefId
-DataflowLog::record(std::span<const SrcUse> srcs)
+DataflowLog::record(std::span<const SrcUse> srcs, InstrTag tag)
 {
     if (srcs.size() > maxSrcs)
         panic("DataflowLog::record with ", srcs.size(), " sources");
@@ -16,6 +16,7 @@ DataflowLog::record(std::span<const SrcUse> srcs)
     numSrcs_.push_back(static_cast<std::uint8_t>(srcs.size()));
     std::uint8_t positional = 0;
     outputMask_.push_back(0);
+    defTag_.push_back(tag);
     srcDef_.resize(srcDef_.size() + maxSrcs, noDef);
     srcRel_.resize(srcRel_.size() + maxSrcs, 0);
     for (std::size_t i = 0; i < srcs.size(); ++i) {
@@ -41,7 +42,7 @@ DataflowLog::markOutput(DefId def, std::uint32_t mask)
 std::uint64_t
 DataflowLog::memoryBytes() const
 {
-    return numSrcs_.size() * (2 + 4 + maxSrcs * (8 + 4));
+    return numSrcs_.size() * (2 + 4 + 4 + maxSrcs * (8 + 4));
 }
 
 void
@@ -50,6 +51,7 @@ DataflowLog::clear()
     numSrcs_.clear();
     srcPositional_.clear();
     outputMask_.clear();
+    defTag_.clear();
     srcDef_.clear();
     srcRel_.clear();
 }
@@ -75,6 +77,11 @@ Liveness::Liveness(const DataflowLog &log)
             MBAVF_CHECK(s < e, "def ", e, " source ", i,
                         " refers forward to ", s);
             std::uint32_t m = log.srcRel_[e * DataflowLog::maxSrcs + i];
+            // A fully-masked source (relevance 0, e.g. AND with an
+            // all-zero operand) contributes nothing: skip it outright
+            // so no OR path can ever report it live through this use.
+            if (!m)
+                continue;
             rel_[s] |= (positional >> i & 1) ? (m & rel_e) : m;
         }
     }

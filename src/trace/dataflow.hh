@@ -48,11 +48,45 @@ class DataflowLog
   public:
     static constexpr unsigned maxSrcs = 4;
 
-    /** Record a definition consuming @p srcs. */
-    DefId record(std::span<const SrcUse> srcs);
+    /**
+     * Record a definition consuming @p srcs, produced by static
+     * instruction @p tag (noInstrTag for synthetic anchors).
+     */
+    DefId record(std::span<const SrcUse> srcs,
+                 InstrTag tag = noInstrTag);
 
     /** Mark @p def's bits in @p mask as reaching program output. */
     void markOutput(DefId def, std::uint32_t mask = ~std::uint32_t(0));
+
+    /** Static instruction that produced @p def. */
+    InstrTag
+    defTag(DefId def) const
+    {
+        return def < defTag_.size() ? defTag_[def] : noInstrTag;
+    }
+
+    /** Number of recorded sources of @p def. */
+    unsigned
+    numSrcs(DefId def) const
+    {
+        return def < numSrcs_.size() ? numSrcs_[def] : 0;
+    }
+
+    /** Source @p i of @p def (i < numSrcs(def)). */
+    SrcUse
+    src(DefId def, unsigned i) const
+    {
+        const std::size_t slot = std::size_t(def) * maxSrcs + i;
+        return {srcDef_[slot], srcRel_[slot],
+                (srcPositional_[def] >> i & 1) != 0};
+    }
+
+    /** Bits of @p def marked as reaching program output. */
+    std::uint32_t
+    outputMask(DefId def) const
+    {
+        return def < outputMask_.size() ? outputMask_[def] : 0;
+    }
 
     std::uint64_t size() const { return numSrcs_.size(); }
 
@@ -67,6 +101,7 @@ class DataflowLog
     std::vector<std::uint8_t> numSrcs_;
     std::vector<std::uint8_t> srcPositional_; ///< bit i = src i
     std::vector<std::uint32_t> outputMask_;
+    std::vector<InstrTag> defTag_;
     /** Flat [def * maxSrcs + i] source arrays. */
     std::vector<DefId> srcDef_;
     std::vector<std::uint32_t> srcRel_;

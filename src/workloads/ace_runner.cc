@@ -81,6 +81,10 @@ runAceAnalysis(const std::string &workload_name,
         if (measure_l2)
             out.l2 = l2_probe.finalize(out.horizon, resolver);
     }
+    if (options.capture) {
+        options.capture->dataflow = gpu.dataflow();
+        options.capture->vgprEvents = vgpr_probe.logs();
+    }
     return out;
 }
 

@@ -10,14 +10,30 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "core/lifetime.hh"
+#include "core/lifetime_builder.hh"
 #include "gpu/gpu.hh"
 #include "mem/cache.hh"
+#include "trace/dataflow.hh"
 #include "workloads/workload.hh"
 
 namespace mbavf
 {
+
+/**
+ * Program-level artifacts of one instrumented run, captured for the
+ * static-analysis passes (analyze/passes.hh): the full dataflow trace
+ * and the raw per-register event logs. Both are copies taken after
+ * the run — the Gpu and probes they came from are long gone by the
+ * time the passes read them.
+ */
+struct ProgramCapture
+{
+    DataflowLog dataflow;
+    std::unordered_map<std::uint64_t, WordEventLog> vgprEvents;
+};
 
 /** Everything the AVF benches need from one instrumented run. */
 struct AceRun
@@ -59,6 +75,12 @@ struct AceRunOptions
      */
     CacheListener *l1Tap = nullptr;
     CacheListener *l2Tap = nullptr;
+    /**
+     * When non-null, receives the run's dataflow trace and raw VGPR
+     * event logs for the program-analysis passes. May be null (the
+     * copies are not free for large traces).
+     */
+    ProgramCapture *capture = nullptr;
 };
 
 /**

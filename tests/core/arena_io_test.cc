@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -68,8 +69,12 @@ randomStore(std::uint64_t seed, unsigned num_containers = 64)
             for (unsigned s = 0; s < segs; ++s) {
                 Cycle e = t + 1 + rng.below(40);
                 const std::uint64_t read = rng.next() & 0xFF;
+                const InstrTag tag = rng.chance(0.25)
+                    ? noInstrTag
+                    : makeInstrTag((unsigned)rng.below(4),
+                                   (unsigned)rng.below(100));
                 container.words[w].append(
-                    {t, e, read & (rng.next() & 0xFF), read});
+                    {t, e, read & (rng.next() & 0xFF), read, tag});
                 t = e + 1 + rng.below(15);
             }
         }
@@ -99,6 +104,11 @@ expectArenasEqual(const LifetimeArena &a, const LifetimeArena &b)
         EXPECT_EQ(a.ends()[s], b.ends()[s]);
         EXPECT_EQ(a.masks()[s].ace, b.masks()[s].ace);
         EXPECT_EQ(a.masks()[s].read, b.masks()[s].read);
+    }
+    ASSERT_EQ(a.tagged(), b.tagged());
+    if (a.tagged()) {
+        for (std::size_t s = 0; s < a.numSegments(); ++s)
+            EXPECT_EQ(a.tags()[s], b.tags()[s]);
     }
 }
 
@@ -171,6 +181,65 @@ TEST(ArenaIo, RoundTripPreservesEveryColumn)
         }
     }
     std::remove(path.c_str());
+}
+
+TEST(ArenaIo, UntaggedVersion1FileStillLoads)
+{
+    // Readers must keep accepting pre-tag (version 1) arenas: strip
+    // the trailing tag column off a fresh file, rewind the header's
+    // version and size fields, and every other column must load
+    // bit-identically — just with tagged() == false.
+    LifetimeStore store = randomStore(9);
+    LifetimeArena built(store);
+    const std::string path = tempPath("v1.bin");
+    saveArena(built, path, 777);
+    std::string bytes = readFile(path);
+    std::remove(path.c_str());
+
+    auto read_u64 = [&](std::size_t at) {
+        std::uint64_t v = 0;
+        std::memcpy(&v, bytes.data() + at, sizeof(v));
+        return v;
+    };
+    const std::uint64_t num_segments = read_u64(32);
+    const std::uint64_t num_handles = read_u64(48);
+    ASSERT_GT(num_segments, 0u);
+
+    // The tag column is the last section; the file ends exactly
+    // numSegments * sizeof(InstrTag) bytes after its 64-byte-aligned
+    // start. Version 1 ends at the unaligned end of the handle
+    // table, which sits (num_handles * 4) % 64 bytes past the last
+    // 64-byte boundary at or below the tag column's start.
+    const std::uint64_t tag_start =
+        bytes.size() - num_segments * sizeof(InstrTag);
+    ASSERT_EQ(tag_start % 64, 0u);
+    const std::uint64_t overhang = num_handles * 4 % 64;
+    const std::uint64_t handles_end =
+        tag_start - (64 - overhang) % 64;
+    const std::uint32_t v1 = 1;
+    std::memcpy(bytes.data() + 8, &v1, sizeof(v1));
+    bytes.resize(handles_end);
+    const std::uint64_t v1_size = bytes.size();
+    std::memcpy(bytes.data() + 64, &v1_size, sizeof(v1_size));
+
+    const std::string v1_path = tempPath("v1_cut.bin");
+    writeFile(v1_path, bytes);
+    std::string error;
+    Cycle horizon = 0;
+    std::optional<LifetimeArena> loaded =
+        tryLoadArena(v1_path, error, &horizon);
+    std::remove(v1_path.c_str());
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_EQ(horizon, 777u);
+    EXPECT_FALSE(loaded->tagged());
+    EXPECT_EQ(loaded->tags(), nullptr);
+    ASSERT_EQ(loaded->numSegments(), built.numSegments());
+    for (std::size_t s = 0; s < built.numSegments(); ++s) {
+        EXPECT_EQ(loaded->begins()[s], built.begins()[s]);
+        EXPECT_EQ(loaded->ends()[s], built.ends()[s]);
+        EXPECT_EQ(loaded->masks()[s].ace, built.masks()[s].ace);
+        EXPECT_EQ(loaded->masks()[s].read, built.masks()[s].read);
+    }
 }
 
 TEST(ArenaIo, StreamedFileIsByteIdenticalToSnapshot)
@@ -360,7 +429,15 @@ TEST(ArenaIo, OutOfRangeHandleIsRejected)
     saveArena(LifetimeArena(store), path, 5);
     std::string bytes = readFile(path);
     std::remove(path.c_str());
-    for (std::size_t i = bytes.size() - 4; i < bytes.size(); ++i)
+    // The version-2 tag column (numSegments * 4 bytes, no trailing
+    // padding) ends the file; the handle table sits just before it
+    // plus up to 63 alignment bytes. Smashing the 64 bytes ahead of
+    // the tag column is guaranteed to hit at least one real handle.
+    std::uint64_t num_segments = 0;
+    std::memcpy(&num_segments, bytes.data() + 32,
+                sizeof(num_segments));
+    const std::size_t tag_start = bytes.size() - num_segments * 4;
+    for (std::size_t i = tag_start - 64; i < tag_start; ++i)
         bytes[i] = 0x7f;
 
     const std::string cut = tempPath("handle.bin");

@@ -183,6 +183,46 @@ TEST(LifetimeBuilder, MultipleReadsExtendAceTime)
     EXPECT_EQ(lt.classAt(0, 30), AceClass::ReadDead);
 }
 
+TEST(LifetimeBuilder, SegmentsCarryTheirProducersTag)
+{
+    // Two writes by different instructions: every segment between a
+    // write and the next carries exactly that write's tag, and the
+    // pre-first-write stretch stays untracked.
+    WordEventLog log;
+    const InstrTag t1 = makeInstrTag(0, 3);
+    const InstrTag t2 = makeInstrTag(1, 8);
+    log.read(5, 0xFF, noDef); // pre-write garbage, still read
+    log.write(10, 0xFF, t1);
+    log.read(20, 0xFF, noDef);
+    log.write(30, 0xFF, t2);
+    log.read(45, 0xFF, noDef);
+    WordLifetime lt = buildWordLifetime(log, 60, 8, alwaysLive());
+
+    for (const LifeSegment &seg : lt.segments()) {
+        if (seg.end <= 10) {
+            EXPECT_EQ(seg.tag, noInstrTag)
+                << "[" << seg.begin << "," << seg.end << ")";
+        } else if (seg.end <= 30) {
+            EXPECT_EQ(seg.tag, t1)
+                << "[" << seg.begin << "," << seg.end << ")";
+        } else {
+            EXPECT_EQ(seg.tag, t2)
+                << "[" << seg.begin << "," << seg.end << ")";
+        }
+    }
+}
+
+TEST(LifetimeBuilder, UntaggedWritesYieldUntaggedSegments)
+{
+    WordEventLog log;
+    log.write(0, 0xFF);
+    log.read(10, 0xFF, noDef);
+    WordLifetime lt = buildWordLifetime(log, 20, 8, alwaysLive());
+    ASSERT_FALSE(lt.empty());
+    for (const LifeSegment &seg : lt.segments())
+        EXPECT_EQ(seg.tag, noInstrTag);
+}
+
 TEST(LifetimeBuilder, OutOfOrderEventsPanic)
 {
     WordEventLog log;

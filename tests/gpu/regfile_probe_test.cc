@@ -141,7 +141,7 @@ TEST(RegFileProbe, QuarterWaveTimestamps)
     {
         std::vector<std::pair<std::uint64_t, Cycle>> writes;
         void
-        onRegWrite(std::uint64_t c, Cycle t) override
+        onRegWrite(std::uint64_t c, Cycle t, InstrTag) override
         {
             writes.emplace_back(c, t);
         }

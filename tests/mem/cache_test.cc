@@ -40,8 +40,8 @@ struct EventRecorder : public CacheListener
         events.push_back({'R', set, way, a, 0, t});
     }
     void
-    onWrite(unsigned set, unsigned way, Addr a, unsigned,
-            Cycle t) override
+    onWrite(unsigned set, unsigned way, Addr a, unsigned, Cycle t,
+            InstrTag) override
     {
         events.push_back({'W', set, way, a, 0, t});
     }

@@ -138,6 +138,73 @@ TEST(Dataflow, MultipleSources)
     EXPECT_EQ(live.relevance(b), 0xF0u);
 }
 
+TEST(Dataflow, ZeroRelevanceNonPositionalSourceStaysDead)
+{
+    // b consumes a but declares no relevant bits (e.g. AND with a
+    // constant 0): even with b reaching output, a is logic-masked
+    // everywhere and must stay dead.
+    DataflowLog log;
+    DefId a = def0(log);
+    DefId b = use(log, a, 0, false);
+    log.markOutput(b);
+    Liveness live(log);
+    EXPECT_TRUE(live.live(b));
+    EXPECT_FALSE(live.live(a));
+    EXPECT_EQ(live.relevance(a), 0u);
+    EXPECT_EQ(live.numDead(), 1u);
+}
+
+TEST(Dataflow, ZeroRelevancePositionalSourceStaysDead)
+{
+    DataflowLog log;
+    DefId a = def0(log);
+    DefId b = use(log, a, 0, true);
+    log.markOutput(b, 0xFF);
+    Liveness live(log);
+    EXPECT_FALSE(live.live(a));
+    EXPECT_EQ(live.relevance(a), 0u);
+}
+
+TEST(Dataflow, ZeroRelevanceSourceBesideLiveSource)
+{
+    // One masked source must not inherit liveness from a sibling
+    // source of the same consumer.
+    DataflowLog log;
+    DefId a = def0(log);
+    DefId b = def0(log);
+    std::array<SrcUse, 2> srcs{SrcUse{a, 0, false},
+                               SrcUse{b, ~0u, false}};
+    DefId c = log.record(srcs);
+    log.markOutput(c);
+    Liveness live(log);
+    EXPECT_FALSE(live.live(a));
+    EXPECT_TRUE(live.live(b));
+}
+
+TEST(Dataflow, ZeroMaskOutputStaysDead)
+{
+    // Declaring a def as output with an empty mask marks nothing.
+    DataflowLog log;
+    DefId a = def0(log);
+    log.markOutput(a, 0);
+    Liveness live(log);
+    EXPECT_FALSE(live.live(a));
+    EXPECT_EQ(log.outputMask(a), 0u);
+}
+
+TEST(Dataflow, DefTagRoundTrips)
+{
+    DataflowLog log;
+    const InstrTag tag = makeInstrTag(3, 17);
+    DefId a = log.record({}, tag);
+    DefId b = def0(log);
+    EXPECT_EQ(log.defTag(a), tag);
+    EXPECT_EQ(tagKernel(log.defTag(a)), 3u);
+    EXPECT_EQ(tagPc(log.defTag(a)), 17u);
+    EXPECT_EQ(log.defTag(b), noInstrTag);
+    EXPECT_EQ(log.defTag(999), noInstrTag);
+}
+
 TEST(Dataflow, ForwardReferencePanics)
 {
     DataflowLog log;

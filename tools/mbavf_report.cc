@@ -3,9 +3,16 @@
  * mbavf_report — inspect, compare, and merge run manifests.
  *
  *   mbavf_report FILE                     pretty-print one manifest
+ *   mbavf_report --rank FILE [--top=N]    ranked attribution table
  *   mbavf_report --diff REF CAND [opts]   compare two manifests
  *   mbavf_report --merge=DIR --out=FILE   bench manifests -> trajectory
  *   mbavf_report --check-trace=FILE       validate a Chrome trace
+ *
+ * --rank renders the "attribution" section an mbavf_analyze manifest
+ * carries (schema_version 1): the per-instruction MB-AVF table ranked
+ * by attributed group-cycles, the per-kernel rollup, and whether the
+ * conservation check held. The generic --diff / --merge modes already
+ * cover the section; --rank is the human-readable view.
  *
  * --diff compares a reference run against a candidate and exits 0
  * when they agree, 1 on drift (an AVF/result number moved beyond
@@ -32,6 +39,7 @@
 
 #include "common/args.hh"
 #include "common/logging.hh"
+#include "common/table.hh"
 #include "obs/build_info.hh"
 #include "obs/json.hh"
 #include "obs/manifest.hh"
@@ -47,9 +55,13 @@ usage()
 {
     std::cout <<
         "usage: mbavf_report FILE\n"
+        "       mbavf_report --rank FILE [--top=N]\n"
         "       mbavf_report --diff REF CAND [options]\n"
         "       mbavf_report --merge=DIR --out=FILE\n"
         "       mbavf_report --check-trace=FILE\n\n"
+        "rank options:\n"
+        "  --top=N              show only the top N instructions\n"
+        "                       (default: every attributed row)\n\n"
         "diff options:\n"
         "  --avf-tol=T          relative tolerance for result\n"
         "                       numbers (0 = bit-exact)\n"
@@ -147,6 +159,107 @@ runMerge(const std::string &dir, const std::string &out_path)
     return 0;
 }
 
+/**
+ * Pretty-print the attribution section of an mbavf_analyze manifest:
+ * the ranked per-instruction table, the per-kernel rollup, and the
+ * conservation verdict. Exits 2 when the file carries no attribution
+ * section (it is some other tool's manifest).
+ */
+int
+runRank(const std::string &path, const Args &args)
+{
+    const obs::JsonValue doc = loadManifestOrDie(path);
+    const obs::JsonValue *attr = doc.find("attribution");
+    if (!attr || !attr->isObject()) {
+        std::cerr << "mbavf_report: " << path
+                  << ": no attribution section (not an "
+                     "mbavf_analyze manifest?)\n";
+        return 2;
+    }
+
+    if (const obs::JsonValue *run = doc.find("run");
+        run && run->isObject()) {
+        auto field = [&](const char *key) -> std::string {
+            const obs::JsonValue *v = run->find(key);
+            return v && v->isString() ? v->asString() : "?";
+        };
+        std::cout << "attribution for '" << field("workload")
+                  << "' " << field("structure") << " "
+                  << field("scheme") << " mode " << field("mode")
+                  << "\n";
+    }
+
+    auto cycleOf = [](const obs::JsonValue *cycles,
+                      const char *key) -> std::uint64_t {
+        const obs::JsonValue *v =
+            cycles ? cycles->find(key) : nullptr;
+        return v && v->isNumber() ? v->asUint() : 0;
+    };
+
+    const obs::JsonValue *top = attr->find("top");
+    if (!top || !top->isArray()) {
+        std::cerr << "mbavf_report: " << path
+                  << ": attribution section has no top array\n";
+        return 2;
+    }
+    const std::uint64_t limit = static_cast<std::uint64_t>(
+        args.getInt("top", std::int64_t(top->items().size())));
+
+    Table table({"rank", "kernel", "pc", "SDC", "trueDUE",
+                 "falseDUE", "share"});
+    std::uint64_t rank = 0;
+    for (const obs::JsonValue &row : top->items()) {
+        if (rank >= limit)
+            break;
+        ++rank;
+        const obs::JsonValue *kernel = row.find("kernel");
+        const obs::JsonValue *pc = row.find("pc");
+        const obs::JsonValue *cycles = row.find("cycles");
+        const obs::JsonValue *share = row.find("share");
+        table.beginRow()
+            .cell(rank)
+            .cell(kernel && kernel->isNumber()
+                      ? std::to_string(kernel->asUint())
+                      : std::string("-"))
+            .cell(pc && pc->isNumber() ? std::to_string(pc->asUint())
+                                       : std::string("-"))
+            .cell(cycleOf(cycles, "sdc"))
+            .cell(cycleOf(cycles, "true_due"))
+            .cell(cycleOf(cycles, "false_due"))
+            .cell(share && share->isNumber() ? share->asDouble()
+                                             : 0.0,
+                  4);
+    }
+    table.printText(std::cout);
+
+    if (const obs::JsonValue *kernels = attr->find("kernels");
+        kernels && kernels->isArray()) {
+        std::cout << "\nper-kernel:";
+        for (const obs::JsonValue &row : kernels->items()) {
+            const obs::JsonValue *kernel = row.find("kernel");
+            const obs::JsonValue *cycles = row.find("cycles");
+            const std::uint64_t total = cycleOf(cycles, "sdc") +
+                                        cycleOf(cycles, "true_due") +
+                                        cycleOf(cycles, "false_due");
+            std::cout << "  kernel "
+                      << (kernel && kernel->isNumber()
+                              ? std::to_string(kernel->asUint())
+                              : std::string("-"))
+                      << " = " << total;
+        }
+        std::cout << "\n";
+    }
+
+    const obs::JsonValue *conserved = attr->find("conserved");
+    if (conserved && conserved->isBool()) {
+        std::cout << (conserved->asBool()
+                          ? "conservation: held\n"
+                          : "conservation: VIOLATED\n");
+        return conserved->asBool() ? 0 : 1;
+    }
+    return 0;
+}
+
 /** Minimal Chrome-trace shape check: the format Perfetto ingests. */
 int
 runCheckTrace(const std::string &path)
@@ -203,7 +316,7 @@ main(int argc, char **argv)
     Args args(argc, argv, Args::Positional::Allow);
     args.requireKnown({
         "help", "version", "diff", "merge", "out", "check-trace",
-        "avf-tol", "perf-tol", "structure-only",
+        "avf-tol", "perf-tol", "structure-only", "rank", "top",
     });
     if (args.getBool("help")) {
         usage();
@@ -223,6 +336,13 @@ main(int argc, char **argv)
         return runCheckTrace(trace);
 
     const std::vector<std::string> &files = args.positional();
+    if (args.getBool("rank")) {
+        if (files.size() != 1) {
+            usage();
+            return 2;
+        }
+        return runRank(files[0], args);
+    }
     if (args.getBool("diff")) {
         if (files.size() != 2) {
             usage();
