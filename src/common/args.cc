@@ -1,6 +1,7 @@
 #include "common/args.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <string_view>
 #include <vector>
@@ -103,18 +104,55 @@ std::int64_t
 Args::getInt(const std::string &key, std::int64_t fallback) const
 {
     auto it = values_.find(key);
-    return it == values_.end()
-        ? fallback
-        : std::strtoll(it->second.c_str(), nullptr, 0);
+    if (it == values_.end())
+        return fallback;
+    const std::string &value = it->second;
+    errno = 0;
+    char *end = nullptr;
+    const long long parsed = std::strtoll(value.c_str(), &end, 0);
+    if (value.empty() || end != value.c_str() + value.size()) {
+        fatal("option --", key, "=", value,
+              " is not an integer (digits only; did you mistype a "
+              "digit?)");
+    }
+    if (errno == ERANGE) {
+        fatal("option --", key, "=", value,
+              " is out of range for a 64-bit integer");
+    }
+    return parsed;
+}
+
+std::int64_t
+Args::getIntInRange(const std::string &key, std::int64_t fallback,
+                    std::int64_t min, std::int64_t max) const
+{
+    const std::int64_t value = getInt(key, fallback);
+    if (value < min || value > max) {
+        fatal("option --", key, "=", value, " is outside [", min,
+              ", ", max, "]");
+    }
+    return value;
 }
 
 double
 Args::getDouble(const std::string &key, double fallback) const
 {
     auto it = values_.find(key);
-    return it == values_.end()
-        ? fallback
-        : std::strtod(it->second.c_str(), nullptr);
+    if (it == values_.end())
+        return fallback;
+    const std::string &value = it->second;
+    errno = 0;
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size()) {
+        fatal("option --", key, "=", value,
+              " is not a number (did you mistype a digit?)");
+    }
+    if (errno == ERANGE) {
+        fatal("option --", key, "=", value,
+              " is out of range for a double");
+    }
+    return parsed;
 }
 
 bool

@@ -53,9 +53,29 @@ class Args
     std::string getString(const std::string &key,
                           const std::string &fallback) const;
 
+    /**
+     * Integer option value. The whole value must parse: trailing
+     * garbage ("--workers=4x"), out-of-range magnitudes, and empty
+     * values are fatal with the offending option named — a typo like
+     * "--checkpoint-every=1O0" must never silently run a different
+     * experiment. Accepts decimal, 0x hex, and a leading '-'.
+     */
     std::int64_t getInt(const std::string &key,
                         std::int64_t fallback) const;
 
+    /**
+     * getInt() restricted to [@p min, @p max]; values outside the
+     * range are fatal with the allowed range in the message.
+     */
+    std::int64_t getIntInRange(const std::string &key,
+                               std::int64_t fallback,
+                               std::int64_t min,
+                               std::int64_t max) const;
+
+    /**
+     * Floating-point option value; trailing garbage, overflow, and
+     * empty values are fatal, as with getInt().
+     */
     double getDouble(const std::string &key, double fallback) const;
 
     bool getBool(const std::string &key, bool fallback = false) const;

@@ -1,0 +1,168 @@
+#include "common/journal_io.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+namespace mbavf
+{
+
+bool
+parseJournalU64(const std::string &token, std::uint64_t &value)
+{
+    if (token.empty())
+        return false;
+    // strtoull accepts a leading sign (wrapping negatives) and
+    // leading whitespace; a journal integer is digits only.
+    for (char c : token) {
+        if (c < '0' || c > '9')
+            return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+    if (errno != 0 || end != token.c_str() + token.size())
+        return false;
+    value = v;
+    return true;
+}
+
+std::vector<std::string>
+splitJournalTokens(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream is(line);
+    std::string token;
+    while (is >> token)
+        tokens.push_back(token);
+    return tokens;
+}
+
+bool
+journalKeyValue(const std::string &token, const char *key,
+                std::string &value)
+{
+    const std::size_t len = std::strlen(key);
+    if (token.size() < len + 1 || token.compare(0, len, key) != 0 ||
+        token[len] != '=') {
+        return false;
+    }
+    value = token.substr(len + 1);
+    return true;
+}
+
+bool
+readCompleteLines(const std::string &path,
+                  std::vector<std::string> &lines, std::string &error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    std::size_t start = 0;
+    while (start < text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos)
+            break; // truncated final line: drop it
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return true;
+}
+
+bool
+atomicWriteFile(const std::string &path, const std::string &text,
+                std::string &error)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        error = "cannot create '" + tmp + "': " +
+                std::strerror(errno);
+        return false;
+    }
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
+              text.size();
+    ok = std::fflush(f) == 0 && ok;
+    // fsync before rename: the rename must never become durable
+    // before the bytes it points at.
+    ok = ::fsync(::fileno(f)) == 0 && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        error = "cannot write '" + tmp + "': " + std::strerror(errno);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        error = "cannot rename '" + tmp + "' to '" + path + "': " +
+                std::strerror(errno);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::uint64_t
+fnv1a64(const void *bytes, std::size_t size, std::uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(bytes);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+fnv1a64(const std::string &text, std::uint64_t seed)
+{
+    return fnv1a64(text.data(), text.size(), seed);
+}
+
+bool
+hashFileContents(const std::string &path, std::uint64_t &out,
+                 std::string &error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    char buffer[1 << 16];
+    while (is) {
+        is.read(buffer, sizeof(buffer));
+        const std::streamsize got = is.gcount();
+        if (got > 0)
+            h = fnv1a64(buffer, static_cast<std::size_t>(got), h);
+    }
+    if (!is.eof()) {
+        error = "read error on '" + path + "'";
+        return false;
+    }
+    out = h;
+    return true;
+}
+
+std::string
+hex64(std::uint64_t value)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+        value >>= 4;
+    }
+    return out;
+}
+
+} // namespace mbavf

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared primitives for crash-consistent plain-text journals.
+ *
+ * Two subsystems keep append-style progress journals: the injection
+ * campaign journal (inject/journal.hh) and the analysis-service
+ * queue journal (serve/queue.hh). Both follow the same discipline:
+ *
+ * - a file is only ever replaced via write-to-temporary + fsync +
+ *   atomic rename, so a reader observes either the previous or the
+ *   new complete snapshot, never a torn one;
+ * - on load, a final line missing its newline is a truncated
+ *   in-flight record and is silently dropped; any other malformation
+ *   is rejected outright;
+ * - header fields are space-separated key=value tokens and integers
+ *   parse strictly (no sign, no trailing garbage, no overflow).
+ *
+ * This header is the one implementation of that discipline so the
+ * two journals cannot drift apart in crash semantics.
+ */
+
+#ifndef MBAVF_COMMON_JOURNAL_IO_HH
+#define MBAVF_COMMON_JOURNAL_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbavf
+{
+
+/**
+ * Strict decimal std::uint64_t parse: nonempty, digits only (no
+ * sign, no hex, no trailing garbage), no overflow. Returns false on
+ * anything else; @p value is valid only on true.
+ */
+bool parseJournalU64(const std::string &token, std::uint64_t &value);
+
+/** Split @p line on whitespace into tokens. */
+std::vector<std::string> splitJournalTokens(const std::string &line);
+
+/**
+ * Strip "key=" from @p token into @p value; false when the token
+ * does not start with exactly that key and '='.
+ */
+bool journalKeyValue(const std::string &token, const char *key,
+                     std::string &value);
+
+/**
+ * Read @p path into newline-terminated lines. A final line missing
+ * its newline is a truncated in-flight record: it is dropped so the
+ * prefix before it replays safely. False + @p error when the file
+ * cannot be opened.
+ */
+bool readCompleteLines(const std::string &path,
+                       std::vector<std::string> &lines,
+                       std::string &error);
+
+/**
+ * Atomically replace @p path with @p text: write to "<path>.tmp",
+ * fsync (the rename must never become durable before the bytes it
+ * points at), then rename over @p path. False + @p error on I/O
+ * failure; the temporary is cleaned up on any failure path.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &text,
+                     std::string &error);
+
+/**
+ * FNV-1a 64-bit hash of @p bytes — the content hash used for
+ * cache keys and spec identity. Stable across platforms and runs.
+ */
+std::uint64_t fnv1a64(const void *bytes, std::size_t size,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/** fnv1a64 over a string. */
+std::uint64_t fnv1a64(const std::string &text,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/**
+ * FNV-1a 64-bit hash of @p path's contents. False + @p error when
+ * the file cannot be read; @p out is valid only on true.
+ */
+bool hashFileContents(const std::string &path, std::uint64_t &out,
+                      std::string &error);
+
+/** Lowercase 16-digit hex rendering of @p value (cache file names). */
+std::string hex64(std::uint64_t value);
+
+} // namespace mbavf
+
+#endif // MBAVF_COMMON_JOURNAL_IO_HH

@@ -26,13 +26,22 @@ struct WilsonInterval
  * at critical value @p z (1.96 ~ 95%). Unlike the normal
  * approximation it stays inside [0, 1] and behaves at k = 0 / k = n,
  * which is exactly the regime of rare campaign outcomes (a handful
- * of Hangs in 100k trials). n = 0 yields the vacuous [0, 1].
+ * of Hangs in 100k trials).
+ *
+ * Total over its whole domain: n = 0 (the zero-trial tally a
+ * freshly-resumed or fully-degraded campaign can print) yields the
+ * vacuous [0, 1] rather than 0/0 NaN, and k > n (conceivable only
+ * from a corrupt merge) clamps to k = n — the result is always three
+ * finite numbers inside [0, 1], so a tally can never leak NaN/inf
+ * into a manifest.
  */
 inline WilsonInterval
 wilsonInterval(std::uint64_t k, std::uint64_t n, double z = 1.96)
 {
     if (n == 0)
         return {0.0, 0.0, 1.0};
+    if (k > n)
+        k = n; // p > 1 would put a negative under the sqrt below
     const double nn = static_cast<double>(n);
     const double p = static_cast<double>(k) / nn;
     const double z2 = z * z;

@@ -1,14 +1,6 @@
 #include "inject/journal.hh"
 
-#include <cerrno>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <sstream>
-
-#include <unistd.h>
-
+#include "common/journal_io.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/trap.hh"
@@ -22,46 +14,12 @@ namespace
 constexpr const char *journalMagic = "mbavf-journal";
 constexpr const char *journalVersion = "v1";
 
-bool
-parseU64(const std::string &token, std::uint64_t &value)
-{
-    if (token.empty())
-        return false;
-    errno = 0;
-    char *end = nullptr;
-    unsigned long long v = std::strtoull(token.c_str(), &end, 10);
-    if (errno != 0 || end != token.c_str() + token.size())
-        return false;
-    // strtoull accepts a leading '-' by wrapping; forbid it.
-    if (token[0] == '-' || token[0] == '+')
-        return false;
-    value = v;
-    return true;
-}
-
-std::vector<std::string>
-splitTokens(const std::string &line)
-{
-    std::vector<std::string> tokens;
-    std::istringstream is(line);
-    std::string token;
-    while (is >> token)
-        tokens.push_back(token);
-    return tokens;
-}
-
-/** Strip "key=" from @p token; false when the key doesn't match. */
-bool
-keyValue(const std::string &token, const char *key, std::string &value)
-{
-    const std::size_t len = std::strlen(key);
-    if (token.size() < len + 1 || token.compare(0, len, key) != 0 ||
-        token[len] != '=') {
-        return false;
-    }
-    value = token.substr(len + 1);
-    return true;
-}
+// The parsing/atomic-write discipline is shared with the serve queue
+// journal (common/journal_io.hh); local aliases keep the call sites
+// below readable.
+constexpr auto parseU64 = parseJournalU64;
+constexpr auto splitTokens = splitJournalTokens;
+constexpr auto keyValue = journalKeyValue;
 
 bool
 parseHeaderLine(const std::string &line, JournalHeader &header,
@@ -158,33 +116,6 @@ formatRecord(std::string &out, const JournalRecord &record)
     out += '\n';
 }
 
-/**
- * Read @p path into newline-terminated lines. A final line missing
- * its newline is a truncated in-flight record: it is dropped so the
- * prefix before it replays safely.
- */
-bool
-readCompleteLines(const std::string &path,
-                  std::vector<std::string> &lines, std::string &error)
-{
-    std::ifstream is(path, std::ios::binary);
-    if (!is) {
-        error = "cannot open '" + path + "'";
-        return false;
-    }
-    std::string text((std::istreambuf_iterator<char>(is)),
-                     std::istreambuf_iterator<char>());
-    std::size_t start = 0;
-    while (start < text.size()) {
-        const std::size_t nl = text.find('\n', start);
-        if (nl == std::string::npos)
-            break; // truncated final line: drop it
-        lines.push_back(text.substr(start, nl - start));
-        start = nl + 1;
-    }
-    return true;
-}
-
 } // namespace
 
 CampaignTally
@@ -247,33 +178,7 @@ CampaignJournal::save(const std::string &path,
     formatHeader(text, header);
     for (const JournalRecord &record : records)
         formatRecord(text, record);
-
-    const std::string tmp = path + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f) {
-        error = "cannot create '" + tmp + "': " +
-                std::strerror(errno);
-        return false;
-    }
-    bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
-              text.size();
-    ok = std::fflush(f) == 0 && ok;
-    // fsync before rename: the rename must never become durable
-    // before the bytes it points at.
-    ok = ::fsync(::fileno(f)) == 0 && ok;
-    ok = std::fclose(f) == 0 && ok;
-    if (!ok) {
-        error = "cannot write '" + tmp + "': " + std::strerror(errno);
-        std::remove(tmp.c_str());
-        return false;
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        error = "cannot rename '" + tmp + "' to '" + path + "': " +
-                std::strerror(errno);
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    return atomicWriteFile(path, text, error);
 }
 
 JournalWriter::JournalWriter(std::string path, JournalHeader header,

@@ -321,14 +321,59 @@ printManifest(const JsonValue &manifest, std::ostream &os)
     }
 }
 
+namespace
+{
+
+/**
+ * The run identity under the determinism contract: everything in the
+ * manifest except "phases" and "env", which vary between repeats of
+ * the same run. dump() is deterministic (insertion-ordered keys,
+ * stable number rendering), so string equality is document equality
+ * for manifests written by the same tool.
+ */
+std::string
+runIdentity(const JsonValue &manifest)
+{
+    JsonValue stripped = JsonValue::object();
+    for (const auto &[key, value] : manifest.members()) {
+        if (key == "phases" || key == "env")
+            continue;
+        stripped.set(key, value);
+    }
+    return stripped.dump();
+}
+
+} // namespace
+
 JsonValue
 mergeManifests(
-    std::vector<std::pair<std::string, JsonValue>> manifests)
+    std::vector<std::pair<std::string, JsonValue>> manifests,
+    std::vector<std::string> *dropped)
 {
     std::sort(manifests.begin(), manifests.end(),
               [](const auto &a, const auto &b) {
                   return a.first < b.first;
               });
+    std::vector<std::pair<std::string, JsonValue>> unique;
+    std::vector<std::pair<std::string, std::string>> seen;
+    for (auto &[name, manifest] : manifests) {
+        const std::string identity = runIdentity(manifest);
+        const auto prior = std::find_if(
+            seen.begin(), seen.end(), [&](const auto &entry) {
+                return entry.first == identity;
+            });
+        if (prior != seen.end()) {
+            if (dropped) {
+                dropped->push_back("kept " + prior->second +
+                                   ", dropped " + name +
+                                   " (identical run)");
+            }
+            continue;
+        }
+        seen.emplace_back(identity, name);
+        unique.emplace_back(name, std::move(manifest));
+    }
+    manifests = std::move(unique);
     JsonValue out = JsonValue::object();
     out.set("schema", "mbavf-trajectory");
     out.set("version", JsonValue(manifestVersion));

@@ -68,9 +68,17 @@ void printManifest(const JsonValue &manifest, std::ostream &os);
  * Merge bench manifests into one trajectory document:
  * { schema: "mbavf-trajectory", version, entries: [ {name, manifest},
  * ... ] } with entries sorted by name for reproducible output.
+ *
+ * Two manifests whose deterministic content (everything outside
+ * "phases" and "env" — the run id under the determinism contract) is
+ * identical are the same run measured twice; merging both would
+ * double-count it in any trajectory plot. The duplicate with the
+ * lexically-later name is dropped, and when @p dropped is non-null a
+ * "kept X, dropped Y" diagnostic per duplicate is appended to it.
  */
 JsonValue mergeManifests(
-    std::vector<std::pair<std::string, JsonValue>> manifests);
+    std::vector<std::pair<std::string, JsonValue>> manifests,
+    std::vector<std::string> *dropped = nullptr);
 
 } // namespace mbavf::obs
 

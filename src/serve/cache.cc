@@ -1,0 +1,185 @@
+#include "serve/cache.hh"
+
+#include <filesystem>
+
+#include "common/journal_io.hh"
+#include "obs/manifest.hh"
+
+namespace mbavf::serve
+{
+
+namespace
+{
+
+/** Validate one entry document against its expected key. */
+bool
+checkEntry(const obs::JsonValue &doc, const std::string &hex_key,
+           const obs::JsonValue **result, std::string &diagnostic)
+{
+    const obs::JsonValue *cache = doc.find("cache");
+    if (!cache || !cache->isObject()) {
+        diagnostic = "no cache section";
+        return false;
+    }
+    const obs::JsonValue *key = cache->find("key");
+    if (!key || !key->isString() || key->asString() != hex_key) {
+        diagnostic = "key field does not match entry name";
+        return false;
+    }
+    const obs::JsonValue *stored = doc.find("result");
+    if (!stored) {
+        diagnostic = "no result section";
+        return false;
+    }
+    *result = stored;
+    return true;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+bool
+ResultCache::shardKey(const JobConfig &config, const ShardSpec &shard,
+                      std::uint64_t &key, std::string &error)
+{
+    std::uint64_t h = fnv1a64(std::string("mbavf-cache"));
+    h = fnv1a64(shard.canonical(config), h);
+    if (!config.arenaIn.empty()) {
+        std::uint64_t content = 0;
+        if (!hashFileContents(config.arenaIn, content, error))
+            return false;
+        h = fnv1a64(&content, sizeof(content), h);
+    }
+    key = h;
+    return true;
+}
+
+std::string
+ResultCache::entryPath(std::uint64_t key) const
+{
+    return dir_ + "/" + hex64(key) + ".json";
+}
+
+bool
+ResultCache::lookup(std::uint64_t key, const std::string &canonical,
+                    obs::JsonValue &result, std::string &diagnostic)
+{
+    diagnostic.clear();
+    if (!enabled())
+        return false;
+    const std::string path = entryPath(key);
+    if (!std::filesystem::exists(path)) {
+        ++stats_.misses;
+        return false;
+    }
+    obs::JsonValue doc;
+    std::string error;
+    if (!obs::Manifest::load(path, doc, error)) {
+        ++stats_.rejected;
+        diagnostic = path + ": " + error;
+        return false;
+    }
+    const obs::JsonValue *stored = nullptr;
+    if (!checkEntry(doc, hex64(key), &stored, diagnostic)) {
+        ++stats_.rejected;
+        diagnostic = path + ": " + diagnostic;
+        return false;
+    }
+    const obs::JsonValue *entry_canonical =
+        doc.find("cache")->find("canonical");
+    if (!entry_canonical || !entry_canonical->isString() ||
+        entry_canonical->asString() != canonical) {
+        // A 64-bit key collision between distinct shards: miss, and
+        // loudly, because silence here would serve a wrong result.
+        ++stats_.rejected;
+        diagnostic = path + ": canonical configuration mismatch "
+                            "(key collision?)";
+        return false;
+    }
+    result = *stored;
+    ++stats_.hits;
+    return true;
+}
+
+bool
+ResultCache::publish(std::uint64_t key, const std::string &canonical,
+                     const obs::JsonValue &result, std::string &error)
+{
+    if (!enabled())
+        return true;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        error = "cannot create cache dir '" + dir_ +
+                "': " + ec.message();
+        return false;
+    }
+    obs::Manifest manifest("mbavf_serve cache");
+    obs::JsonValue cache = obs::JsonValue::object();
+    cache.set("key", hex64(key));
+    cache.set("canonical", canonical);
+    manifest.set("cache", std::move(cache));
+    manifest.set("result", result);
+    if (!manifest.write(entryPath(key), error))
+        return false;
+    ++stats_.published;
+    return true;
+}
+
+std::size_t
+lintResultCache(const std::string &dir, CheckReport &report)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+        report.error("cache.io", dir,
+                     "cannot read cache directory: " + ec.message());
+        return 0;
+    }
+    std::size_t entries = 0;
+    for (const fs::directory_entry &entry : it) {
+        if (!entry.is_regular_file() ||
+            entry.path().extension() != ".json") {
+            continue;
+        }
+        ++entries;
+        const std::string path = entry.path().string();
+        const std::string stem = entry.path().stem().string();
+        obs::JsonValue doc;
+        std::string error;
+        if (!obs::Manifest::load(path, doc, error)) {
+            report.error("cache.entry.envelope", path, error);
+            continue;
+        }
+        const obs::JsonValue *cache = doc.find("cache");
+        if (!cache || !cache->isObject()) {
+            report.error("cache.entry.section", path,
+                         "entry has no cache section");
+            continue;
+        }
+        const obs::JsonValue *key = cache->find("key");
+        const obs::JsonValue *canonical = cache->find("canonical");
+        if (!key || !key->isString() || !canonical ||
+            !canonical->isString() || canonical->asString().empty()) {
+            report.error("cache.entry.section", path,
+                         "cache section needs string key and "
+                         "canonical fields");
+            continue;
+        }
+        if (key->asString() != stem) {
+            report.error("cache.entry.name", path,
+                         "entry named '" + stem +
+                             "' carries key '" + key->asString() +
+                             "'");
+        }
+        if (!doc.find("result")) {
+            report.error("cache.entry.result", path,
+                         "entry has no result section");
+        }
+    }
+    return entries;
+}
+
+} // namespace mbavf::serve

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Content-addressed result cache for analysis shards.
+ *
+ * An entry lives at <dir>/<hex64(key)>.json where the key is FNV-1a
+ * over the shard's canonical configuration plus the content hash of
+ * every input file it reads (arenas) — the same bytes-in identity
+ * the spec hash uses, so touching an input or editing a job field
+ * changes the key and stale results simply stop being addressed.
+ *
+ * Each entry is a manifest-enveloped document carrying a "cache"
+ * section {key, canonical} and the shard's "result". Lookups lint on
+ * load: an unparseable entry, a foreign envelope, or a canonical
+ * string that does not match the probe (a 64-bit collision or a
+ * hand-edited file) is a miss with a diagnostic, never a wrong
+ * answer. Publishes go through the usual write-temporary + rename,
+ * so concurrent readers and a crash mid-publish leave either the old
+ * entry or the new one, and a failed publish costs only a re-run.
+ */
+
+#ifndef MBAVF_SERVE_CACHE_HH
+#define MBAVF_SERVE_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "check/report.hh"
+#include "obs/json.hh"
+#include "serve/spec.hh"
+
+namespace mbavf::serve
+{
+
+/** Hit/miss accounting for one service run. */
+struct CacheStatsCounters
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t rejected = 0; ///< present but failed lint-on-load
+    std::uint64_t published = 0;
+};
+
+/** One directory of content-addressed shard results. */
+class ResultCache
+{
+  public:
+    /** @p dir empty disables the cache (every lookup misses). */
+    explicit ResultCache(std::string dir);
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Derive @p shard's cache key. False + @p error when an input
+     * file the key must cover cannot be read.
+     */
+    static bool shardKey(const JobConfig &config,
+                         const ShardSpec &shard, std::uint64_t &key,
+                         std::string &error);
+
+    /** Entry path for @p key (valid even when disabled). */
+    std::string entryPath(std::uint64_t key) const;
+
+    /**
+     * Fetch the result stored under @p key. False on a miss;
+     * @p diagnostic is set when the miss was a rejected entry
+     * rather than an absent one. Counts into the stats.
+     */
+    bool lookup(std::uint64_t key, const std::string &canonical,
+                obs::JsonValue &result, std::string &diagnostic);
+
+    /**
+     * Publish @p result under @p key (creating the directory on
+     * first use). False + @p error on I/O failure — callers treat
+     * that as a warning, not a run failure.
+     */
+    bool publish(std::uint64_t key, const std::string &canonical,
+                 const obs::JsonValue &result, std::string &error);
+
+    const CacheStatsCounters &stats() const { return stats_; }
+
+  private:
+    std::string dir_;
+    CacheStatsCounters stats_;
+};
+
+/**
+ * Audit every entry in @p dir: envelope, "cache" section, key/
+ * filename agreement, and a present result. Codes: cache.io,
+ * cache.entry.envelope, cache.entry.section, cache.entry.name,
+ * cache.entry.result. Returns the number of entries examined.
+ */
+std::size_t lintResultCache(const std::string &dir,
+                            CheckReport &report);
+
+} // namespace mbavf::serve
+
+#endif // MBAVF_SERVE_CACHE_HH

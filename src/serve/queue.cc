@@ -1,0 +1,215 @@
+#include "serve/queue.hh"
+
+#include <algorithm>
+
+#include "common/journal_io.hh"
+
+namespace mbavf::serve
+{
+
+namespace
+{
+
+constexpr const char *queueMagic = "mbavf-queue";
+constexpr const char *queueVersion = "v1";
+
+/** Strict 16-digit lowercase hex parse (the hex64() rendering). */
+bool
+parseHex64(const std::string &token, std::uint64_t &value)
+{
+    if (token.size() != 16)
+        return false;
+    value = 0;
+    for (char c : token) {
+        std::uint64_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<std::uint64_t>(c - 'a') + 10;
+        else
+            return false;
+        value = (value << 4) | digit;
+    }
+    return true;
+}
+
+bool
+parseHeader(const std::string &line, QueueJournal &out,
+            std::string &error)
+{
+    const std::vector<std::string> tokens = splitJournalTokens(line);
+    std::string value;
+    if (tokens.size() != 4 || tokens[0] != queueMagic ||
+        tokens[1] != queueVersion ||
+        !journalKeyValue(tokens[2], "spec", value) ||
+        !parseHex64(value, out.specHash) ||
+        !journalKeyValue(tokens[3], "shards", value) ||
+        !parseJournalU64(value, out.numShards)) {
+        error = "bad queue journal header: " + line;
+        return false;
+    }
+    return true;
+}
+
+bool
+parseRecord(const std::string &line, QueueRecord &record,
+            std::string &error)
+{
+    const std::vector<std::string> tokens = splitJournalTokens(line);
+    if (tokens.size() < 3 ||
+        !parseJournalU64(tokens[0], record.shard)) {
+        error = "bad queue record: " + line;
+        return false;
+    }
+    if (tokens[1] == "done") {
+        if (tokens.size() != 3 ||
+            (tokens[2] != "run" && tokens[2] != "cache")) {
+            error = "bad done record: " + line;
+            return false;
+        }
+        record.state = ShardState::Done;
+        record.source = tokens[2];
+        return true;
+    }
+    if (tokens[1] == "quarantined") {
+        if (tokens.size() != 4 ||
+            !parseJournalU64(tokens[2], record.attempts) ||
+            record.attempts == 0) {
+            error = "bad quarantine record: " + line;
+            return false;
+        }
+        record.state = ShardState::Quarantined;
+        record.code = tokens[3];
+        return true;
+    }
+    error = "unknown record state: " + line;
+    return false;
+}
+
+} // namespace
+
+void
+QueueJournal::add(QueueRecord record)
+{
+    const auto at = std::lower_bound(
+        records.begin(), records.end(), record.shard,
+        [](const QueueRecord &r, std::uint64_t shard) {
+            return r.shard < shard;
+        });
+    records.insert(at, std::move(record));
+}
+
+const QueueRecord *
+QueueJournal::find(std::uint64_t shard) const
+{
+    const auto at = std::lower_bound(
+        records.begin(), records.end(), shard,
+        [](const QueueRecord &r, std::uint64_t s) {
+            return r.shard < s;
+        });
+    if (at == records.end() || at->shard != shard)
+        return nullptr;
+    return &*at;
+}
+
+bool
+QueueJournal::load(const std::string &path, QueueJournal &out,
+                   std::string &error)
+{
+    out = QueueJournal{};
+    std::vector<std::string> lines;
+    if (!readCompleteLines(path, lines, error))
+        return false;
+    if (lines.empty()) {
+        error = "queue journal '" + path + "' has no header";
+        return false;
+    }
+    if (!parseHeader(lines[0], out, error))
+        return false;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        QueueRecord record;
+        if (!parseRecord(lines[i], record, error))
+            return false;
+        if (record.shard >= out.numShards) {
+            error = "queue record shard " +
+                    std::to_string(record.shard) +
+                    " out of range (shards=" +
+                    std::to_string(out.numShards) + ")";
+            return false;
+        }
+        if (out.find(record.shard)) {
+            error = "duplicate queue record for shard " +
+                    std::to_string(record.shard);
+            return false;
+        }
+        out.add(std::move(record));
+    }
+    return true;
+}
+
+bool
+QueueJournal::save(const std::string &path, std::string &error) const
+{
+    std::string text;
+    text += queueMagic;
+    text += ' ';
+    text += queueVersion;
+    text += " spec=" + hex64(specHash);
+    text += " shards=" + std::to_string(numShards) + "\n";
+    for (const QueueRecord &record : records) {
+        text += std::to_string(record.shard);
+        if (record.state == ShardState::Done) {
+            text += " done " + record.source;
+        } else {
+            text += " quarantined " +
+                    std::to_string(record.attempts) + " " +
+                    record.code;
+        }
+        text += "\n";
+    }
+    return atomicWriteFile(path, text, error);
+}
+
+void
+lintQueueJournal(const std::string &path, CheckReport &report)
+{
+    std::vector<std::string> lines;
+    std::string error;
+    if (!readCompleteLines(path, lines, error)) {
+        report.error("serve.queue.io", path, error);
+        return;
+    }
+    QueueJournal journal;
+    if (lines.empty() || !parseHeader(lines[0], journal, error)) {
+        report.error("serve.queue.header", path,
+                     lines.empty() ? "journal has no header"
+                                   : error);
+        return;
+    }
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        const std::string where =
+            path + " line " + std::to_string(i + 1);
+        QueueRecord record;
+        if (!parseRecord(lines[i], record, error)) {
+            report.error("serve.queue.record", where, error);
+            continue;
+        }
+        if (record.shard >= journal.numShards) {
+            report.error("serve.queue.range", where,
+                         "shard " + std::to_string(record.shard) +
+                             " out of range (shards=" +
+                             std::to_string(journal.numShards) +
+                             ")");
+            continue;
+        }
+        if (journal.find(record.shard)) {
+            report.error("serve.queue.dup", where,
+                         "shard " + std::to_string(record.shard) +
+                             " recorded more than once");
+            continue;
+        }
+        journal.add(std::move(record));
+    }
+}
+
+} // namespace mbavf::serve

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Crash-safe queue journal for the analysis service.
+ *
+ * The journal records which shards of a job spec have reached a
+ * terminal state, in the plain-text format family of
+ * inject/journal.hh and via the same crash discipline
+ * (common/journal_io.hh):
+ *
+ *   mbavf-queue v1 spec=<hex64 spec hash> shards=<count>
+ *   <shard> done run
+ *   <shard> done cache
+ *   <shard> quarantined <attempts> <code>
+ *
+ * The header binds the journal to one spec identity: resuming
+ * against an edited spec (or edited input files — the hash covers
+ * their contents) is rejected rather than silently merging results
+ * from two different experiments. Records stay sorted by shard id
+ * and every state change rewrites the whole file atomically, so a
+ * kill -9 at any instant leaves either the previous or the new
+ * complete snapshot; a truncated final line is dropped on load and
+ * that shard simply re-runs — re-running a shard is always safe
+ * because shard results are pure functions of the spec.
+ */
+
+#ifndef MBAVF_SERVE_QUEUE_HH
+#define MBAVF_SERVE_QUEUE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/report.hh"
+
+namespace mbavf::serve
+{
+
+/** Terminal state of one shard. */
+enum class ShardState : std::uint8_t
+{
+    Done,        ///< result available (computed or cache hit)
+    Quarantined, ///< failed maxAttempts times; excluded from results
+};
+
+/** One journal record. */
+struct QueueRecord
+{
+    std::uint64_t shard = 0;
+    ShardState state = ShardState::Done;
+    /** Done: where the result came from ("run" / "cache"). */
+    std::string source;
+    /** Quarantined: how many attempts were spent. */
+    std::uint64_t attempts = 0;
+    /** Quarantined: the last failure code (e.g. "serve.crash"). */
+    std::string code;
+};
+
+/** The journal: spec binding plus terminal shard records. */
+struct QueueJournal
+{
+    std::uint64_t specHash = 0;
+    std::uint64_t numShards = 0;
+    std::vector<QueueRecord> records; ///< sorted by shard id
+
+    /** Record a terminal state (keeps records sorted). */
+    void add(QueueRecord record);
+
+    /** Lookup; null when @p shard has no terminal record. */
+    const QueueRecord *find(std::uint64_t shard) const;
+
+    /**
+     * Parse @p path. False + @p error on unreadable file, bad
+     * header, malformed record, out-of-range or duplicate shard.
+     */
+    static bool load(const std::string &path, QueueJournal &out,
+                     std::string &error);
+
+    /** Atomically (re)write the whole journal. */
+    bool save(const std::string &path, std::string &error) const;
+};
+
+/**
+ * Audit a queue journal for mbavf_lint: structural validity plus
+ * consistency (shard ids in range, no duplicates, quarantine
+ * records carry attempts and a code). Codes: serve.queue.io,
+ * serve.queue.header, serve.queue.record, serve.queue.range,
+ * serve.queue.dup.
+ */
+void lintQueueJournal(const std::string &path, CheckReport &report);
+
+} // namespace mbavf::serve
+
+#endif // MBAVF_SERVE_QUEUE_HH

@@ -1,0 +1,202 @@
+#include "serve/shard.hh"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <memory>
+#include <optional>
+
+#include "core/arena_io.hh"
+#include "core/layout.hh"
+#include "core/lifetime_arena.hh"
+#include "core/protection.hh"
+#include "core/sweep.hh"
+#include "inject/campaign.hh"
+#include "obs/adapters.hh"
+#include "workloads/ace_runner.hh"
+
+namespace mbavf::serve
+{
+
+namespace
+{
+
+/** The deliberate failures supervisor tests provoke. */
+void
+applyFaultInstrumentation(const JobConfig &config)
+{
+    if (config.fault == "crash")
+        std::abort();
+    if (config.fault == "hang") {
+        for (;;)
+            ::pause();
+    }
+}
+
+bool
+runSweepShard(const JobConfig &config, obs::JsonValue &out,
+              std::string &error)
+{
+    GpuConfig gpu;
+    LifetimeStore life(8, 64);
+    Cycle horizon = 0;
+    std::optional<LifetimeArena> arena;
+    if (!config.arenaIn.empty()) {
+        arena = tryLoadArena(config.arenaIn, error, &horizon);
+        if (!arena) {
+            error = "cannot load arena '" + config.arenaIn +
+                    "': " + error;
+            return false;
+        }
+        if (horizon == 0) {
+            error = "arena '" + config.arenaIn +
+                    "' records no producer horizon";
+            return false;
+        }
+    } else {
+        AceRun run = runAceAnalysis(config.workload, config.scale,
+                                    gpu, config.structure == "l2");
+        horizon = run.horizon;
+        if (config.structure == "l1")
+            life = std::move(run.l1);
+        else if (config.structure == "l2")
+            life = std::move(run.l2);
+        else if (config.structure == "vgpr")
+            life = std::move(run.vgpr);
+        else {
+            error = "unknown structure '" + config.structure + "'";
+            return false;
+        }
+    }
+
+    const unsigned word_width =
+        arena ? arena->wordWidth() : life.wordWidth();
+    const unsigned expected_width =
+        config.structure == "vgpr" ? 32 : 8;
+    if (word_width != expected_width) {
+        error = "lifetime word width " +
+                std::to_string(word_width) +
+                " does not match structure '" + config.structure +
+                "'";
+        return false;
+    }
+
+    const std::string style = config.effectiveStyle();
+    std::unique_ptr<PhysicalArray> array;
+    if (config.structure == "vgpr") {
+        if (style != "intra" && style != "inter") {
+            error = "vgpr style must be intra|inter";
+            return false;
+        }
+        array = makeRegFileArray(gpu.regs,
+                                 style == "intra"
+                                     ? RegInterleave::IntraThread
+                                     : RegInterleave::InterThread,
+                                 config.interleave);
+    } else {
+        const CacheParams &cp =
+            config.structure == "l2" ? gpu.l2 : gpu.l1;
+        CacheGeometry geom{cp.sets, cp.ways, cp.lineBytes};
+        array = makeCacheArray(geom, parseCacheInterleave(style),
+                               config.interleave);
+    }
+
+    auto scheme = makeScheme(config.scheme);
+    MbAvfOptions opt;
+    opt.horizon = horizon;
+    opt.numWindows = config.windows;
+    opt.dueShieldsSdc = config.shieldDue ||
+        (config.structure == "vgpr" && style == "inter");
+
+    applyFaultInstrumentation(config);
+
+    ModeSweep sweep = arena
+        ? sweepModesArena(*array, *arena, *scheme, opt, config.modes)
+        : sweepModes(*array, life, *scheme, opt, config.modes);
+    StructureSer ser =
+        sweepSer(sweep, caseStudyFaultRates(config.totalFit));
+
+    out = obs::JsonValue::object();
+    out.set("type", "sweep");
+    out.set("avf", obs::modeSweepJson(sweep));
+    out.set("ser", obs::serJson(ser));
+    return true;
+}
+
+bool
+runCampaignShard(const JobConfig &config, const ShardSpec &shard,
+                 obs::JsonValue &out, std::string &error)
+{
+    TrialKind kind = TrialKind::Register;
+    if (!parseTrialKind(config.kind, kind)) {
+        error = "unknown kind '" + config.kind + "'";
+        return false;
+    }
+
+    Campaign campaign(config.workload, config.scale, GpuConfig{});
+    campaign.setWatchdogMultiplier(config.watchdog);
+    if (config.protect != "none")
+        campaign.setProtection(config.protect, config.protectDomain);
+
+    applyFaultInstrumentation(config);
+
+    CampaignTally tally;
+    for (const TrialResult &result : campaign.runTrialsDetailed(
+             static_cast<std::size_t>(shard.firstTrial),
+             static_cast<std::size_t>(shard.numTrials), config.seed,
+             kind))
+        tally.add(result);
+
+    obs::JsonValue counts = obs::JsonValue::object();
+    for (std::size_t i = 0; i < numInjectOutcomes; ++i) {
+        const InjectOutcome outcome = static_cast<InjectOutcome>(i);
+        counts.set(injectOutcomeName(outcome),
+                   obs::JsonValue(tally.count(outcome)));
+    }
+    obs::JsonValue codes = obs::JsonValue::object();
+    for (const auto &[code, count] : tally.codeCounts)
+        codes.set(code, obs::JsonValue(count));
+
+    out = obs::JsonValue::object();
+    out.set("type", "campaign");
+    out.set("trials", obs::JsonValue(tally.total()));
+    out.set("counts", std::move(counts));
+    out.set("codes", std::move(codes));
+    return true;
+}
+
+} // namespace
+
+bool
+runShard(const JobConfig &config, const ShardSpec &shard,
+         obs::JsonValue &out, std::string &error)
+{
+    if (config.type == JobType::Sweep)
+        return runSweepShard(config, out, error);
+    return runCampaignShard(config, shard, out, error);
+}
+
+obs::JsonValue
+mergeCampaignShards(const std::vector<obs::JsonValue> &shard_results)
+{
+    CampaignTally tally;
+    for (const obs::JsonValue &result : shard_results) {
+        const obs::JsonValue *counts = result.find("counts");
+        for (std::size_t i = 0; i < numInjectOutcomes; ++i) {
+            const InjectOutcome outcome =
+                static_cast<InjectOutcome>(i);
+            const obs::JsonValue *count =
+                counts ? counts->find(injectOutcomeName(outcome))
+                       : nullptr;
+            tally.counts[i] += count ? count->asUint() : 0;
+        }
+        const obs::JsonValue *codes = result.find("codes");
+        if (codes && codes->isObject()) {
+            for (const auto &[code, count] : codes->members())
+                tally.codeCounts[code] += count.asUint();
+        }
+    }
+    return obs::tallyJson(tally);
+}
+
+} // namespace mbavf::serve

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Worker-side shard execution: compute one ShardSpec's result as a
+ * JSON fragment the supervisor can cache and merge.
+ *
+ * A sweep shard produces {"type": "sweep", "avf": ..., "ser": ...}
+ * (the same sections the mbavf CLI emits); a campaign shard produces
+ * {"type": "campaign", "trials", "counts", "codes"} — raw outcome
+ * counts only, because counts sum order-independently across shards
+ * while Wilson intervals do not. The supervisor folds shard counts
+ * into one tally per job and derives the intervals at merge time.
+ *
+ * Every field is a pure function of the shard's canonical
+ * configuration (bit-identical at any thread count), which is what
+ * makes the result cacheable and the merged manifest reproducible.
+ */
+
+#ifndef MBAVF_SERVE_SHARD_HH
+#define MBAVF_SERVE_SHARD_HH
+
+#include <string>
+
+#include "obs/json.hh"
+#include "serve/spec.hh"
+
+namespace mbavf::serve
+{
+
+/**
+ * Execute @p shard of @p config in this process. Returns false +
+ * @p error on unusable configuration (unknown workload, unreadable
+ * arena); @p out is valid only on true.
+ *
+ * Honors the config's "fault" test instrumentation: "crash" aborts
+ * and "hang" stalls forever once execution reaches the shard body,
+ * exactly the failure shapes the supervisor must contain.
+ */
+bool runShard(const JobConfig &config, const ShardSpec &shard,
+              obs::JsonValue &out, std::string &error);
+
+/** Merge campaign shard results (raw counts) into one tally JSON. */
+obs::JsonValue mergeCampaignShards(
+    const std::vector<obs::JsonValue> &shard_results);
+
+} // namespace mbavf::serve
+
+#endif // MBAVF_SERVE_SHARD_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Job specifications for the analysis service (tools/mbavf_serve).
+ *
+ * A job-spec file is a JSON document listing analysis jobs — mode
+ * sweeps and injection campaigns over workload x layout x scheme
+ * configurations:
+ *
+ *   {
+ *     "jobs": [
+ *       {"type": "sweep", "workload": "histogram",
+ *        "structure": "l1", "scheme": "secded", "style": "way",
+ *        "interleave": 2, "modes": 4},
+ *       {"type": "campaign", "workload": "histogram",
+ *        "trials": 200, "seed": 7, "shard_trials": 50}
+ *     ]
+ *   }
+ *
+ * Jobs split into shards, the unit of scheduling, isolation, retry,
+ * and caching: a sweep job is one shard; a campaign job with
+ * shard_trials = K splits into ceil(trials / K) contiguous trial
+ * ranges. Trial t always draws from splitMix64(seed, t) regardless
+ * of the split, so any sharding merges to the same tally.
+ *
+ * Every job has a canonical key=value rendering (canonical()) that
+ * is the job's identity: the spec hash (queue-journal binding), the
+ * result-cache key, and the merged manifest's "spec" section all
+ * derive from it, never from the raw JSON text — reformatting a spec
+ * file does not invalidate caches.
+ *
+ * The "fault" field ("crash" | "hang") is test instrumentation in
+ * the --seed-corruption tradition: the worker process deliberately
+ * aborts or stalls inside the shard so supervisor tests can provoke
+ * retry, watchdog, and quarantine paths deterministically.
+ */
+
+#ifndef MBAVF_SERVE_SPEC_HH
+#define MBAVF_SERVE_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace mbavf::serve
+{
+
+/** What one job computes. */
+enum class JobType : std::uint8_t
+{
+    Sweep,    ///< mode sweep + SER (core/sweep.hh)
+    Campaign, ///< injection campaign tally (inject/campaign.hh)
+};
+
+/** Stable job-type name ("sweep" / "campaign"). */
+const char *jobTypeName(JobType type);
+
+/** One analysis job parsed from a spec file. */
+struct JobConfig
+{
+    JobType type = JobType::Sweep;
+    std::string workload;
+    unsigned scale = 1;
+
+    // Sweep configuration (mirrors the mbavf CLI defaults).
+    std::string structure = "l1";
+    std::string scheme = "parity";
+    std::string style;        ///< empty = structure default
+    unsigned interleave = 2;
+    unsigned modes = 8;
+    unsigned windows = 0;
+    bool shieldDue = false;
+    double totalFit = 100.0;
+    std::string arenaIn;      ///< sweep a saved arena (no workload)
+
+    // Campaign configuration.
+    std::uint64_t trials = 1000;
+    std::uint64_t seed = 1;
+    std::string kind = "register";
+    double watchdog = 8.0;
+    std::string protect = "none";
+    unsigned protectDomain = 8;
+    std::uint64_t shardTrials = 0; ///< 0 = the whole job is one shard
+
+    /** Test instrumentation: "", "crash", or "hang". */
+    std::string fault;
+
+    /** The structure-appropriate style when none was given. */
+    std::string effectiveStyle() const;
+
+    /**
+     * Deterministic key=value identity of this job — stable across
+     * spec-file reformatting, field order, and defaulted fields.
+     */
+    std::string canonical() const;
+};
+
+/** A parsed job-spec file. */
+struct JobSpec
+{
+    std::vector<JobConfig> jobs;
+
+    /** Parse a spec document. False + @p error on malformation. */
+    static bool parse(const obs::JsonValue &doc, JobSpec &out,
+                      std::string &error);
+
+    /** Read + parse @p path. */
+    static bool load(const std::string &path, JobSpec &out,
+                     std::string &error);
+
+    /**
+     * Identity of the whole spec: FNV-1a over every job's canonical
+     * form plus the content hash of every referenced input file
+     * (arenas), so editing an input invalidates the queue journal
+     * and every cache key derived from it. False + @p error when an
+     * input file cannot be read.
+     */
+    bool hash(std::uint64_t &out, std::string &error) const;
+};
+
+/** One schedulable unit: a whole sweep job or a campaign range. */
+struct ShardSpec
+{
+    std::size_t job = 0;           ///< index into JobSpec::jobs
+    std::uint64_t firstTrial = 0;  ///< campaign shards only
+    std::uint64_t numTrials = 0;   ///< 0 for sweep shards
+
+    /** The shard's cache identity: job canonical + trial range. */
+    std::string canonical(const JobConfig &config) const;
+};
+
+/** Split every job into its shards, in job order. */
+std::vector<ShardSpec> shardJobs(const JobSpec &spec);
+
+} // namespace mbavf::serve
+
+#endif // MBAVF_SERVE_SPEC_HH

@@ -1,0 +1,720 @@
+#include "serve/supervisor.hh"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <map>
+#include <vector>
+
+#include "common/journal_io.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "obs/heartbeat.hh"
+#include "obs/manifest.hh"
+#include "obs/report.hh"
+#include "serve/cache.hh"
+#include "serve/queue.hh"
+#include "serve/shard.hh"
+#include "serve/spec.hh"
+
+namespace mbavf::serve
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::uint64_t
+nowMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::string
+shardResultPath(const std::string &state_dir, std::uint64_t shard)
+{
+    return state_dir + "/shard_" + std::to_string(shard) + ".json";
+}
+
+/** Parse + validate one worker result file. */
+bool
+loadShardResult(const std::string &path, std::uint64_t shard,
+                const std::string &canonical, obs::JsonValue &result,
+                std::string &error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    const std::string text((std::istreambuf_iterator<char>(is)),
+                           std::istreambuf_iterator<char>());
+    obs::JsonValue doc;
+    if (!obs::JsonValue::parse(text, doc, error)) {
+        error = path + ": " + error;
+        return false;
+    }
+    const obs::JsonValue *schema = doc.find("schema");
+    const obs::JsonValue *recorded = doc.find("shard");
+    const obs::JsonValue *config = doc.find("canonical");
+    const obs::JsonValue *stored = doc.find("result");
+    if (!schema || !schema->isString() ||
+        schema->asString() != "mbavf-shard" || !recorded ||
+        recorded->asUint() != shard || !config ||
+        !config->isString() || config->asString() != canonical ||
+        !stored) {
+        error = path + ": not a result for this shard";
+        return false;
+    }
+    result = *stored;
+    return true;
+}
+
+/** One in-flight worker process. */
+struct RunningWorker
+{
+    std::uint64_t shard = 0;
+    pid_t pid = -1;
+    std::uint64_t deadlineMs = 0; ///< 0 = no watchdog
+    bool watchdogFired = false;
+};
+
+/** Per-shard scheduling state the supervisor tracks in memory. */
+struct ShardTrack
+{
+    unsigned attempts = 0;
+    std::uint64_t readyAtMs = 0;
+    bool terminal = false;
+    bool running = false;
+    std::string lastFailure;
+};
+
+/**
+ * Fork + exec one worker for @p shard. Returns -1 when the fork
+ * itself fails (treated like a crashed attempt).
+ */
+pid_t
+spawnWorker(const ServeOptions &options, std::uint64_t shard,
+            const std::string &out_path)
+{
+    std::vector<std::string> argv_strings;
+    argv_strings.push_back(options.workerExe);
+    argv_strings.push_back("--worker");
+    argv_strings.push_back("--spec=" + options.specPath);
+    argv_strings.push_back("--shard=" + std::to_string(shard));
+    argv_strings.push_back("--out=" + out_path);
+    if (options.threadsPerWorker) {
+        argv_strings.push_back(
+            "--threads=" +
+            std::to_string(options.threadsPerWorker));
+    }
+    std::vector<char *> argv;
+    for (std::string &arg : argv_strings)
+        argv.push_back(arg.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        return -1;
+    if (pid == 0) {
+        // Child: a fresh exec gives the shard a clean address space
+        // (no inherited pool threads, safe under sanitizers).
+        ::execv(options.workerExe.c_str(), argv.data());
+        std::fprintf(stderr, "serve: cannot exec %s\n",
+                     options.workerExe.c_str());
+        ::_exit(127);
+    }
+    return pid;
+}
+
+/** Map a reaped worker's status to a stable failure code. */
+std::string
+failureCode(const RunningWorker &worker, int status)
+{
+    if (worker.watchdogFired)
+        return "serve.hang";
+    if (WIFSIGNALED(status))
+        return "serve.crash";
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 3)
+        return "serve.config";
+    return "serve.error";
+}
+
+/** The deterministic merged document (see file comment). */
+obs::JsonValue
+buildMergedManifest(const JobSpec &spec, std::uint64_t spec_hash,
+                    const std::vector<ShardSpec> &shards,
+                    const std::map<std::uint64_t, obs::JsonValue>
+                        &results,
+                    const QueueJournal &journal)
+{
+    obs::Manifest manifest("mbavf_serve");
+
+    obs::JsonValue spec_section = obs::JsonValue::object();
+    spec_section.set("hash", hex64(spec_hash));
+    spec_section.set("shards",
+                     obs::JsonValue(std::uint64_t(shards.size())));
+    obs::JsonValue jobs = obs::JsonValue::array();
+    for (const JobConfig &job : spec.jobs)
+        jobs.push(obs::JsonValue(job.canonical()));
+    spec_section.set("jobs", std::move(jobs));
+    manifest.set("spec", std::move(spec_section));
+
+    obs::JsonValue out_results = obs::JsonValue::array();
+    for (std::size_t j = 0; j < spec.jobs.size(); ++j) {
+        const JobConfig &job = spec.jobs[j];
+        obs::JsonValue entry = obs::JsonValue::object();
+        entry.set("job", obs::JsonValue(std::uint64_t(j)));
+        entry.set("type", jobTypeName(job.type));
+        entry.set("canonical", job.canonical());
+
+        std::vector<obs::JsonValue> done;
+        std::uint64_t missing = 0;
+        for (std::uint64_t s = 0; s < shards.size(); ++s) {
+            if (shards[s].job != j)
+                continue;
+            const auto it = results.find(s);
+            if (it == results.end())
+                ++missing;
+            else
+                done.push_back(it->second);
+        }
+        entry.set("complete", obs::JsonValue(missing == 0));
+        if (job.type == JobType::Sweep) {
+            if (!done.empty()) {
+                const obs::JsonValue &result = done.front();
+                if (const obs::JsonValue *avf = result.find("avf"))
+                    entry.set("avf", *avf);
+                if (const obs::JsonValue *ser = result.find("ser"))
+                    entry.set("ser", *ser);
+            }
+        } else {
+            entry.set("campaign", mergeCampaignShards(done));
+        }
+        out_results.push(std::move(entry));
+    }
+    manifest.set("results", std::move(out_results));
+
+    // Always present (empty on a clean run) so the manifest schema
+    // is stable for golden structure diffs.
+    obs::JsonValue degraded = obs::JsonValue::array();
+    for (const QueueRecord &record : journal.records) {
+        if (record.state != ShardState::Quarantined)
+            continue;
+        obs::JsonValue entry = obs::JsonValue::object();
+        entry.set("shard", obs::JsonValue(record.shard));
+        entry.set("job",
+                  obs::JsonValue(std::uint64_t(
+                      shards[static_cast<std::size_t>(record.shard)]
+                          .job)));
+        entry.set("attempts", obs::JsonValue(record.attempts));
+        entry.set("code", record.code);
+        degraded.push(std::move(entry));
+    }
+    manifest.set("degraded", std::move(degraded));
+
+    // Deliberately no captureObservations()/setEnv(): everything in
+    // this document is deterministic, so runs can be cmp'd.
+    return manifest.root();
+}
+
+} // namespace
+
+std::uint64_t
+backoffDelayMs(double base_seconds, unsigned attempt,
+               std::uint64_t spec_hash, std::uint64_t shard)
+{
+    const double base_ms = std::max(0.0, base_seconds * 1000.0);
+    const double scaled =
+        base_ms * static_cast<double>(1ull << std::min(attempt - 1u,
+                                                       20u));
+    const std::uint64_t delay =
+        static_cast<std::uint64_t>(scaled);
+    const std::uint64_t jitter_span = delay / 4 + 1;
+    const std::uint64_t jitter =
+        splitMix64(spec_hash, shard * 97 + attempt) % jitter_span;
+    return delay + jitter;
+}
+
+int
+runWorker(const std::string &spec_path, std::uint64_t shard_index,
+          const std::string &out_path)
+{
+    JobSpec spec;
+    std::string error;
+    if (!JobSpec::load(spec_path, spec, error)) {
+        std::fprintf(stderr, "serve worker: %s\n", error.c_str());
+        return 3;
+    }
+    const std::vector<ShardSpec> shards = shardJobs(spec);
+    if (shard_index >= shards.size()) {
+        std::fprintf(stderr,
+                     "serve worker: shard %llu out of range\n",
+                     static_cast<unsigned long long>(shard_index));
+        return 3;
+    }
+    const ShardSpec &shard =
+        shards[static_cast<std::size_t>(shard_index)];
+    const JobConfig &config = spec.jobs[shard.job];
+
+    obs::JsonValue result;
+    if (!runShard(config, shard, result, error)) {
+        std::fprintf(stderr, "serve worker: %s\n", error.c_str());
+        return 3;
+    }
+
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc.set("schema", "mbavf-shard");
+    doc.set("shard", obs::JsonValue(shard_index));
+    doc.set("canonical", shard.canonical(config));
+    doc.set("result", std::move(result));
+    if (!atomicWriteFile(out_path, doc.dump(1) + "\n", error)) {
+        std::fprintf(stderr, "serve worker: %s\n", error.c_str());
+        return 3;
+    }
+    return 0;
+}
+
+ServeOutcome
+runService(const ServeOptions &options)
+{
+    ServeOutcome outcome;
+    const auto fail = [&outcome](const std::string &message) {
+        std::cerr << "mbavf_serve: " << message << "\n";
+        outcome.exitCode = 2;
+        return outcome;
+    };
+
+    JobSpec spec;
+    std::string error;
+    if (!JobSpec::load(options.specPath, spec, error))
+        return fail(error);
+    std::uint64_t spec_hash = 0;
+    if (!spec.hash(spec_hash, error))
+        return fail(error);
+    const std::vector<ShardSpec> shards = shardJobs(spec);
+    outcome.shardsTotal = shards.size();
+
+    std::error_code ec;
+    fs::create_directories(options.stateDir, ec);
+    if (ec) {
+        return fail("cannot create state dir '" + options.stateDir +
+                    "': " + ec.message());
+    }
+    const std::string queue_path =
+        options.stateDir + "/queue.journal";
+
+    QueueJournal journal;
+    journal.specHash = spec_hash;
+    journal.numShards = shards.size();
+    const bool queue_exists = fs::exists(queue_path);
+    if (queue_exists && !options.resume) {
+        return fail("queue journal '" + queue_path +
+                    "' already exists; use --resume to continue it "
+                    "or remove the state directory");
+    }
+    if (options.resume && queue_exists) {
+        if (!QueueJournal::load(queue_path, journal, error))
+            return fail("cannot resume: " + error);
+        if (journal.specHash != spec_hash ||
+            journal.numShards != shards.size()) {
+            return fail(
+                "queue journal '" + queue_path +
+                "' is bound to a different spec (hash " +
+                hex64(journal.specHash) + ", expected " +
+                hex64(spec_hash) + ")");
+        }
+    }
+
+    ResultCache cache(options.cacheDir);
+
+    // Reload durable results for done shards; a record whose result
+    // went missing or corrupt is dropped so the shard re-runs.
+    std::map<std::uint64_t, obs::JsonValue> results;
+    std::uint64_t resumed_run = 0, resumed_cache = 0,
+                  resumed_quarantined = 0;
+    {
+        std::vector<QueueRecord> kept;
+        for (QueueRecord &record : journal.records) {
+            if (record.state == ShardState::Quarantined) {
+                ++resumed_quarantined;
+                kept.push_back(std::move(record));
+                continue;
+            }
+            const std::uint64_t s = record.shard;
+            const std::string canonical =
+                shards[static_cast<std::size_t>(s)].canonical(
+                    spec.jobs[shards[static_cast<std::size_t>(s)]
+                                  .job]);
+            obs::JsonValue result;
+            bool ok = false;
+            if (record.source == "cache") {
+                std::uint64_t key = 0;
+                std::string diagnostic;
+                ok = ResultCache::shardKey(
+                         spec.jobs[shards[static_cast<std::size_t>(
+                                              s)]
+                                       .job],
+                         shards[static_cast<std::size_t>(s)], key,
+                         error) &&
+                     cache.lookup(key, canonical, result,
+                                  diagnostic);
+            } else {
+                ok = loadShardResult(
+                    shardResultPath(options.stateDir, s), s,
+                    canonical, result, error);
+            }
+            if (!ok) {
+                warn("shard ", s,
+                     " was journaled done but its result is gone; "
+                     "re-running");
+                continue;
+            }
+            results.emplace(s, std::move(result));
+            record.source == "cache" ? ++resumed_cache
+                                     : ++resumed_run;
+            kept.push_back(std::move(record));
+        }
+        journal.records = std::move(kept);
+    }
+    outcome.shardsResumed = resumed_run + resumed_cache +
+                            resumed_quarantined;
+    if (!journal.save(queue_path, error))
+        return fail("cannot write queue journal: " + error);
+
+    obs::Heartbeat heartbeat(
+        {"run", "cache", "quarantined"}, shards.size(), 1,
+        options.heartbeat ? &std::cerr : nullptr);
+    heartbeat.prime(
+        {resumed_run, resumed_cache, resumed_quarantined});
+
+    std::vector<ShardTrack> track(shards.size());
+    std::uint64_t terminal = 0;
+    for (const QueueRecord &record : journal.records) {
+        track[static_cast<std::size_t>(record.shard)].terminal =
+            true;
+        ++terminal;
+    }
+
+    std::vector<RunningWorker> running;
+    const unsigned slots = std::max(1u, options.workers);
+
+    while (terminal < shards.size()) {
+        const std::uint64_t now = nowMs();
+
+        // Launch: cache first, then a worker process.
+        for (std::uint64_t s = 0;
+             s < shards.size() && running.size() < slots; ++s) {
+            ShardTrack &t = track[static_cast<std::size_t>(s)];
+            if (t.terminal || t.running || t.readyAtMs > now)
+                continue;
+            const JobConfig &config = spec.jobs[shards[s].job];
+            const std::string canonical =
+                shards[static_cast<std::size_t>(s)].canonical(
+                    config);
+
+            if (t.attempts == 0 && cache.enabled()) {
+                std::uint64_t key = 0;
+                std::string diagnostic;
+                obs::JsonValue result;
+                if (ResultCache::shardKey(config, shards[s], key,
+                                          error) &&
+                    cache.lookup(key, canonical, result,
+                                 diagnostic)) {
+                    results.emplace(s, std::move(result));
+                    QueueRecord record;
+                    record.shard = s;
+                    record.state = ShardState::Done;
+                    record.source = "cache";
+                    journal.add(std::move(record));
+                    if (!journal.save(queue_path, error))
+                        warn("queue journal write failed: ", error);
+                    t.terminal = true;
+                    ++terminal;
+                    ++outcome.cacheHits;
+                    heartbeat.record(1);
+                    continue;
+                }
+                if (!diagnostic.empty())
+                    warn("cache: ", diagnostic);
+            }
+
+            const pid_t pid = spawnWorker(
+                options, s, shardResultPath(options.stateDir, s));
+            ++t.attempts;
+            if (pid < 0) {
+                t.lastFailure = "serve.fork";
+                t.readyAtMs =
+                    now + backoffDelayMs(options.backoffBaseSeconds,
+                                         t.attempts, spec_hash, s);
+                continue;
+            }
+            RunningWorker worker;
+            worker.shard = s;
+            worker.pid = pid;
+            worker.deadlineMs = options.shardTimeoutSeconds > 0
+                ? now + static_cast<std::uint64_t>(
+                            options.shardTimeoutSeconds * 1000.0)
+                : 0;
+            running.push_back(worker);
+            t.running = true;
+        }
+
+        // Watchdog: SIGKILL anything past its wall-clock budget.
+        for (RunningWorker &worker : running) {
+            if (worker.deadlineMs && !worker.watchdogFired &&
+                nowMs() > worker.deadlineMs) {
+                ::kill(worker.pid, SIGKILL);
+                worker.watchdogFired = true;
+            }
+        }
+
+        // Reap every worker that has exited.
+        bool reaped_any = false;
+        for (;;) {
+            int status = 0;
+            const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+            if (pid <= 0)
+                break;
+            auto it = running.begin();
+            while (it != running.end() && it->pid != pid)
+                ++it;
+            if (it == running.end())
+                continue;
+            reaped_any = true;
+            const RunningWorker worker = *it;
+            running.erase(it);
+            const std::uint64_t s = worker.shard;
+            ShardTrack &t = track[static_cast<std::size_t>(s)];
+            t.running = false;
+
+            const JobConfig &config = spec.jobs[shards[s].job];
+            const std::string canonical =
+                shards[static_cast<std::size_t>(s)].canonical(
+                    config);
+            obs::JsonValue result;
+            bool ok = !worker.watchdogFired && WIFEXITED(status) &&
+                      WEXITSTATUS(status) == 0;
+            std::string code;
+            if (ok &&
+                !loadShardResult(
+                    shardResultPath(options.stateDir, s), s,
+                    canonical, result, error)) {
+                ok = false;
+                code = "serve.result";
+                warn("shard ", s, ": ", error);
+            }
+            if (ok) {
+                std::uint64_t key = 0;
+                if (cache.enabled() &&
+                    ResultCache::shardKey(config, shards[s], key,
+                                          error)) {
+                    std::string publish_error;
+                    if (!cache.publish(key, canonical, result,
+                                       publish_error))
+                        warn("cache publish: ", publish_error);
+                }
+                results.emplace(s, std::move(result));
+                QueueRecord record;
+                record.shard = s;
+                record.state = ShardState::Done;
+                record.source = "run";
+                journal.add(std::move(record));
+                if (!journal.save(queue_path, error))
+                    warn("queue journal write failed: ", error);
+                t.terminal = true;
+                ++terminal;
+                ++outcome.shardsRun;
+                heartbeat.record(0);
+                continue;
+            }
+            if (code.empty())
+                code = failureCode(worker, status);
+            t.lastFailure = code;
+            if (t.attempts >= options.maxAttempts) {
+                QueueRecord record;
+                record.shard = s;
+                record.state = ShardState::Quarantined;
+                record.attempts = t.attempts;
+                record.code = code;
+                journal.add(std::move(record));
+                if (!journal.save(queue_path, error))
+                    warn("queue journal write failed: ", error);
+                t.terminal = true;
+                ++terminal;
+                ++outcome.quarantined;
+                heartbeat.record(2);
+                warn("shard ", s, " quarantined after ",
+                     t.attempts, " attempts (", code, ")");
+            } else {
+                const std::uint64_t delay =
+                    backoffDelayMs(options.backoffBaseSeconds,
+                                   t.attempts, spec_hash, s);
+                t.readyAtMs = nowMs() + delay;
+                ++outcome.retries;
+                warn("shard ", s, " failed (", code,
+                     "); retrying in ", delay, " ms (attempt ",
+                     t.attempts + 1, "/", options.maxAttempts, ")");
+            }
+        }
+
+        if (!reaped_any && terminal < shards.size())
+            ::usleep(5000);
+    }
+    heartbeat.finish();
+
+    // Everything below is derived purely from spec + results +
+    // journal, so the manifest is identical for any path (worker
+    // count, kill/resume split, cache hits) that reached this state.
+    const obs::JsonValue merged = buildMergedManifest(
+        spec, spec_hash, shards, results, journal);
+    if (!options.manifestPath.empty()) {
+        if (!atomicWriteFile(options.manifestPath,
+                             merged.dump(1) + "\n", error))
+            return fail("cannot write manifest: " + error);
+        inform("wrote manifest to ", options.manifestPath);
+    }
+
+    if (!options.metricsPath.empty()) {
+        obs::JsonValue metrics = obs::JsonValue::object();
+        metrics.set("schema", "mbavf-serve-metrics");
+        metrics.set("shards", obs::JsonValue(outcome.shardsTotal));
+        metrics.set("run", obs::JsonValue(outcome.shardsRun));
+        metrics.set("resumed",
+                    obs::JsonValue(outcome.shardsResumed));
+        metrics.set("cache_hits", obs::JsonValue(outcome.cacheHits));
+        metrics.set("cache_published",
+                    obs::JsonValue(cache.stats().published));
+        metrics.set("retries", obs::JsonValue(outcome.retries));
+        metrics.set("quarantined",
+                    obs::JsonValue(outcome.quarantined));
+        if (!atomicWriteFile(options.metricsPath,
+                             metrics.dump(1) + "\n", error))
+            warn("cannot write metrics: ", error);
+    }
+
+    std::cout << "serve: " << outcome.shardsTotal << " shard"
+              << (outcome.shardsTotal == 1 ? "" : "s") << " ("
+              << outcome.shardsRun << " run, " << outcome.cacheHits
+              << " cache hit"
+              << (outcome.cacheHits == 1 ? "" : "s") << ", "
+              << outcome.shardsResumed << " resumed), "
+              << outcome.retries << " retr"
+              << (outcome.retries == 1 ? "y" : "ies") << ", "
+              << outcome.quarantined << " quarantined\n";
+
+    outcome.exitCode = outcome.quarantined ? 1 : 0;
+    return outcome;
+}
+
+int
+verifyCache(const ServeOptions &options, double fraction)
+{
+    JobSpec spec;
+    std::string error;
+    if (!JobSpec::load(options.specPath, spec, error)) {
+        std::cerr << "mbavf_serve: " << error << "\n";
+        return 2;
+    }
+    std::uint64_t spec_hash = 0;
+    if (!spec.hash(spec_hash, error)) {
+        std::cerr << "mbavf_serve: " << error << "\n";
+        return 2;
+    }
+    if (options.cacheDir.empty()) {
+        std::cerr << "mbavf_serve: --cache-verify needs "
+                     "--cache=DIR\n";
+        return 2;
+    }
+    const std::vector<ShardSpec> shards = shardJobs(spec);
+    ResultCache cache(options.cacheDir);
+
+    CheckReport report;
+    std::uint64_t sampled = 0;
+    for (std::uint64_t s = 0; s < shards.size(); ++s) {
+        const JobConfig &config = spec.jobs[shards[s].job];
+        const std::string canonical =
+            shards[static_cast<std::size_t>(s)].canonical(config);
+        std::uint64_t key = 0;
+        if (!ResultCache::shardKey(config, shards[s], key, error)) {
+            report.error("cache.verify.input",
+                         "shard " + std::to_string(s), error);
+            continue;
+        }
+        const std::string entry = cache.entryPath(key);
+        if (!fs::exists(entry))
+            continue;
+        // Deterministic sampling: the same spec + fraction always
+        // verifies the same shards.
+        const double draw =
+            static_cast<double>(splitMix64(spec_hash, s) >> 11) *
+            0x1.0p-53;
+        if (draw >= fraction)
+            continue;
+        ++sampled;
+
+        obs::JsonValue cached;
+        std::string diagnostic;
+        if (!cache.lookup(key, canonical, cached, diagnostic)) {
+            report.error("cache.reject", entry,
+                         diagnostic.empty() ? "entry vanished"
+                                            : diagnostic);
+            continue;
+        }
+
+        const std::string fresh_path = entry + ".verify";
+        const pid_t pid = spawnWorker(options, s, fresh_path);
+        if (pid < 0) {
+            report.error("cache.verify.worker",
+                         "shard " + std::to_string(s),
+                         "cannot fork verification worker");
+            continue;
+        }
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        obs::JsonValue fresh;
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0 ||
+            !loadShardResult(fresh_path, s, canonical, fresh,
+                             error)) {
+            report.error("cache.verify.worker",
+                         "shard " + std::to_string(s),
+                         "verification re-run failed");
+            fs::remove(fresh_path);
+            continue;
+        }
+        fs::remove(fresh_path);
+
+        const obs::DiffResult diff =
+            obs::diffManifests(cached, fresh, obs::DiffOptions{});
+        if (!diff.clean()) {
+            std::string detail = "cached result differs from a "
+                                 "fresh re-run";
+            if (!diff.notes.empty())
+                detail += ": " + diff.notes.front();
+            report.error("cache.stale", entry, detail);
+        }
+    }
+
+    report.print(std::cout);
+    std::cout << "cache-verify: " << sampled << " of "
+              << shards.size() << " shard"
+              << (shards.size() == 1 ? "" : "s") << " sampled, "
+              << report.errorCount() << " error"
+              << (report.errorCount() == 1 ? "" : "s") << "\n";
+    return report.errorCount() ? 2 : 0;
+}
+
+} // namespace mbavf::serve

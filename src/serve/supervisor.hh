@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Fault-isolated analysis service: a single-threaded supervisor that
+ * schedules shards into forked worker processes.
+ *
+ * Isolation model: every shard executes in its own worker process
+ * (fork + exec of this binary's --worker mode), so a shard that
+ * crashes, hangs, or corrupts its address space cannot take the
+ * service down. The supervisor only forks, reaps, and reads result
+ * files; a per-shard wall-clock watchdog SIGKILLs workers that
+ * exceed their budget.
+ *
+ * Failure policy: a failed shard is requeued with exponential
+ * backoff (base * 2^(attempt-1)) plus deterministic jitter derived
+ * from splitMix64(spec hash, shard), and quarantined after
+ * maxAttempts failures. Quarantine is graceful degradation: the run
+ * completes, the merged manifest lists the quarantined shards in an
+ * explicit "degraded" section, and the service exits 1 instead
+ * of 0. Exit 2 is reserved for the service itself being unusable
+ * (unreadable spec, journal bound to a different spec, ...).
+ *
+ * Durability: terminal shard states go to the queue journal
+ * (serve/queue.hh) and shard results to <state>/shard_<N>.json, both
+ * atomically. After kill -9 at any instant, --resume recomputes only
+ * the shards without a durable result, and because every shard is a
+ * pure function of the spec the final merged manifest is
+ * bit-identical to an uninterrupted run's at any --workers setting.
+ *
+ * The merged manifest deliberately carries no "phases", "metrics",
+ * or "env" section — everything in it is deterministic, so CI can
+ * `cmp` two runs byte-for-byte. Wall-clock accounting goes to
+ * stdout and the optional --metrics-out file instead.
+ */
+
+#ifndef MBAVF_SERVE_SUPERVISOR_HH
+#define MBAVF_SERVE_SUPERVISOR_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mbavf::serve
+{
+
+/** Configuration of one service run. */
+struct ServeOptions
+{
+    std::string specPath;
+    /** Directory for the queue journal and shard results. */
+    std::string stateDir;
+    /** Content-addressed result cache; empty disables. */
+    std::string cacheDir;
+    /** Merged manifest output; empty skips writing it. */
+    std::string manifestPath;
+    /** Non-deterministic run accounting (JSON); empty skips. */
+    std::string metricsPath;
+    /** Concurrent worker processes. */
+    unsigned workers = 1;
+    /** --threads forwarded to each worker (0 = all hardware). */
+    unsigned threadsPerWorker = 0;
+    /** Per-shard wall-clock budget in seconds; 0 disables. */
+    double shardTimeoutSeconds = 0.0;
+    /** Failures before a shard is quarantined. */
+    unsigned maxAttempts = 3;
+    /** Backoff base delay in seconds. */
+    double backoffBaseSeconds = 0.05;
+    /** Continue a previous run's queue journal. */
+    bool resume = false;
+    /** Progress lines on stderr as shards reach terminal states. */
+    bool heartbeat = false;
+    /** Path to this binary, for worker re-exec. */
+    std::string workerExe;
+};
+
+/** What one service run did (for logging and tests). */
+struct ServeOutcome
+{
+    /** 0 clean, 1 degraded (quarantined shards), 2 failed. */
+    int exitCode = 2;
+    std::uint64_t shardsTotal = 0;
+    std::uint64_t shardsRun = 0;     ///< computed by workers now
+    std::uint64_t shardsResumed = 0; ///< already terminal on entry
+    std::uint64_t cacheHits = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t quarantined = 0;
+};
+
+/** Run the service to completion. */
+ServeOutcome runService(const ServeOptions &options);
+
+/**
+ * The --worker mode: execute one shard and write its result file
+ * atomically. Exit codes: 0 success, 3 unusable configuration.
+ */
+int runWorker(const std::string &spec_path, std::uint64_t shard,
+              const std::string &out_path);
+
+/**
+ * The --cache-verify mode: deterministically sample @p fraction of
+ * the spec's cached shards, recompute each in a fresh worker, and
+ * compare against the cached result. Exits 0 when every sampled
+ * entry matches, 2 when any is stale or the spec/cache is unusable.
+ */
+int verifyCache(const ServeOptions &options, double fraction);
+
+/**
+ * Requeue delay before attempt @p attempt (1-based) of @p shard:
+ * base * 2^(attempt-1) plus up to 25% deterministic jitter from
+ * splitMix64(@p spec_hash, @p shard * 97 + attempt).
+ */
+std::uint64_t backoffDelayMs(double base_seconds, unsigned attempt,
+                             std::uint64_t spec_hash,
+                             std::uint64_t shard);
+
+} // namespace mbavf::serve
+
+#endif // MBAVF_SERVE_SUPERVISOR_HH

@@ -71,6 +71,46 @@ TEST(ArgsDeathTest, EmptyOptionNameIsFatal)
                 "malformed option");
 }
 
+TEST(Args, IntParsingAcceptsTheFullStrictGrammar)
+{
+    Args args = makeArgs({"--trials=0x10", "--seed=-3", "--big=42"});
+    EXPECT_EQ(args.getInt("trials", 0), 16); // base prefix honoured
+    EXPECT_EQ(args.getInt("seed", 0), -3);
+    EXPECT_EQ(args.getIntInRange("big", 0, 1, 100), 42);
+    EXPECT_EQ(args.getIntInRange("missing", 7, 1, 100), 7);
+}
+
+TEST(ArgsDeathTest, IntWithTrailingGarbageIsFatal)
+{
+    // "500x" silently read as 500 is how a typo becomes a
+    // thousand-trial campaign; the parser must consume every byte.
+    Args args = makeArgs({"--trials=500x"});
+    EXPECT_EXIT(args.getInt("trials", 0),
+                ::testing::ExitedWithCode(1), "is not an integer");
+}
+
+TEST(ArgsDeathTest, IntOverflowIsFatal)
+{
+    Args args = makeArgs({"--seed=99999999999999999999999"});
+    EXPECT_EXIT(args.getInt("seed", 0),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(ArgsDeathTest, IntOutsideRangeIsFatal)
+{
+    Args args = makeArgs({"--workers=0"});
+    EXPECT_EXIT(args.getIntInRange("workers", 1, 1, 256),
+                ::testing::ExitedWithCode(1),
+                "outside \\[1, 256\\]");
+}
+
+TEST(ArgsDeathTest, DoubleWithTrailingGarbageIsFatal)
+{
+    Args args = makeArgs({"--watchdog=2.5s"});
+    EXPECT_EXIT(args.getDouble("watchdog", 0.0),
+                ::testing::ExitedWithCode(1), "is not a number");
+}
+
 TEST(Args, RequireKnownAcceptsKnownOptions)
 {
     Args args = makeArgs({"--trials=10", "--seed=3"});

@@ -4,6 +4,8 @@
  * campaign outcome rates, and the streaming accumulators.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "common/stats.hh"
@@ -19,6 +21,29 @@ TEST(WilsonInterval, ZeroTrialsIsVacuous)
     EXPECT_DOUBLE_EQ(w.point, 0.0);
     EXPECT_DOUBLE_EQ(w.low, 0.0);
     EXPECT_DOUBLE_EQ(w.high, 1.0);
+}
+
+TEST(WilsonInterval, IsTotalAndFiniteEverywhere)
+{
+    // The zero-trial tally (a fully-degraded or just-resumed
+    // campaign) and the k > n corruption case must both come back as
+    // three finite numbers in [0, 1] — a NaN here would flow
+    // straight into a manifest as invalid JSON.
+    const WilsonInterval cases[] = {
+        wilsonInterval(0, 0),
+        wilsonInterval(7, 0),
+        wilsonInterval(10, 3), // k > n clamps to k = n
+        wilsonInterval(~std::uint64_t(0), 1),
+    };
+    for (const WilsonInterval &w : cases) {
+        EXPECT_TRUE(std::isfinite(w.point));
+        EXPECT_TRUE(std::isfinite(w.low));
+        EXPECT_TRUE(std::isfinite(w.high));
+        EXPECT_GE(w.low, 0.0);
+        EXPECT_LE(w.high, 1.0);
+        EXPECT_LE(w.low, w.high);
+    }
+    EXPECT_DOUBLE_EQ(wilsonInterval(10, 3).point, 1.0);
 }
 
 TEST(WilsonInterval, BoundsBracketThePointEstimate)

@@ -15,6 +15,7 @@
 #include "common/trap.hh"
 #include "inject/campaign.hh"
 #include "inject/interference.hh"
+#include "obs/adapters.hh"
 
 namespace mbavf
 {
@@ -418,6 +419,31 @@ TEST(Campaign, TallyCountsAndRates)
     EXPECT_DOUBLE_EQ(rate.point, 0.5);
     EXPECT_LT(rate.low, 0.5);
     EXPECT_GT(rate.high, 0.5);
+}
+
+TEST(Campaign, ZeroTrialTallyEmitsNoNanIntoManifests)
+{
+    // A fully-degraded serve job or a freshly-created campaign can
+    // render a tally with zero trials; the rates must come out as
+    // the vacuous [0, 1], and the manifest JSON section built from
+    // it must round-trip through the strict parser (which rejects
+    // the "nan"/"inf" tokens a division by zero would print).
+    CampaignTally tally;
+    for (std::size_t i = 0; i < numInjectOutcomes; ++i) {
+        const WilsonInterval rate =
+            tally.rate(static_cast<InjectOutcome>(i));
+        EXPECT_DOUBLE_EQ(rate.point, 0.0);
+        EXPECT_DOUBLE_EQ(rate.low, 0.0);
+        EXPECT_DOUBLE_EQ(rate.high, 1.0);
+    }
+    const obs::JsonValue section = obs::tallyJson(tally);
+    const std::string text = section.dump();
+    EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+    EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+    obs::JsonValue reparsed;
+    std::string error;
+    EXPECT_TRUE(obs::JsonValue::parse(text, reparsed, error))
+        << error;
 }
 
 TEST(Campaign, OutcomeNamesRoundTrip)

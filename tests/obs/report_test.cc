@@ -227,10 +227,15 @@ TEST(ReportTest, StructureOnlyComposesWithPerfTol)
 
 TEST(ReportTest, MergeSortsByName)
 {
+    auto distinct = [](int seed) {
+        JsonValue m = baseManifest();
+        m.find("run")->set("seed", JsonValue(seed));
+        return m;
+    };
     std::vector<std::pair<std::string, JsonValue>> inputs;
-    inputs.emplace_back("zeta", baseManifest());
-    inputs.emplace_back("alpha", baseManifest());
-    inputs.emplace_back("mid", baseManifest());
+    inputs.emplace_back("zeta", distinct(1));
+    inputs.emplace_back("alpha", distinct(2));
+    inputs.emplace_back("mid", distinct(3));
     JsonValue traj = obs::mergeManifests(std::move(inputs));
 
     const JsonValue *schema = traj.find("schema");
@@ -244,6 +249,54 @@ TEST(ReportTest, MergeSortsByName)
     EXPECT_EQ(entries->items()[1].find("name")->asString(), "mid");
     EXPECT_EQ(entries->items()[2].find("name")->asString(), "zeta");
     EXPECT_NE(entries->items()[0].find("manifest"), nullptr);
+}
+
+TEST(ReportTest, MergeDropsDuplicateRuns)
+{
+    // Two copies of the same run differing only in phases/env (the
+    // volatile sections) are one run measured twice: the trajectory
+    // keeps the lexically-first name and reports the other.
+    JsonValue original = baseManifest();
+    JsonValue recopied = baseManifest();
+    recopied.find("phases")->items()[0].set("seconds",
+                                            JsonValue(9.0));
+    recopied.find("env")->set("threads", JsonValue(8));
+
+    std::vector<std::pair<std::string, JsonValue>> inputs;
+    inputs.emplace_back("BENCH_b_copy", std::move(recopied));
+    inputs.emplace_back("BENCH_a", std::move(original));
+    std::vector<std::string> dropped;
+    JsonValue traj = obs::mergeManifests(std::move(inputs), &dropped);
+
+    const JsonValue *entries = traj.find("entries");
+    ASSERT_NE(entries, nullptr);
+    ASSERT_EQ(entries->items().size(), 1u);
+    EXPECT_EQ(entries->items()[0].find("name")->asString(),
+              "BENCH_a");
+    ASSERT_EQ(dropped.size(), 1u);
+    EXPECT_NE(dropped[0].find("kept BENCH_a"), std::string::npos)
+        << dropped[0];
+    EXPECT_NE(dropped[0].find("dropped BENCH_b_copy"),
+              std::string::npos)
+        << dropped[0];
+}
+
+TEST(ReportTest, MergeKeepsDistinctRuns)
+{
+    // A genuinely different result (any deterministic field) is not
+    // a duplicate, however similar the rest looks.
+    JsonValue a = baseManifest();
+    JsonValue b = baseManifest();
+    b.find("run")->set("avf", JsonValue(0.25));
+
+    std::vector<std::pair<std::string, JsonValue>> inputs;
+    inputs.emplace_back("BENCH_a", std::move(a));
+    inputs.emplace_back("BENCH_b", std::move(b));
+    std::vector<std::string> dropped;
+    JsonValue traj = obs::mergeManifests(std::move(inputs), &dropped);
+
+    ASSERT_EQ(traj.find("entries")->items().size(), 2u);
+    EXPECT_TRUE(dropped.empty());
 }
 
 TEST(ReportTest, PrintManifestMentionsSections)

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the content-addressed result cache: publish + lookup
+ * round-trip, miss/hit/reject accounting, lint-on-load rejection of
+ * corrupt or colliding entries, key sensitivity to the shard
+ * configuration, and the cache audit's stable finding codes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/journal_io.hh"
+#include "serve/cache.hh"
+#include "serve/spec.hh"
+
+namespace mbavf::serve
+{
+namespace
+{
+
+std::string
+tempDir(const char *name)
+{
+    const std::string dir = ::testing::TempDir() + "/" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+JobConfig
+sampleJob()
+{
+    JobConfig job;
+    job.type = JobType::Campaign;
+    job.workload = "histogram";
+    job.trials = 40;
+    return job;
+}
+
+ShardSpec
+sampleShard(std::uint64_t first = 0)
+{
+    ShardSpec shard;
+    shard.firstTrial = first;
+    shard.numTrials = 20;
+    return shard;
+}
+
+obs::JsonValue
+sampleResult()
+{
+    obs::JsonValue result = obs::JsonValue::object();
+    result.set("type", "campaign");
+    result.set("trials", obs::JsonValue(std::uint64_t(20)));
+    return result;
+}
+
+TEST(ResultCacheTest, DisabledCacheAlwaysMisses)
+{
+    ResultCache cache("");
+    EXPECT_FALSE(cache.enabled());
+    obs::JsonValue result;
+    std::string diagnostic;
+    EXPECT_FALSE(cache.lookup(1, "x", result, diagnostic));
+    std::string error;
+    EXPECT_TRUE(cache.publish(1, "x", sampleResult(), error));
+    EXPECT_EQ(cache.stats().published, 0u);
+}
+
+TEST(ResultCacheTest, PublishThenLookupRoundTrips)
+{
+    ResultCache cache(tempDir("cache_roundtrip"));
+    const JobConfig job = sampleJob();
+    const ShardSpec shard = sampleShard();
+    std::uint64_t key = 0;
+    std::string error;
+    ASSERT_TRUE(ResultCache::shardKey(job, shard, key, error))
+        << error;
+    const std::string canonical = shard.canonical(job);
+
+    obs::JsonValue result;
+    std::string diagnostic;
+    EXPECT_FALSE(cache.lookup(key, canonical, result, diagnostic));
+    EXPECT_TRUE(diagnostic.empty());
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    ASSERT_TRUE(cache.publish(key, canonical, sampleResult(), error))
+        << error;
+    EXPECT_EQ(cache.stats().published, 1u);
+
+    ASSERT_TRUE(cache.lookup(key, canonical, result, diagnostic))
+        << diagnostic;
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(result.dump(), sampleResult().dump());
+}
+
+TEST(ResultCacheTest, KeyCoversTheShardRange)
+{
+    const JobConfig job = sampleJob();
+    std::uint64_t a = 0, b = 0;
+    std::string error;
+    ASSERT_TRUE(ResultCache::shardKey(job, sampleShard(0), a, error));
+    ASSERT_TRUE(
+        ResultCache::shardKey(job, sampleShard(20), b, error));
+    EXPECT_NE(a, b);
+
+    JobConfig other = job;
+    other.seed = 2;
+    std::uint64_t c = 0;
+    ASSERT_TRUE(
+        ResultCache::shardKey(other, sampleShard(0), c, error));
+    EXPECT_NE(a, c);
+}
+
+TEST(ResultCacheTest, CanonicalMismatchIsALoudMiss)
+{
+    // A 64-bit key collision (or a hand-edited entry) must never be
+    // served as the wrong shard's result.
+    ResultCache cache(tempDir("cache_collision"));
+    const JobConfig job = sampleJob();
+    const ShardSpec shard = sampleShard();
+    std::uint64_t key = 0;
+    std::string error;
+    ASSERT_TRUE(ResultCache::shardKey(job, shard, key, error));
+    ASSERT_TRUE(cache.publish(key, shard.canonical(job),
+                              sampleResult(), error))
+        << error;
+
+    obs::JsonValue result;
+    std::string diagnostic;
+    EXPECT_FALSE(
+        cache.lookup(key, "some other canonical", result,
+                     diagnostic));
+    EXPECT_NE(diagnostic.find("collision"), std::string::npos);
+    EXPECT_EQ(cache.stats().rejected, 1u);
+}
+
+TEST(ResultCacheTest, CorruptEntryIsARejectedMiss)
+{
+    ResultCache cache(tempDir("cache_corrupt"));
+    std::string error;
+    ASSERT_TRUE(
+        cache.publish(7, "canon", sampleResult(), error))
+        << error;
+    {
+        std::ofstream os(cache.entryPath(7),
+                         std::ios::binary | std::ios::trunc);
+        os << "{ not json";
+    }
+    obs::JsonValue result;
+    std::string diagnostic;
+    EXPECT_FALSE(cache.lookup(7, "canon", result, diagnostic));
+    EXPECT_FALSE(diagnostic.empty());
+    EXPECT_EQ(cache.stats().rejected, 1u);
+}
+
+TEST(ResultCacheTest, LintFlagsBrokenEntries)
+{
+    CheckReport io;
+    EXPECT_EQ(lintResultCache("/nonexistent/cache", io), 0u);
+    EXPECT_TRUE(io.has("cache.io"));
+
+    const std::string dir = tempDir("cache_lint");
+    ResultCache cache(dir);
+    std::string error;
+    ASSERT_TRUE(cache.publish(1, "canon-a", sampleResult(), error));
+    ASSERT_TRUE(cache.publish(2, "canon-b", sampleResult(), error));
+
+    CheckReport clean;
+    EXPECT_EQ(lintResultCache(dir, clean), 2u);
+    EXPECT_EQ(clean.errorCount(), 0u);
+
+    // An entry whose name disagrees with its recorded key.
+    std::filesystem::rename(cache.entryPath(1),
+                            dir + "/" + hex64(9) + ".json");
+    // An entry that is not a manifest at all.
+    {
+        std::ofstream os(dir + "/deadbeef.json",
+                         std::ios::binary | std::ios::trunc);
+        os << "not json";
+    }
+    CheckReport findings;
+    EXPECT_EQ(lintResultCache(dir, findings), 3u);
+    EXPECT_TRUE(findings.has("cache.entry.name"));
+    EXPECT_TRUE(findings.has("cache.entry.envelope"));
+}
+
+} // namespace
+} // namespace mbavf::serve

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the service queue journal: sorted insert + lookup,
+ * save/load round-trip, spec binding in the header, rejection of
+ * malformed or inconsistent records, truncated-final-line drop, and
+ * the lint's stable finding codes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "serve/queue.hh"
+
+namespace mbavf::serve
+{
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+void
+writeText(const std::string &path, const std::string &text)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << text;
+    ASSERT_TRUE(os.flush());
+}
+
+QueueJournal
+sampleJournal()
+{
+    QueueJournal journal;
+    journal.specHash = 0x0123456789abcdefull;
+    journal.numShards = 5;
+
+    QueueRecord done;
+    done.shard = 3;
+    done.state = ShardState::Done;
+    done.source = "run";
+    journal.add(done);
+
+    QueueRecord cached;
+    cached.shard = 0;
+    cached.state = ShardState::Done;
+    cached.source = "cache";
+    journal.add(cached);
+
+    QueueRecord bad;
+    bad.shard = 2;
+    bad.state = ShardState::Quarantined;
+    bad.attempts = 3;
+    bad.code = "serve.crash";
+    journal.add(bad);
+    return journal;
+}
+
+TEST(QueueJournalTest, AddKeepsRecordsSortedAndFindable)
+{
+    const QueueJournal journal = sampleJournal();
+    ASSERT_EQ(journal.records.size(), 3u);
+    EXPECT_EQ(journal.records[0].shard, 0u);
+    EXPECT_EQ(journal.records[1].shard, 2u);
+    EXPECT_EQ(journal.records[2].shard, 3u);
+
+    ASSERT_NE(journal.find(2), nullptr);
+    EXPECT_EQ(journal.find(2)->code, "serve.crash");
+    EXPECT_EQ(journal.find(1), nullptr);
+    EXPECT_EQ(journal.find(4), nullptr);
+}
+
+TEST(QueueJournalTest, SaveLoadRoundTrips)
+{
+    const std::string path = tempPath("queue_roundtrip.journal");
+    const QueueJournal journal = sampleJournal();
+    std::string error;
+    ASSERT_TRUE(journal.save(path, error)) << error;
+
+    QueueJournal loaded;
+    ASSERT_TRUE(QueueJournal::load(path, loaded, error)) << error;
+    EXPECT_EQ(loaded.specHash, journal.specHash);
+    EXPECT_EQ(loaded.numShards, journal.numShards);
+    ASSERT_EQ(loaded.records.size(), 3u);
+    EXPECT_EQ(loaded.records[0].source, "cache");
+    EXPECT_EQ(loaded.records[1].state, ShardState::Quarantined);
+    EXPECT_EQ(loaded.records[1].attempts, 3u);
+    EXPECT_EQ(loaded.records[1].code, "serve.crash");
+    EXPECT_EQ(loaded.records[2].source, "run");
+}
+
+TEST(QueueJournalTest, TruncatedFinalLineIsDropped)
+{
+    // A kill -9 mid-write leaves a final line without its newline;
+    // the loader must treat it as absent, never as a record.
+    const std::string path = tempPath("queue_truncated.journal");
+    writeText(path,
+              "mbavf-queue v1 spec=0123456789abcdef shards=5\n"
+              "0 done run\n"
+              "2 quarantined 3 serve.cr");
+    QueueJournal loaded;
+    std::string error;
+    ASSERT_TRUE(QueueJournal::load(path, loaded, error)) << error;
+    ASSERT_EQ(loaded.records.size(), 1u);
+    EXPECT_EQ(loaded.records[0].shard, 0u);
+}
+
+TEST(QueueJournalTest, RejectsBadInputs)
+{
+    const std::string path = tempPath("queue_bad.journal");
+    QueueJournal loaded;
+    std::string error;
+
+    EXPECT_FALSE(
+        QueueJournal::load("/nonexistent/q.journal", loaded, error));
+
+    writeText(path, "not-a-queue v1 spec=0 shards=5\n");
+    EXPECT_FALSE(QueueJournal::load(path, loaded, error));
+    EXPECT_NE(error.find("header"), std::string::npos);
+
+    // Spec hash must be exactly 16 lowercase hex digits.
+    writeText(path, "mbavf-queue v1 spec=123 shards=5\n");
+    EXPECT_FALSE(QueueJournal::load(path, loaded, error));
+
+    writeText(path,
+              "mbavf-queue v1 spec=0123456789abcdef shards=5\n"
+              "0 done elsewhere\n");
+    EXPECT_FALSE(QueueJournal::load(path, loaded, error));
+
+    writeText(path,
+              "mbavf-queue v1 spec=0123456789abcdef shards=5\n"
+              "1 quarantined 0 serve.crash\n");
+    EXPECT_FALSE(QueueJournal::load(path, loaded, error));
+
+    writeText(path,
+              "mbavf-queue v1 spec=0123456789abcdef shards=5\n"
+              "9 done run\n");
+    EXPECT_FALSE(QueueJournal::load(path, loaded, error));
+    EXPECT_NE(error.find("out of range"), std::string::npos);
+
+    writeText(path,
+              "mbavf-queue v1 spec=0123456789abcdef shards=5\n"
+              "1 done run\n"
+              "1 done cache\n");
+    EXPECT_FALSE(QueueJournal::load(path, loaded, error));
+    EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(QueueJournalTest, LintReportsStableCodes)
+{
+    const std::string path = tempPath("queue_lint.journal");
+
+    CheckReport io;
+    lintQueueJournal("/nonexistent/q.journal", io);
+    EXPECT_TRUE(io.has("serve.queue.io"));
+
+    CheckReport header;
+    writeText(path, "bogus\n");
+    lintQueueJournal(path, header);
+    EXPECT_TRUE(header.has("serve.queue.header"));
+
+    // Record-level findings accumulate instead of aborting the lint.
+    CheckReport findings;
+    writeText(path,
+              "mbavf-queue v1 spec=0123456789abcdef shards=5\n"
+              "0 done run\n"
+              "0 done cache\n"
+              "7 done run\n"
+              "1 exploded\n");
+    lintQueueJournal(path, findings);
+    EXPECT_TRUE(findings.has("serve.queue.dup"));
+    EXPECT_TRUE(findings.has("serve.queue.range"));
+    EXPECT_TRUE(findings.has("serve.queue.record"));
+    EXPECT_EQ(findings.errorCount(), 3u);
+
+    CheckReport clean;
+    std::string error;
+    ASSERT_TRUE(sampleJournal().save(path, error)) << error;
+    lintQueueJournal(path, clean);
+    EXPECT_EQ(clean.errorCount(), 0u);
+}
+
+} // namespace
+} // namespace mbavf::serve

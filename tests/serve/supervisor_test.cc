@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the supervisor's retry backoff: exponential growth,
+ * deterministic jitter (same spec/shard/attempt always waits the
+ * same time, so scheduling is reproducible), bounded jitter span,
+ * and saturation of the exponent for absurd attempt counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/supervisor.hh"
+
+namespace mbavf::serve
+{
+namespace
+{
+
+constexpr std::uint64_t kSpec = 0x9e3779b97f4a7c15ull;
+
+TEST(BackoffTest, IsDeterministicPerSpecShardAttempt)
+{
+    for (unsigned attempt = 1; attempt <= 5; ++attempt) {
+        EXPECT_EQ(backoffDelayMs(0.1, attempt, kSpec, 3),
+                  backoffDelayMs(0.1, attempt, kSpec, 3));
+    }
+    // Different shards draw different jitter with high probability
+    // somewhere in a small window of attempts.
+    bool differs = false;
+    for (unsigned attempt = 1; attempt <= 8 && !differs; ++attempt) {
+        differs = backoffDelayMs(0.1, attempt, kSpec, 3) !=
+                  backoffDelayMs(0.1, attempt, kSpec, 4);
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(BackoffTest, GrowsExponentiallyWithBoundedJitter)
+{
+    for (unsigned attempt = 1; attempt <= 10; ++attempt) {
+        const std::uint64_t base =
+            static_cast<std::uint64_t>(100.0 * (1ull << (attempt - 1)));
+        const std::uint64_t delay =
+            backoffDelayMs(0.1, attempt, kSpec, 0);
+        EXPECT_GE(delay, base);
+        // Jitter adds at most a quarter of the deterministic delay.
+        EXPECT_LE(delay, base + base / 4 + 1);
+    }
+}
+
+TEST(BackoffTest, SaturatesForLargeAttemptCounts)
+{
+    // The exponent is clamped at 2^20; attempt 64 must not overflow
+    // into a zero or tiny delay. (The jitter draw still depends on
+    // the attempt number, so compare against the clamped base.)
+    const std::uint64_t base = 100ull * (1ull << 20);
+    const std::uint64_t huge = backoffDelayMs(0.1, 64, kSpec, 0);
+    EXPECT_GE(huge, base);
+    EXPECT_LE(huge, base + base / 4 + 1);
+}
+
+TEST(BackoffTest, ZeroBaseStaysUsable)
+{
+    // A zero base disables waiting but the jitter span (delay/4 + 1)
+    // still keeps the result bounded.
+    EXPECT_LE(backoffDelayMs(0.0, 1, kSpec, 0), 1u);
+    EXPECT_LE(backoffDelayMs(-1.0, 3, kSpec, 0), 1u);
+}
+
+} // namespace
+} // namespace mbavf::serve

@@ -1,70 +1,12 @@
 #!/usr/bin/env bash
 # Kill-and-resume smoke test for the campaign checkpoint journal.
 #
-# Runs an injection campaign twice: once straight through, and once
-# SIGKILLed mid-run and then resumed with a different thread count.
-# The two journals must be bit-for-bit identical, and the journal
-# lint must pass the resumed file clean. This is the crash-consistency
-# contract of DESIGN.md section 10 exercised against a real kill, not
-# a simulated truncation.
+# Kept as the historical entry point; the actual harness is the
+# generic kill matrix (ci_kill_matrix.sh), which runs the same
+# contract — SIGKILL mid-run, resume, bit-identical journal — for
+# both the campaign checkpoint and the analysis service.
 #
 # Usage: ci_campaign_resume.sh <build-dir>
 set -euo pipefail
-
 build="${1:?usage: ci_campaign_resume.sh <build-dir>}"
-mbavf="$build/tools/mbavf"
-lint="$build/tools/mbavf_lint"
-
-workload="${MBAVF_SMOKE_WORKLOAD:-recursive_gaussian}"
-trials="${MBAVF_SMOKE_TRIALS:-8000}"
-seed="${MBAVF_SMOKE_SEED:-5}"
-kill_after="${MBAVF_SMOKE_KILL_AFTER:-3}"
-
-work="$(mktemp -d)"
-trap 'rm -rf "$work"' EXIT
-
-run_campaign() {
-    "$mbavf" --campaign --workload="$workload" --trials="$trials" \
-        --seed="$seed" --kind=register --checkpoint="$1" \
-        --checkpoint-every=64 --threads="$2" "${@:3}"
-}
-
-echo "== straight run (2 threads) =="
-run_campaign "$work/straight.journal" 2
-
-echo "== interrupted run: SIGKILL after ${kill_after}s =="
-# Background the binary directly (not the shell function): $! must
-# be the campaign process itself, or the SIGKILL hits a wrapper
-# subshell and leaves an orphaned campaign racing the resume below.
-"$mbavf" --campaign --workload="$workload" --trials="$trials" \
-    --seed="$seed" --kind=register \
-    --checkpoint="$work/resumed.journal" \
-    --checkpoint-every=64 --threads=2 &
-pid=$!
-sleep "$kill_after"
-if ! kill -KILL "$pid" 2>/dev/null; then
-    echo "error: campaign finished before the kill landed;" \
-         "raise MBAVF_SMOKE_TRIALS" >&2
-    exit 1
-fi
-wait "$pid" || true
-
-# The kill must have landed mid-run, or the resume below is vacuous.
-partial=$(grep -cv '^mbavf-journal' "$work/resumed.journal")
-echo "records at kill: $partial / $trials"
-if [ "$partial" -ge "$trials" ]; then
-    echo "error: journal already complete at kill time;" \
-         "raise MBAVF_SMOKE_TRIALS" >&2
-    exit 1
-fi
-
-echo "== resume (8 threads) =="
-run_campaign "$work/resumed.journal" 8 --resume
-
-echo "== compare journals =="
-cmp "$work/straight.journal" "$work/resumed.journal"
-
-echo "== lint resumed journal =="
-"$lint" --journal="$work/resumed.journal"
-
-echo "kill-and-resume smoke: OK"
+exec "$(dirname "$0")/ci_kill_matrix.sh" "$build" campaign

@@ -65,6 +65,8 @@
 #include "core/lifetime_io.hh"
 #include "inject/journal.hh"
 #include "obs/build_info.hh"
+#include "serve/cache.hh"
+#include "serve/queue.hh"
 #include "workloads/ace_runner.hh"
 
 using namespace mbavf;
@@ -79,6 +81,8 @@ usage()
         "usage: mbavf_lint --workload=NAME [options]\n"
         "       mbavf_lint --lifetimes=FILE [--horizon=N]\n"
         "       mbavf_lint --journal=FILE\n"
+        "       mbavf_lint --queue-journal=FILE\n"
+        "       mbavf_lint --cache=DIR\n"
         "       mbavf_lint --arena=FILE\n"
         "       mbavf_lint --geometry-only\n\n"
         "options:\n"
@@ -99,6 +103,12 @@ usage()
         "\n--journal validates a campaign checkpoint (inject/journal):\n"
         "header fields, contiguous trial indices, outcome names,\n"
         "per-outcome diagnostic codes, and per-trial seeds.\n"
+        "\n--queue-journal validates an mbavf_serve queue journal\n"
+        "(serve/queue): header binding, record grammar, shard ranges,\n"
+        "and duplicate shard entries.\n"
+        "\n--cache audits an mbavf_serve result cache directory: every\n"
+        "entry must be a manifest envelope whose cache.key matches its\n"
+        "file name and which carries a result section.\n"
         "\nexit codes: 0 clean, 1 lint errors, 2 unusable input\n";
 }
 
@@ -205,8 +215,8 @@ main(int argc, char **argv)
     Args args(argc, argv);
     args.requireKnown({
         "help", "workload", "lifetimes", "horizon", "journal",
-        "geometry-only", "arena", "scale", "modes", "max-findings",
-        "seed-corruption", "version",
+        "queue-journal", "cache", "geometry-only", "arena", "scale",
+        "modes", "max-findings", "seed-corruption", "version",
     });
     if (args.getBool("help")) {
         usage();
@@ -230,6 +240,41 @@ main(int argc, char **argv)
             return 2;
         }
         std::cout << "linted journal " << journal_path << "\n";
+        return finish(report);
+    }
+
+    const std::string queue_path = args.getString("queue-journal", "");
+    if (!queue_path.empty()) {
+        CheckReport report;
+        report.setPerCodeLimit(static_cast<std::size_t>(
+            args.getInt("max-findings", 16)));
+        serve::lintQueueJournal(queue_path, report);
+        // An unreadable file or a broken header leaves nothing to
+        // lint — that is unusable input, not a finding.
+        if (report.has("serve.queue.io") ||
+            report.has("serve.queue.header")) {
+            report.print(std::cout);
+            return 2;
+        }
+        std::cout << "linted queue journal " << queue_path << "\n";
+        return finish(report);
+    }
+
+    // Bare --cache parses as "1"; a directory path audits the
+    // mbavf_serve result cache stored there.
+    const std::string cache_dir = args.getString("cache", "");
+    if (!cache_dir.empty() && cache_dir != "1") {
+        CheckReport report;
+        report.setPerCodeLimit(static_cast<std::size_t>(
+            args.getInt("max-findings", 16)));
+        const std::size_t entries =
+            serve::lintResultCache(cache_dir, report);
+        if (report.has("cache.io")) {
+            report.print(std::cout);
+            return 2;
+        }
+        std::cout << "linted cache " << cache_dir << ": " << entries
+                  << " entry(ies)\n";
         return finish(report);
     }
 

@@ -29,7 +29,11 @@
  *
  * --merge collects every BENCH_*.json (or *.json) manifest in a
  * directory into one name-sorted trajectory document for plotting
- * perf/AVF history across commits.
+ * perf/AVF history across commits. Two files carrying the same run
+ * (identical deterministic content — everything outside "phases" and
+ * "env") merge once: the lexically-first name is kept and each
+ * duplicate is reported with a warning, so a double-copied bench
+ * result cannot double-count in a trajectory plot.
  */
 
 #include <filesystem>
@@ -146,16 +150,22 @@ runMerge(const std::string &dir, const std::string &out_path)
         fatal("no manifests found in '", dir, "'");
 
     const std::size_t count = manifests.size();
+    std::vector<std::string> dropped;
     obs::JsonValue trajectory =
-        obs::mergeManifests(std::move(manifests));
+        obs::mergeManifests(std::move(manifests), &dropped);
+    for (const std::string &note : dropped)
+        warn("duplicate manifest: ", note);
     std::ofstream os(out_path, std::ios::binary);
     if (!os)
         fatal("cannot open '", out_path, "' for writing");
     os << trajectory.dump(1) << "\n";
     if (!os.flush())
         fatal("write to '", out_path, "' failed");
-    std::cout << "merged " << count << " manifests into "
-              << out_path << "\n";
+    std::cout << "merged " << (count - dropped.size())
+              << " manifests into " << out_path;
+    if (!dropped.empty())
+        std::cout << " (" << dropped.size() << " duplicates dropped)";
+    std::cout << "\n";
     return 0;
 }
 
