@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Trial-reduction gate for the two-level stratified estimator
+ * (DESIGN.md Section 16, inject/stratified.hh).
+ *
+ * Runs the same injected-trial budget B twice over one workload:
+ * uniform sampling, and the importance-sampled stratified campaign.
+ * The stratified combined SDC interval is converted into the number
+ * of uniform trials that would be needed for the same width
+ * (effectiveUniformTrials), and the harness reports
+ *
+ *   reduction = effective_trials / injected
+ *
+ * — how many uniform injections each stratified injection is worth.
+ *
+ *   micro_stratified_campaign [--workload=minife] [--scale=N]
+ *       [--budget=300] [--seed=5] [--windows=8] [--classes=64]
+ *       [--min-trial-reduction=R] [--threads=N]
+ *
+ * Exit status is nonzero when the stratified and uniform SDC
+ * intervals are disjoint (the estimator would be unsound) or when
+ * --min-trial-reduction=R is given and the reduction falls below R
+ * (the CI performance gate).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/parallel.hh"
+#include "common/stats.hh"
+#include "inject/campaign.hh"
+#include "inject/stratified.hh"
+#include "obs/stopwatch.hh"
+
+using namespace mbavf;
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv);
+    args.requireKnown({
+        "workload", "scale", "budget", "seed", "windows", "classes",
+        "min-trial-reduction", "threads", "manifest", "no-manifest",
+        "help",
+    });
+    if (args.getBool("help")) {
+        std::cout << "usage: micro_stratified_campaign"
+                     " [--workload=minife] [--budget=300]\n"
+                     "       [--seed=5] [--windows=8] [--classes=64]"
+                     " [--min-trial-reduction=R]\n";
+        return 0;
+    }
+    BenchReporter bench("micro_stratified_campaign", &args);
+    configureThreads(args);
+
+    const std::string workload = args.getString("workload", "minife");
+    const unsigned scale =
+        static_cast<unsigned>(args.getInt("scale", 1));
+    const std::uint64_t budget =
+        static_cast<std::uint64_t>(args.getInt("budget", 300));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 5));
+    const double min_reduction =
+        args.getDouble("min-trial-reduction", 0.0);
+
+    StratifyOptions options;
+    options.windows =
+        static_cast<unsigned>(args.getInt("windows", 8));
+    options.maxClasses =
+        static_cast<unsigned>(args.getInt("classes", 64));
+
+    note("golden run of " + workload);
+    Campaign campaign(workload, scale, GpuConfig{});
+
+    note("level one: ACE partition");
+    const Stratification strat =
+        Stratification::build(campaign, options);
+    note("partition: " +
+         std::to_string(strat.strata().size()) + " strata, " +
+         std::to_string(100.0 * strat.skippedWeight()) +
+         "% provably Masked");
+
+    note("level two: " + std::to_string(budget) +
+         " stratified trials");
+    const std::vector<Stratification::Pick> picks =
+        strat.picks(0, budget);
+    std::vector<TrialResult> results(picks.size());
+    runTasks(picks.size(), [&](std::size_t i) {
+        results[i] = campaign.runOne(strat.trialSpec(picks[i], seed));
+    });
+    std::vector<StratumTally> tallies(strat.strata().size());
+    for (std::size_t i = 0; i < picks.size(); ++i) {
+        StratumTally &tally = tallies[picks[i].stratum];
+        ++tally.trials;
+        ++tally.counts[static_cast<std::size_t>(results[i].outcome)];
+    }
+    const WilsonInterval strat_sdc =
+        strat.combinedInterval(tallies, InjectOutcome::Sdc);
+
+    note("reference: " + std::to_string(budget) +
+         " uniform trials");
+    CampaignTally uniform;
+    for (const TrialResult &result : campaign.runTrialsDetailed(
+             0, static_cast<std::size_t>(budget), seed,
+             TrialKind::Register))
+        uniform.add(result);
+    const WilsonInterval uniform_sdc =
+        uniform.rate(InjectOutcome::Sdc);
+
+    const std::uint64_t injected = picks.size();
+    const double width = strat_sdc.high - strat_sdc.low;
+    const std::uint64_t effective =
+        injected == 0
+            ? 0
+            : effectiveUniformTrials(width, strat_sdc.point);
+    const double reduction =
+        injected == 0 ? 0.0
+                      : static_cast<double>(effective) /
+                            static_cast<double>(injected);
+
+    Table table({"sampling", "trials", "sdc", "ci_low", "ci_high",
+                 "width", "n_eff"});
+    table.beginRow()
+        .cell(std::string("uniform"))
+        .cell(std::uint64_t(budget))
+        .cell(uniform_sdc.point, 6)
+        .cell(uniform_sdc.low, 6)
+        .cell(uniform_sdc.high, 6)
+        .cell(uniform_sdc.high - uniform_sdc.low, 6)
+        .cell(std::uint64_t(budget));
+    table.beginRow()
+        .cell(std::string("stratified"))
+        .cell(injected)
+        .cell(strat_sdc.point, 6)
+        .cell(strat_sdc.low, 6)
+        .cell(strat_sdc.high, 6)
+        .cell(width, 6)
+        .cell(effective);
+    bench.emit(table);
+
+    bench.meta("workload", obs::JsonValue(workload));
+    bench.meta("scale", obs::JsonValue(std::uint64_t(scale)));
+    bench.meta("budget", obs::JsonValue(budget));
+    bench.meta("seed", obs::JsonValue(seed));
+    bench.meta("skipped_weight",
+               obs::JsonValue(strat.skippedWeight()));
+    bench.meta("effective_trials", obs::JsonValue(effective));
+    bench.meta("trial_reduction", obs::JsonValue(reduction));
+
+    std::cout << "trial reduction: " << reduction
+              << "x (stratified " << injected << " trials worth "
+              << effective << " uniform)\n";
+
+    // Soundness sanity: both estimators target the same SDC rate, so
+    // their 95% intervals must overlap.
+    if (strat_sdc.low > uniform_sdc.high ||
+        strat_sdc.high < uniform_sdc.low) {
+        std::cerr << "FAIL: stratified SDC interval ["
+                  << strat_sdc.low << ", " << strat_sdc.high
+                  << "] is disjoint from uniform ["
+                  << uniform_sdc.low << ", " << uniform_sdc.high
+                  << "]\n";
+        return 1;
+    }
+    if (min_reduction > 0.0 && reduction < min_reduction) {
+        std::cerr << "FAIL: trial reduction " << reduction
+                  << "x below the --min-trial-reduction="
+                  << min_reduction << " gate\n";
+        return 1;
+    }
+    return 0;
+}

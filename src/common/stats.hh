@@ -6,9 +6,11 @@
 #ifndef MBAVF_COMMON_STATS_HH
 #define MBAVF_COMMON_STATS_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace mbavf
 {
@@ -54,6 +56,117 @@ wilsonInterval(std::uint64_t k, std::uint64_t n, double z = 1.96)
     w.low = std::max(0.0, center - half);
     w.high = std::min(1.0, center + half);
     return w;
+}
+
+/**
+ * One stratum's contribution to a stratified binomial estimate
+ * (DESIGN.md Section 16). Either the stratum was sampled (@p trials
+ * Bernoulli draws with @p successes hits) or level-one analysis
+ * proved its rate exactly (@p certain, e.g. a provably-Unace stratum
+ * whose Masked rate is exactly 1 and whose SDC rate is exactly 0).
+ */
+struct StratumStat
+{
+    /** Share of the whole fault space this stratum covers. */
+    double weight = 0.0;
+    std::uint64_t successes = 0;
+    std::uint64_t trials = 0;
+    /** Rate known exactly without sampling (skipped stratum). */
+    bool certain = false;
+    /** The exact rate when @p certain. */
+    double certainRate = 0.0;
+};
+
+/**
+ * Stratified combined estimate: per-stratum Wilson intervals folded
+ * into one weighted interval.
+ *
+ *   point = sum_h w_h p_h
+ *   half  = sqrt(sum_h (w_h (high_h - low_h) / 2)^2)
+ *
+ * centered on the point estimate — independent strata, so
+ * half-widths add in quadrature, which is where the trial reduction
+ * comes from: a certain stratum contributes its exact rate with zero
+ * width, and a sampled stratum's width scales by its (small) weight.
+ *
+ * Deliberately centered on the point, not on the weighted Wilson
+ * centers: a Wilson center sits at (p + z^2/2n) / (1 + z^2/n), which
+ * for a small-n stratum is pulled far toward 1/2, and summing that
+ * bias across hundreds of lightly-sampled strata would shift (and so
+ * widen) the combined interval by many times its actual half-width.
+ * The per-stratum Wilson *half-widths* keep the small-n uncertainty;
+ * only the center bias is dropped.
+ *
+ * Degenerate strata are total: a certain stratum is a zero-width
+ * point regardless of trials; an unskipped stratum with zero trials
+ * contributes the vacuous [0, 1] Wilson interval scaled by its
+ * weight; an empty stratum list yields the vacuous {0, 0, 1}. The
+ * result is clamped so low <= point <= high and stays inside [0, 1]
+ * — no NaN/inf can reach a manifest.
+ */
+inline WilsonInterval
+stratifiedInterval(const std::vector<StratumStat> &strata,
+                   double z = 1.96)
+{
+    if (strata.empty())
+        return {0.0, 0.0, 1.0};
+    double point = 0.0;
+    double var = 0.0;
+    for (const StratumStat &s : strata) {
+        if (s.weight <= 0.0)
+            continue;
+        if (s.certain) {
+            point += s.weight * s.certainRate;
+            continue;
+        }
+        const WilsonInterval w =
+            wilsonInterval(s.successes, s.trials, z);
+        point += s.weight * w.point;
+        const double half = s.weight * 0.5 * (w.high - w.low);
+        var += half * half;
+    }
+    const double half = std::sqrt(var);
+    WilsonInterval out;
+    out.point = std::min(1.0, std::max(0.0, point));
+    out.low = std::max(0.0, out.point - half);
+    out.high = std::min(1.0, out.point + half);
+    return out;
+}
+
+/**
+ * The effective-trials multiplier's numerator: the smallest uniform
+ * (unstratified) trial count whose Wilson interval at observed rate
+ * @p rate is no wider than @p width. A stratified campaign that
+ * injected n trials and achieved width W therefore did the work of
+ * effectiveUniformTrials(W, p) uniform trials. Capped at @p cap
+ * (width 0 — e.g. a pure-Unace campaign — would otherwise be
+ * unbounded).
+ */
+inline std::uint64_t
+effectiveUniformTrials(double width, double rate, double z = 1.96,
+                       std::uint64_t cap = std::uint64_t(1) << 40)
+{
+    if (!(width > 0.0))
+        return cap;
+    const auto wide_enough = [&](std::uint64_t n) {
+        const std::uint64_t k = static_cast<std::uint64_t>(
+            rate * static_cast<double>(n) + 0.5);
+        const WilsonInterval w = wilsonInterval(k, n, z);
+        return w.high - w.low <= width;
+    };
+    std::uint64_t lo = 1;
+    std::uint64_t hi = cap;
+    if (wide_enough(lo))
+        return lo;
+    if (!wide_enough(hi))
+        return cap;
+    // Wilson width shrinks ~1/sqrt(n); the k-rounding jitter is far
+    // smaller than the factor-2 bracket a bisection step keeps.
+    while (lo + 1 < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        (wide_enough(mid) ? hi : lo) = mid;
+    }
+    return hi;
 }
 
 /** Streaming arithmetic summary of a sample set. */

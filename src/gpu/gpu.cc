@@ -136,8 +136,29 @@ Gpu::armMemInjections(std::vector<MemInjection> injections)
 }
 
 void
+Gpu::sampleCyclesAt(std::vector<std::uint64_t> instr_indices)
+{
+    for (std::size_t i = 1; i < instr_indices.size(); ++i) {
+        if (instr_indices[i] < instr_indices[i - 1])
+            fatal("cycle sample points must be sorted ascending");
+    }
+    samplePoints_ = std::move(instr_indices);
+    sampledCycles_.clear();
+    sampledCycles_.reserve(samplePoints_.size());
+    nextSample_ = 0;
+}
+
+void
 Gpu::preInstruction(Cycle wave_now)
 {
+    // Same fire point as an injection with this triggerInstr: just
+    // before the instruction executes. One predictable compare when
+    // no sampling is armed.
+    while (nextSample_ < samplePoints_.size() &&
+           instrCount_ == samplePoints_[nextSample_]) {
+        sampledCycles_.push_back(wave_now);
+        ++nextSample_;
+    }
     for (RegInjection &inj : injections_) {
         if (!inj.fired && instrCount_ == inj.triggerInstr) {
             regFiles_[inj.cu]->flipBits(inj.slot, inj.reg, inj.lane,

@@ -151,6 +151,26 @@ class Gpu
      */
     unsigned cusWithWaves() const;
 
+    /**
+     * Record the wave-local cycle at which each listed dynamic
+     * instruction index begins, exactly where an armed injection with
+     * that triggerInstr would fire. @p instr_indices must be sorted
+     * ascending (duplicates allowed). Because waves execute
+     * sequentially on the shared clock, the recorded cycles are
+     * monotone, which is what lets the stratifier map instruction
+     * windows onto cycle windows soundly (inject/stratified.hh).
+     * Indices never reached (at or beyond the run's instruction
+     * count) record no cycle; sampledCycles() is then shorter than
+     * the request and the caller pads with the horizon.
+     */
+    void sampleCyclesAt(std::vector<std::uint64_t> instr_indices);
+
+    /** Cycles recorded for sampleCyclesAt(), in request order. */
+    const std::vector<Cycle> &sampledCycles() const
+    {
+        return sampledCycles_;
+    }
+
     /** Arm one or more register bit flips. */
     void armInjections(std::vector<RegInjection> injections);
 
@@ -210,6 +230,9 @@ class Gpu
     Cycle watchdogCycles_ = 0;
     std::vector<RegInjection> injections_;
     std::vector<MemInjection> memInjections_;
+    std::vector<std::uint64_t> samplePoints_; ///< sorted ascending
+    std::vector<Cycle> sampledCycles_;
+    std::size_t nextSample_ = 0;
     std::vector<OutputRange> outputRanges_;
     std::vector<unsigned> cuWaveCount_; ///< waves launched per CU
     Cycle horizon_ = 0;

@@ -274,6 +274,12 @@ class Campaign
 
     const std::string &workloadName() const { return workload_; }
 
+    /** Problem-size multiplier the campaign was built with. */
+    unsigned scale() const { return scale_; }
+
+    /** Device configuration the campaign executes trials on. */
+    const GpuConfig &config() const { return config_; }
+
   private:
     /** One fresh execution's observable results. */
     struct ExecResult

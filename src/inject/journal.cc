@@ -12,7 +12,8 @@ namespace
 {
 
 constexpr const char *journalMagic = "mbavf-journal";
-constexpr const char *journalVersion = "v1";
+constexpr const char *journalVersionV1 = "v1";
+constexpr const char *journalVersionV2 = "v2";
 
 // The parsing/atomic-write discipline is shared with the serve queue
 // journal (common/journal_io.hh); local aliases keep the call sites
@@ -26,10 +27,15 @@ parseHeaderLine(const std::string &line, JournalHeader &header,
                 std::string &error)
 {
     const std::vector<std::string> tokens = splitTokens(line);
-    if (tokens.size() != 7 || tokens[0] != journalMagic ||
-        tokens[1] != journalVersion) {
+    if (tokens.size() >= 2 && tokens[0] == journalMagic &&
+        tokens[1] == journalVersionV1 && tokens.size() == 7) {
+        header.version = 1;
+    } else if (tokens.size() >= 2 && tokens[0] == journalMagic &&
+               tokens[1] == journalVersionV2 && tokens.size() == 8) {
+        header.version = 2;
+    } else {
         error = "not a " + std::string(journalMagic) + " " +
-                journalVersion + " header";
+                journalVersionV1 + "/" + journalVersionV2 + " header";
         return false;
     }
     std::string value;
@@ -60,16 +66,27 @@ parseHeaderLine(const std::string &line, JournalHeader &header,
         error = "bad trials field '" + tokens[6] + "'";
         return false;
     }
+    if (header.version == 2) {
+        if (!keyValue(tokens[7], "strata", value) ||
+            !parseU64(value, header.strataHash)) {
+            error = "bad strata field '" + tokens[7] + "'";
+            return false;
+        }
+    }
     return true;
 }
 
 bool
-parseRecordLine(const std::string &line, JournalRecord &record,
-                std::string &error)
+parseRecordLine(const std::string &line, unsigned version,
+                JournalRecord &record, std::string &error)
 {
     const std::vector<std::string> tokens = splitTokens(line);
-    if (tokens.size() != 4) {
-        error = "expected '<index> <seed> <outcome> <code>'";
+    const std::size_t want = version == 2 ? 5 : 4;
+    if (tokens.size() != want) {
+        error = version == 2
+                    ? "expected '<index> <seed> <stratum> <outcome> "
+                      "<code>'"
+                    : "expected '<index> <seed> <outcome> <code>'";
         return false;
     }
     if (!parseU64(tokens[0], record.index)) {
@@ -80,11 +97,23 @@ parseRecordLine(const std::string &line, JournalRecord &record,
         error = "bad seed '" + tokens[1] + "'";
         return false;
     }
-    if (!parseInjectOutcome(tokens[2], record.result.outcome)) {
-        error = "unknown outcome '" + tokens[2] + "'";
+    std::size_t at = 2;
+    if (version == 2) {
+        std::uint64_t stratum = 0;
+        if (!parseU64(tokens[at], stratum) ||
+            stratum > 0xffffffffull) {
+            error = "bad stratum '" + tokens[at] + "'";
+            return false;
+        }
+        record.stratum = static_cast<std::uint32_t>(stratum);
+        ++at;
+    }
+    if (!parseInjectOutcome(tokens[at], record.result.outcome)) {
+        error = "unknown outcome '" + tokens[at] + "'";
         return false;
     }
-    record.result.code = tokens[3] == "-" ? "" : tokens[3];
+    record.result.code =
+        tokens[at + 1] == "-" ? "" : tokens[at + 1];
     return true;
 }
 
@@ -93,22 +122,29 @@ formatHeader(std::string &out, const JournalHeader &header)
 {
     out += journalMagic;
     out += ' ';
-    out += journalVersion;
+    out += header.version == 2 ? journalVersionV2 : journalVersionV1;
     out += " workload=" + header.workload;
     out += " scale=" + std::to_string(header.scale);
     out += " kind=";
     out += trialKindName(header.kind);
     out += " seed=" + std::to_string(header.baseSeed);
     out += " trials=" + std::to_string(header.trials);
+    if (header.version == 2)
+        out += " strata=" + std::to_string(header.strataHash);
     out += '\n';
 }
 
 void
-formatRecord(std::string &out, const JournalRecord &record)
+formatRecord(std::string &out, unsigned version,
+             const JournalRecord &record)
 {
     out += std::to_string(record.index);
     out += ' ';
     out += std::to_string(record.seed);
+    if (version == 2) {
+        out += ' ';
+        out += std::to_string(record.stratum);
+    }
     out += ' ';
     out += injectOutcomeName(record.result.outcome);
     out += ' ';
@@ -146,7 +182,8 @@ CampaignJournal::load(const std::string &path, CampaignJournal &out,
     journal.records.reserve(lines.size() - 1);
     for (std::size_t i = 1; i < lines.size(); ++i) {
         JournalRecord record;
-        if (!parseRecordLine(lines[i], record, error)) {
+        if (!parseRecordLine(lines[i], journal.header.version,
+                             record, error)) {
             error = path + ":" + std::to_string(i + 1) + ": " + error;
             return false;
         }
@@ -177,7 +214,7 @@ CampaignJournal::save(const std::string &path,
     std::string text;
     formatHeader(text, header);
     for (const JournalRecord &record : records)
-        formatRecord(text, record);
+        formatRecord(text, header.version, record);
     return atomicWriteFile(path, text, error);
 }
 
@@ -200,10 +237,20 @@ JournalWriter::JournalWriter(std::string path, JournalHeader header,
 void
 JournalWriter::record(std::uint64_t index, const TrialResult &result)
 {
+    record(index, splitMix64(journal_.header.baseSeed, index), 0,
+           result);
+}
+
+void
+JournalWriter::record(std::uint64_t index, std::uint64_t seed,
+                      std::uint32_t stratum,
+                      const TrialResult &result)
+{
     std::lock_guard<std::mutex> guard(mutex_);
     JournalRecord rec;
     rec.index = index;
-    rec.seed = splitMix64(journal_.header.baseSeed, index);
+    rec.seed = seed;
+    rec.stratum = stratum;
     rec.result = result;
     if (index < journal_.records.size())
         panic("trial ", index, " recorded twice");
@@ -270,7 +317,8 @@ lintCampaignJournal(const std::string &path, CheckReport &report)
     for (std::size_t i = 1; i < lines.size(); ++i) {
         const std::string where = path + ":" + std::to_string(i + 1);
         JournalRecord record;
-        if (!parseRecordLine(lines[i], record, error)) {
+        if (!parseRecordLine(lines[i], header.version, record,
+                             error)) {
             report.error("journal.record", where, error);
             continue;
         }
@@ -293,14 +341,19 @@ lintCampaignJournal(const std::string &path, CheckReport &report)
                              std::to_string(header.trials) +
                              " trials");
         }
-        const std::uint64_t want =
-            splitMix64(header.baseSeed, record.index);
-        if (record.seed != want) {
-            report.error("journal.seed", where,
-                         "seed " + std::to_string(record.seed) +
-                             " does not match splitMix64(base, " +
-                             std::to_string(record.index) + ") = " +
-                             std::to_string(want));
+        // Version 2 seeds come from the stratum pick streams; only
+        // the partition (not the journal alone) can validate them.
+        if (header.version == 1) {
+            const std::uint64_t want =
+                splitMix64(header.baseSeed, record.index);
+            if (record.seed != want) {
+                report.error(
+                    "journal.seed", where,
+                    "seed " + std::to_string(record.seed) +
+                        " does not match splitMix64(base, " +
+                        std::to_string(record.index) + ") = " +
+                        std::to_string(want));
+            }
         }
         const std::string &code = record.result.code;
         switch (record.result.outcome) {

@@ -19,6 +19,20 @@
  * at any thread count: completed trials are replayed from the file
  * and the remainder re-derive their sites from their seeds.
  *
+ * Version 2 journals checkpoint stratified campaigns
+ * (inject/stratified.hh). The header gains a trailing
+ * strata=<hash> field carrying the partition identity, records gain
+ * a stratum column —
+ *
+ *   <index> <seed> <stratum> <outcome> <code>
+ *
+ * — and <seed> is the pick's stratum-stream seed
+ * (Stratification::pickSeed) rather than splitMix64(base, index).
+ * Resume refuses a journal whose strata hash disagrees with the
+ * partition rebuilt from the campaign configuration, exactly like a
+ * workload mismatch: the pick sequence would attribute trials to the
+ * wrong strata.
+ *
  * Crash consistency: the journal is only ever replaced via
  * write-to-temporary + fsync + atomic rename, so a reader observes
  * either the previous or the new complete snapshot. The loader
@@ -51,13 +65,18 @@ struct JournalHeader
     TrialKind kind = TrialKind::Register;
     std::uint64_t baseSeed = 0;
     std::uint64_t trials = 0;
+    /** Journal format version: 1 = uniform, 2 = stratified. */
+    unsigned version = 1;
+    /** Stratification::hash() of the partition (version 2 only). */
+    std::uint64_t strataHash = 0;
 
     bool
     operator==(const JournalHeader &other) const
     {
         return workload == other.workload && scale == other.scale &&
                kind == other.kind && baseSeed == other.baseSeed &&
-               trials == other.trials;
+               trials == other.trials && version == other.version &&
+               strataHash == other.strataHash;
     }
 };
 
@@ -66,13 +85,15 @@ struct JournalRecord
 {
     std::uint64_t index = 0;
     std::uint64_t seed = 0;
+    /** Stratum the pick belongs to (version 2 journals only). */
+    std::uint32_t stratum = 0;
     TrialResult result;
 
     bool
     operator==(const JournalRecord &other) const
     {
         return index == other.index && seed == other.seed &&
-               result == other.result;
+               stratum == other.stratum && result == other.result;
     }
 };
 
@@ -129,6 +150,13 @@ class JournalWriter
 
     /** Deposit trial @p index's result; may flush. Thread-safe. */
     void record(std::uint64_t index, const TrialResult &result);
+
+    /**
+     * Stratified (version 2) deposit: the caller supplies the pick's
+     * seed and stratum instead of the splitMix64(base, index) stream.
+     */
+    void record(std::uint64_t index, std::uint64_t seed,
+                std::uint32_t stratum, const TrialResult &result);
 
     /** Flush everything contiguous to disk (end of campaign). */
     void finish();

@@ -18,6 +18,7 @@
 #include "core/ser.hh"
 #include "core/sweep.hh"
 #include "inject/campaign.hh"
+#include "inject/stratified.hh"
 #include "mem/cache.hh"
 #include "obs/json.hh"
 
@@ -112,6 +113,110 @@ tallyJson(const CampaignTally &tally)
     out.set("outcomes", std::move(outcomes));
     out.set("codes", std::move(codes));
     return out;
+}
+
+/**
+ * "strata" section of a stratified campaign: the partition identity,
+ * the allocation, per-stratum outcome tallies, and the combined
+ * estimator with its effective-trials multiplier (how many uniform
+ * trials the stratified interval is worth per injected trial).
+ *
+ * Skipped strata emit their rate object with weight 0 — the
+ * placeholder mbavf_report's drift check treats as compatible with
+ * any interval — while sampled strata carry their true weight.
+ */
+inline JsonValue
+strataJson(const std::vector<Stratum> &strata, std::uint64_t hash,
+           unsigned windows, std::uint32_t classes,
+           double skipped_weight,
+           const std::vector<StratumTally> &tallies,
+           std::uint64_t budget)
+{
+    std::uint64_t injected = 0;
+    for (const StratumTally &tally : tallies)
+        injected += tally.trials;
+
+    JsonValue combined = JsonValue::object();
+    for (std::size_t i = 0; i < numInjectOutcomes; ++i) {
+        const InjectOutcome outcome = static_cast<InjectOutcome>(i);
+        const WilsonInterval w =
+            combinedStratifiedInterval(strata, tallies, outcome);
+        JsonValue entry = JsonValue::object();
+        entry.set("rate", JsonValue(w.point));
+        entry.set("ci_low", JsonValue(w.low));
+        entry.set("ci_high", JsonValue(w.high));
+        combined.set(injectOutcomeName(outcome), std::move(entry));
+    }
+
+    const WilsonInterval sdc = combinedStratifiedInterval(
+        strata, tallies, InjectOutcome::Sdc);
+    const std::uint64_t effective =
+        injected == 0
+            ? 0
+            : effectiveUniformTrials(sdc.high - sdc.low, sdc.point);
+
+    JsonValue table = JsonValue::array();
+    for (std::size_t i = 0; i < strata.size(); ++i) {
+        const Stratum &st = strata[i];
+        const StratumTally &tally = tallies[i];
+        JsonValue entry = JsonValue::object();
+        entry.set("class", JsonValue(std::uint64_t(st.siteClass)));
+        entry.set("window", JsonValue(std::uint64_t(st.window)));
+        entry.set("weight", JsonValue(st.weight));
+        entry.set("predicted", JsonValue(st.predicted));
+        entry.set("skipped", JsonValue(st.skipped));
+        entry.set("trials", JsonValue(tally.trials));
+        JsonValue counts = JsonValue::object();
+        for (std::size_t o = 0; o < numInjectOutcomes; ++o) {
+            counts.set(
+                injectOutcomeName(static_cast<InjectOutcome>(o)),
+                JsonValue(tally.counts[o]));
+        }
+        entry.set("counts", std::move(counts));
+        const WilsonInterval rate =
+            st.skipped
+                ? WilsonInterval{0.0, 0.0, 0.0}
+                : wilsonInterval(tally.counts[static_cast<
+                                     std::size_t>(
+                                     InjectOutcome::Sdc)],
+                                 tally.trials);
+        JsonValue sdc_entry = JsonValue::object();
+        sdc_entry.set("rate", JsonValue(rate.point));
+        sdc_entry.set("ci_low", JsonValue(rate.low));
+        sdc_entry.set("ci_high", JsonValue(rate.high));
+        sdc_entry.set("weight",
+                      JsonValue(st.skipped ? 0.0 : st.weight));
+        entry.set("sdc", std::move(sdc_entry));
+        table.push(std::move(entry));
+    }
+
+    JsonValue out = JsonValue::object();
+    out.set("hash", JsonValue(hash));
+    out.set("windows", JsonValue(std::uint64_t(windows)));
+    out.set("classes", JsonValue(std::uint64_t(classes)));
+    out.set("budget", JsonValue(budget));
+    out.set("injected", JsonValue(injected));
+    out.set("skipped_weight", JsonValue(skipped_weight));
+    out.set("effective_trials", JsonValue(effective));
+    out.set("multiplier",
+            JsonValue(injected == 0
+                          ? 0.0
+                          : static_cast<double>(effective) /
+                                static_cast<double>(injected)));
+    out.set("combined", std::move(combined));
+    out.set("table", std::move(table));
+    return out;
+}
+
+/** strataJson() from a built partition. */
+inline JsonValue
+strataJson(const Stratification &strat,
+           const std::vector<StratumTally> &tallies,
+           std::uint64_t budget)
+{
+    return strataJson(strat.strata(), strat.hash(),
+                      strat.numWindows(), strat.numClasses(),
+                      strat.skippedWeight(), tallies, budget);
 }
 
 /** "tables" entry for one bench table (header + preformatted rows). */

@@ -87,10 +87,26 @@ struct Differ
                path == "/env" || path.rfind("/env/", 0) == 0;
     }
 
+    /**
+     * A rate object carrying weight 0 at rate exactly 0 is a skipped
+     * stratum's placeholder, not an estimate — the stratum
+     * contributes nothing to the combined interval, so it is
+     * compatible with any interval on the other side.
+     */
+    static bool
+    zeroWeightRate(const JsonValue &v)
+    {
+        const JsonValue *weight = v.find("weight");
+        return weight && weight->asDouble() == 0.0 &&
+               v.find("rate")->asDouble() == 0.0;
+    }
+
     void
     compareRate(const std::string &path, const JsonValue &a,
                 const JsonValue &b)
     {
+        if (zeroWeightRate(a) || zeroWeightRate(b))
+            return;
         const double a_low = a.find("ci_low")->asDouble();
         const double a_high = a.find("ci_high")->asDouble();
         const double b_low = b.find("ci_low")->asDouble();

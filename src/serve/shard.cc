@@ -12,6 +12,7 @@
 #include "core/protection.hh"
 #include "core/sweep.hh"
 #include "inject/campaign.hh"
+#include "inject/stratified.hh"
 #include "obs/adapters.hh"
 #include "workloads/ace_runner.hh"
 
@@ -123,6 +124,117 @@ runSweepShard(const JobConfig &config, obs::JsonValue &out,
     return true;
 }
 
+/** "counts" object from a tally's outcome counters. */
+obs::JsonValue
+countsJson(const CampaignTally &tally)
+{
+    obs::JsonValue counts = obs::JsonValue::object();
+    for (std::size_t i = 0; i < numInjectOutcomes; ++i) {
+        const InjectOutcome outcome = static_cast<InjectOutcome>(i);
+        counts.set(injectOutcomeName(outcome),
+                   obs::JsonValue(tally.count(outcome)));
+    }
+    return counts;
+}
+
+obs::JsonValue
+codesJson(const CampaignTally &tally)
+{
+    obs::JsonValue codes = obs::JsonValue::object();
+    for (const auto &[code, count] : tally.codeCounts)
+        codes.set(code, obs::JsonValue(count));
+    return codes;
+}
+
+/**
+ * A stratified shard runs picks [firstTrial, firstTrial + numTrials)
+ * of the deterministic allocation sequence. Besides the flat counts
+ * every campaign shard emits (so mergeCampaignShards works
+ * unchanged), it carries sparse per-stratum counts and — identically
+ * from every shard — the stratum table itself, so the supervisor can
+ * fold the combined estimator without rebuilding the partition.
+ */
+bool
+runStratifiedShard(const JobConfig &config, const ShardSpec &shard,
+                   Campaign &campaign, obs::JsonValue &out,
+                   std::string &error)
+{
+    StratifyOptions options;
+    options.windows = config.stratifyWindows;
+    options.maxClasses = config.stratifyClasses;
+    if (options.windows == 0 || options.windows > 16 ||
+        options.maxClasses < 2) {
+        error = "stratify_windows must be 1..16 and "
+                "stratify_classes at least 2";
+        return false;
+    }
+    const Stratification strat =
+        Stratification::build(campaign, options);
+
+    applyFaultInstrumentation(config);
+
+    const std::vector<Stratification::Pick> picks =
+        strat.picks(shard.firstTrial, shard.numTrials);
+    CampaignTally tally;
+    std::vector<StratumTally> tallies(strat.strata().size());
+    for (const Stratification::Pick &pick : picks) {
+        const TrialResult result =
+            campaign.runOne(strat.trialSpec(pick, config.seed));
+        tally.add(result);
+        StratumTally &st = tallies[pick.stratum];
+        ++st.trials;
+        ++st.counts[static_cast<std::size_t>(result.outcome)];
+    }
+
+    obs::JsonValue stratum_counts = obs::JsonValue::array();
+    for (std::size_t h = 0; h < tallies.size(); ++h) {
+        if (tallies[h].trials == 0)
+            continue;
+        obs::JsonValue entry = obs::JsonValue::object();
+        entry.set("stratum", obs::JsonValue(std::uint64_t(h)));
+        entry.set("trials", obs::JsonValue(tallies[h].trials));
+        obs::JsonValue counts = obs::JsonValue::object();
+        for (std::size_t o = 0; o < numInjectOutcomes; ++o) {
+            counts.set(
+                injectOutcomeName(static_cast<InjectOutcome>(o)),
+                obs::JsonValue(tallies[h].counts[o]));
+        }
+        entry.set("counts", std::move(counts));
+        stratum_counts.push(std::move(entry));
+    }
+
+    obs::JsonValue meta = obs::JsonValue::object();
+    meta.set("hash", obs::JsonValue(strat.hash()));
+    meta.set("windows",
+             obs::JsonValue(std::uint64_t(strat.numWindows())));
+    meta.set("classes",
+             obs::JsonValue(std::uint64_t(strat.numClasses())));
+    meta.set("skipped_weight", obs::JsonValue(strat.skippedWeight()));
+    obs::JsonValue table = obs::JsonValue::array();
+    for (const Stratum &st : strat.strata()) {
+        obs::JsonValue entry = obs::JsonValue::object();
+        entry.set("class",
+                  obs::JsonValue(std::uint64_t(st.siteClass)));
+        entry.set("window", obs::JsonValue(std::uint64_t(st.window)));
+        entry.set("weight", obs::JsonValue(st.weight));
+        entry.set("predicted", obs::JsonValue(st.predicted));
+        entry.set("skipped", obs::JsonValue(st.skipped));
+        table.push(std::move(entry));
+    }
+    meta.set("table", std::move(table));
+
+    out = obs::JsonValue::object();
+    out.set("type", "campaign");
+    out.set("stratified", obs::JsonValue(true));
+    out.set("strata_hash", obs::JsonValue(strat.hash()));
+    out.set("trials", obs::JsonValue(tally.total()));
+    out.set("counts", countsJson(tally));
+    out.set("codes", codesJson(tally));
+    out.set("stratum_counts", std::move(stratum_counts));
+    out.set("strata_meta", std::move(meta));
+    return true;
+}
+
 bool
 runCampaignShard(const JobConfig &config, const ShardSpec &shard,
                  obs::JsonValue &out, std::string &error)
@@ -138,6 +250,10 @@ runCampaignShard(const JobConfig &config, const ShardSpec &shard,
     if (config.protect != "none")
         campaign.setProtection(config.protect, config.protectDomain);
 
+    if (config.stratify)
+        return runStratifiedShard(config, shard, campaign, out,
+                                  error);
+
     applyFaultInstrumentation(config);
 
     CampaignTally tally;
@@ -147,21 +263,11 @@ runCampaignShard(const JobConfig &config, const ShardSpec &shard,
              kind))
         tally.add(result);
 
-    obs::JsonValue counts = obs::JsonValue::object();
-    for (std::size_t i = 0; i < numInjectOutcomes; ++i) {
-        const InjectOutcome outcome = static_cast<InjectOutcome>(i);
-        counts.set(injectOutcomeName(outcome),
-                   obs::JsonValue(tally.count(outcome)));
-    }
-    obs::JsonValue codes = obs::JsonValue::object();
-    for (const auto &[code, count] : tally.codeCounts)
-        codes.set(code, obs::JsonValue(count));
-
     out = obs::JsonValue::object();
     out.set("type", "campaign");
     out.set("trials", obs::JsonValue(tally.total()));
-    out.set("counts", std::move(counts));
-    out.set("codes", std::move(codes));
+    out.set("counts", countsJson(tally));
+    out.set("codes", codesJson(tally));
     return true;
 }
 
@@ -197,6 +303,100 @@ mergeCampaignShards(const std::vector<obs::JsonValue> &shard_results)
         }
     }
     return obs::tallyJson(tally);
+}
+
+bool
+mergeStratifiedStrata(const JobConfig &job,
+                      const std::vector<obs::JsonValue> &shard_results,
+                      obs::JsonValue &out, std::string &error)
+{
+    if (shard_results.empty()) {
+        error = "stratified merge has no shard results";
+        return false;
+    }
+
+    // Every shard computes the same partition; the hash check is the
+    // guard that a stale cache entry (or a worker running different
+    // code) cannot silently fold counts into the wrong strata.
+    const obs::JsonValue *meta = shard_results[0].find("strata_meta");
+    if (!meta || !meta->isObject()) {
+        error = "stratified shard result lacks strata_meta";
+        return false;
+    }
+    const obs::JsonValue *hash = meta->find("hash");
+    const obs::JsonValue *windows = meta->find("windows");
+    const obs::JsonValue *classes = meta->find("classes");
+    const obs::JsonValue *skipped = meta->find("skipped_weight");
+    const obs::JsonValue *table = meta->find("table");
+    if (!hash || !windows || !classes || !skipped || !table ||
+        !table->isArray()) {
+        error = "stratified strata_meta is malformed";
+        return false;
+    }
+    for (const obs::JsonValue &result : shard_results) {
+        const obs::JsonValue *shard_hash = result.find("strata_hash");
+        if (!shard_hash || shard_hash->asUint() != hash->asUint()) {
+            error = "stratified shards disagree on the partition "
+                    "hash; refusing to merge";
+            return false;
+        }
+    }
+
+    std::vector<Stratum> strata;
+    strata.reserve(table->items().size());
+    for (const obs::JsonValue &entry : table->items()) {
+        const obs::JsonValue *cls = entry.find("class");
+        const obs::JsonValue *window = entry.find("window");
+        const obs::JsonValue *weight = entry.find("weight");
+        const obs::JsonValue *predicted = entry.find("predicted");
+        const obs::JsonValue *is_skipped = entry.find("skipped");
+        if (!cls || !window || !weight || !predicted || !is_skipped) {
+            error = "stratified strata_meta table is malformed";
+            return false;
+        }
+        Stratum st;
+        st.siteClass = static_cast<std::uint32_t>(cls->asUint());
+        st.window = static_cast<std::uint32_t>(window->asUint());
+        st.weight = weight->asDouble();
+        st.predicted = predicted->asDouble();
+        st.skipped = is_skipped->asBool();
+        strata.push_back(st);
+    }
+
+    std::vector<StratumTally> tallies(strata.size());
+    for (const obs::JsonValue &result : shard_results) {
+        const obs::JsonValue *counts = result.find("stratum_counts");
+        if (!counts || !counts->isArray()) {
+            error = "stratified shard result lacks stratum_counts";
+            return false;
+        }
+        for (const obs::JsonValue &entry : counts->items()) {
+            const obs::JsonValue *index = entry.find("stratum");
+            const obs::JsonValue *trials = entry.find("trials");
+            const obs::JsonValue *outcome_counts =
+                entry.find("counts");
+            if (!index || !trials || !outcome_counts ||
+                index->asUint() >= tallies.size()) {
+                error = "stratified stratum_counts entry is "
+                        "malformed";
+                return false;
+            }
+            StratumTally &tally = tallies[index->asUint()];
+            tally.trials += trials->asUint();
+            for (std::size_t o = 0; o < numInjectOutcomes; ++o) {
+                const obs::JsonValue *count = outcome_counts->find(
+                    injectOutcomeName(static_cast<InjectOutcome>(o)));
+                tally.counts[o] += count ? count->asUint() : 0;
+            }
+        }
+    }
+
+    out = obs::strataJson(
+        strata, hash->asUint(),
+        static_cast<unsigned>(windows->asUint()),
+        static_cast<std::uint32_t>(classes->asUint()),
+        skipped->asDouble(), tallies, job.effectiveTrials());
+    return true;
 }
 
 } // namespace mbavf::serve

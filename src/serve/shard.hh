@@ -42,6 +42,19 @@ bool runShard(const JobConfig &config, const ShardSpec &shard,
 obs::JsonValue mergeCampaignShards(
     const std::vector<obs::JsonValue> &shard_results);
 
+/**
+ * Fold the stratified shard results of one campaign job into its
+ * "strata" manifest section: validates that every shard computed the
+ * same partition (strata_hash), sums the sparse per-stratum counts,
+ * and derives the combined estimator from the stratum table carried
+ * in the shard metadata — no partition rebuild at merge time. False
+ * + @p error when shards disagree or the metadata is malformed.
+ */
+bool mergeStratifiedStrata(
+    const JobConfig &job,
+    const std::vector<obs::JsonValue> &shard_results,
+    obs::JsonValue &out, std::string &error);
+
 } // namespace mbavf::serve
 
 #endif // MBAVF_SERVE_SHARD_HH

@@ -130,7 +130,14 @@ parseJob(const obs::JsonValue &doc, std::size_t index,
         getUint(doc, "protect_domain", protect_domain, error) &&
         getUint(doc, "shard_trials", job.shardTrials, error) &&
         getString(doc, "fault", job.fault, error);
-    if (!ok) {
+    std::uint64_t stratify_windows = job.stratifyWindows;
+    std::uint64_t stratify_classes = job.stratifyClasses;
+    const bool strat_ok = ok &&
+        getBool(doc, "stratify", job.stratify, error) &&
+        getUint(doc, "stratify_windows", stratify_windows, error) &&
+        getUint(doc, "stratify_classes", stratify_classes, error) &&
+        getUint(doc, "budget", job.budget, error);
+    if (!ok || !strat_ok) {
         error = "job " + std::to_string(index) + ": " + error;
         return false;
     }
@@ -139,6 +146,8 @@ parseJob(const obs::JsonValue &doc, std::size_t index,
     job.modes = static_cast<unsigned>(modes);
     job.windows = static_cast<unsigned>(windows);
     job.protectDomain = static_cast<unsigned>(protect_domain);
+    job.stratifyWindows = static_cast<unsigned>(stratify_windows);
+    job.stratifyClasses = static_cast<unsigned>(stratify_classes);
 
     if (job.type == JobType::Sweep) {
         if (job.workload.empty() == job.arenaIn.empty()) {
@@ -162,6 +171,16 @@ parseJob(const obs::JsonValue &doc, std::size_t index,
                     ": trials must be at least 1";
             return false;
         }
+        if (job.stratify && job.kind != "register") {
+            error = "job " + std::to_string(index) +
+                    ": stratify supports kind \"register\" only";
+            return false;
+        }
+    }
+    if (job.stratify && job.type != JobType::Campaign) {
+        error = "job " + std::to_string(index) +
+                ": stratify applies to campaign jobs only";
+        return false;
     }
     if (!job.fault.empty() && job.fault != "crash" &&
         job.fault != "hang") {
@@ -214,6 +233,14 @@ JobConfig::canonical() const
         out += " watchdog=" + canonicalNumber(watchdog);
         out += " protect=" + protect;
         out += " protect_domain=" + std::to_string(protectDomain);
+        if (stratify) {
+            out += " stratify=1";
+            out += " stratify_windows=" +
+                   std::to_string(stratifyWindows);
+            out += " stratify_classes=" +
+                   std::to_string(stratifyClasses);
+            out += " budget=" + std::to_string(effectiveTrials());
+        }
     }
     if (!fault.empty())
         out += " fault=" + fault;
@@ -304,24 +331,28 @@ shardJobs(const JobSpec &spec)
     std::vector<ShardSpec> shards;
     for (std::size_t j = 0; j < spec.jobs.size(); ++j) {
         const JobConfig &job = spec.jobs[j];
+        // Stratified campaigns shard over the pick sequence instead
+        // of the uniform trial indices; both are contiguous ranges
+        // that merge identically at any split.
+        const std::uint64_t total = job.effectiveTrials();
         if (job.type == JobType::Sweep || job.shardTrials == 0 ||
-            job.shardTrials >= job.trials) {
+            job.shardTrials >= total) {
             ShardSpec shard;
             shard.job = j;
             if (job.type == JobType::Campaign) {
                 shard.firstTrial = 0;
-                shard.numTrials = job.trials;
+                shard.numTrials = total;
             }
             shards.push_back(shard);
             continue;
         }
-        for (std::uint64_t first = 0; first < job.trials;
+        for (std::uint64_t first = 0; first < total;
              first += job.shardTrials) {
             ShardSpec shard;
             shard.job = j;
             shard.firstTrial = first;
             shard.numTrials =
-                std::min(job.shardTrials, job.trials - first);
+                std::min(job.shardTrials, total - first);
             shards.push_back(shard);
         }
     }

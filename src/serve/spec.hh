@@ -83,8 +83,25 @@ struct JobConfig
     unsigned protectDomain = 8;
     std::uint64_t shardTrials = 0; ///< 0 = the whole job is one shard
 
+    // Stratified campaign (inject/stratified.hh): shards become
+    // contiguous ranges of the deterministic pick sequence, so any
+    // split merges to the same per-stratum tallies. The canonical
+    // form only grows when stratify is on — uniform job identities
+    // (and their cache keys) are untouched.
+    bool stratify = false;
+    unsigned stratifyWindows = 8;
+    unsigned stratifyClasses = 64;
+    std::uint64_t budget = 0; ///< injected-trial budget; 0 = trials
+
     /** Test instrumentation: "", "crash", or "hang". */
     std::string fault;
+
+    /** Trials (uniform) or picks (stratified) the job runs. */
+    std::uint64_t
+    effectiveTrials() const
+    {
+        return stratify && budget != 0 ? budget : trials;
+    }
 
     /** The structure-appropriate style when none was given. */
     std::string effectiveStyle() const;

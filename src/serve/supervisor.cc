@@ -203,6 +203,15 @@ buildMergedManifest(const JobSpec &spec, std::uint64_t spec_hash,
             }
         } else {
             entry.set("campaign", mergeCampaignShards(done));
+            if (job.stratify && !done.empty()) {
+                obs::JsonValue strata;
+                std::string merge_error;
+                if (mergeStratifiedStrata(job, done, strata,
+                                          merge_error))
+                    entry.set("strata", std::move(strata));
+                else
+                    entry.set("strata_error", merge_error);
+            }
         }
         out_results.push(std::move(entry));
     }

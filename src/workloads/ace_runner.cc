@@ -42,6 +42,20 @@ runAceAnalysis(const std::string &workload_name,
     RegFileAvfProbe vgpr_probe(config.regs);
     gpu.regFile(0).setListener(&vgpr_probe);
 
+    // Per-CU probes for the stratifier; CU0 reuses vgpr_probe so the
+    // historical vgpr store and vgprPerCu[0] come from one recording.
+    std::vector<std::unique_ptr<RegFileAvfProbe>> cu_probes;
+    if (options.probeAllVgprs) {
+        for (unsigned cu = 1; cu < config.numCus; ++cu) {
+            cu_probes.push_back(
+                std::make_unique<RegFileAvfProbe>(config.regs));
+            gpu.regFile(cu).setListener(cu_probes.back().get());
+        }
+    }
+
+    if (!options.sampleCyclesAt.empty())
+        gpu.sampleCyclesAt(options.sampleCyclesAt);
+
     {
         obs::ObsPhase phase("ace.sim");
         auto workload = makeWorkload(workload_name, options.scale);
@@ -50,8 +64,16 @@ runAceAnalysis(const std::string &workload_name,
     }
 
     out.horizon = gpu.horizon();
+    out.instrs = gpu.instrCount();
     out.l1Stats = gpu.l1(0).stats();
     out.l2Stats = gpu.l2().stats();
+    if (!options.sampleCyclesAt.empty()) {
+        out.sampledCycles = gpu.sampledCycles();
+        // Indices at or beyond the instruction count never fired;
+        // the horizon bounds every lifetime, so it is the sound pad.
+        out.sampledCycles.resize(options.sampleCyclesAt.size(),
+                                 out.horizon);
+    }
 
     // The backward pass: liveness over the dataflow graph, then each
     // probe resolves its recorded lifetimes against it.
@@ -80,6 +102,15 @@ runAceAnalysis(const std::string &workload_name,
         out.vgpr = vgpr_probe.finalize(out.horizon, resolver);
         if (measure_l2)
             out.l2 = l2_probe.finalize(out.horizon, resolver);
+        if (options.probeAllVgprs) {
+            out.vgprPerCu.reserve(config.numCus);
+            out.vgprPerCu.push_back(
+                vgpr_probe.finalize(out.horizon, resolver));
+            for (auto &probe : cu_probes) {
+                out.vgprPerCu.push_back(
+                    probe->finalize(out.horizon, resolver));
+            }
+        }
     }
     if (options.capture) {
         options.capture->dataflow = gpu.dataflow();

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/lifetime.hh"
 #include "core/lifetime_builder.hh"
@@ -53,6 +54,21 @@ struct AceRun
     CacheStats l2Stats;
     std::uint64_t numDefs = 0;
     std::uint64_t numDeadDefs = 0;
+    /** Dynamic instructions the run executed. */
+    std::uint64_t instrs = 0;
+
+    /**
+     * Per-CU VGPR lifetimes (when probe_all_vgprs), indexed by CU.
+     * Container ids are CU-local regId()s, exactly like vgpr.
+     */
+    std::vector<LifetimeStore> vgprPerCu;
+
+    /**
+     * Cycles sampled at AceRunOptions::sampleCyclesAt instruction
+     * indices, padded with the horizon for indices the run never
+     * reached, so sampledCycles.size() == sampleCyclesAt.size().
+     */
+    std::vector<Cycle> sampledCycles;
 
     AceRun() : l1(8, 64), vgpr(32, 1), l2(8, 64) {}
 };
@@ -81,6 +97,18 @@ struct AceRunOptions
      * copies are not free for large traces).
      */
     ProgramCapture *capture = nullptr;
+    /**
+     * Probe every CU's VGPR (not just CU0's) and fill
+     * AceRun::vgprPerCu. The stratifier needs per-CU lifetimes:
+     * waves round-robin across CUs, so proving a site Unace on CU0
+     * says nothing about the same register on CU1.
+     */
+    bool probeAllVgprs = false;
+    /**
+     * Dynamic-instruction indices (sorted ascending) whose begin
+     * cycles to record into AceRun::sampledCycles.
+     */
+    std::vector<std::uint64_t> sampleCyclesAt;
 };
 
 /**

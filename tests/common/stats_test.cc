@@ -5,6 +5,7 @@
  */
 
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -85,6 +86,138 @@ TEST(WilsonInterval, WidensWithConfidence)
     WilsonInterval z95 = wilsonInterval(10, 100, 1.96);
     WilsonInterval z99 = wilsonInterval(10, 100, 2.576);
     EXPECT_GT(z99.high - z99.low, z95.high - z95.low);
+}
+
+TEST(StratifiedInterval, EmptyStrataListIsVacuous)
+{
+    const WilsonInterval w = stratifiedInterval({});
+    EXPECT_DOUBLE_EQ(w.point, 0.0);
+    EXPECT_DOUBLE_EQ(w.low, 0.0);
+    EXPECT_DOUBLE_EQ(w.high, 1.0);
+}
+
+TEST(StratifiedInterval, ZeroWeightStratumContributesNothing)
+{
+    // A skipped stratum whose window covers no instructions has
+    // weight 0; whatever junk its counters hold must not leak in.
+    std::vector<StratumStat> strata;
+    strata.push_back({0.5, 10, 100, false, 0.0});
+    const WilsonInterval base = stratifiedInterval(strata);
+    strata.push_back({0.0, 99, 99, false, 0.0});
+    strata.push_back({0.0, 0, 0, true, 1.0});
+    const WilsonInterval with = stratifiedInterval(strata);
+    EXPECT_DOUBLE_EQ(base.point, with.point);
+    EXPECT_DOUBLE_EQ(base.low, with.low);
+    EXPECT_DOUBLE_EQ(base.high, with.high);
+}
+
+TEST(StratifiedInterval, AllStrataSkippedIsExact)
+{
+    // Everything provably Masked: the SDC estimate is exactly 0
+    // (and the Masked estimate exactly 1) at zero width, with zero
+    // injections.
+    std::vector<StratumStat> sdc;
+    sdc.push_back({0.7, 0, 0, true, 0.0});
+    sdc.push_back({0.3, 0, 0, true, 0.0});
+    const WilsonInterval none = stratifiedInterval(sdc);
+    EXPECT_DOUBLE_EQ(none.point, 0.0);
+    EXPECT_DOUBLE_EQ(none.low, 0.0);
+    EXPECT_DOUBLE_EQ(none.high, 0.0);
+
+    std::vector<StratumStat> masked;
+    masked.push_back({0.7, 0, 0, true, 1.0});
+    masked.push_back({0.3, 0, 0, true, 1.0});
+    const WilsonInterval all = stratifiedInterval(masked);
+    EXPECT_DOUBLE_EQ(all.point, 1.0);
+    EXPECT_DOUBLE_EQ(all.low, 1.0);
+    EXPECT_DOUBLE_EQ(all.high, 1.0);
+}
+
+TEST(StratifiedInterval, CertainStratumHasZeroVariance)
+{
+    // A certain stratum narrows the interval relative to sampling
+    // the same weight: only the sampled share carries width.
+    std::vector<StratumStat> certain;
+    certain.push_back({0.9, 0, 0, true, 0.0});
+    certain.push_back({0.1, 5, 50, false, 0.0});
+    std::vector<StratumStat> sampled;
+    sampled.push_back({0.9, 0, 50, false, 0.0});
+    sampled.push_back({0.1, 5, 50, false, 0.0});
+    const WilsonInterval a = stratifiedInterval(certain);
+    const WilsonInterval b = stratifiedInterval(sampled);
+    EXPECT_LT(a.high - a.low, b.high - b.low);
+}
+
+TEST(StratifiedInterval, UnsampledStratumIsVacouslyWide)
+{
+    // An unskipped stratum with zero trials contributes the vacuous
+    // [0, 1] Wilson interval — half-width 0.5 around the point,
+    // clamped into [0, 1]: ignorance, not certainty.
+    std::vector<StratumStat> strata;
+    strata.push_back({1.0, 0, 0, false, 0.0});
+    const WilsonInterval w = stratifiedInterval(strata);
+    EXPECT_DOUBLE_EQ(w.point, 0.0);
+    EXPECT_DOUBLE_EQ(w.low, 0.0);
+    EXPECT_DOUBLE_EQ(w.high, 0.5);
+}
+
+TEST(StratifiedInterval, SingleTrialStrataStayTotal)
+{
+    // Hundreds of one-trial strata is exactly the small-budget
+    // regime; the result must stay finite, ordered, and inside
+    // [0, 1], and must not inherit the Wilson center bias (the
+    // interval brackets the point estimate).
+    std::vector<StratumStat> strata;
+    for (int i = 0; i < 200; ++i)
+        strata.push_back({1.0 / 200.0, i % 7 == 0 ? 1u : 0u, 1,
+                          false, 0.0});
+    const WilsonInterval w = stratifiedInterval(strata);
+    EXPECT_TRUE(std::isfinite(w.point));
+    EXPECT_TRUE(std::isfinite(w.low));
+    EXPECT_TRUE(std::isfinite(w.high));
+    EXPECT_LE(w.low, w.point);
+    EXPECT_LE(w.point, w.high);
+    EXPECT_GE(w.low, 0.0);
+    EXPECT_LE(w.high, 1.0);
+    // 29 of 200 single-trial strata hit.
+    EXPECT_NEAR(w.point, 29.0 / 200.0, 1e-12);
+}
+
+TEST(StratifiedInterval, SkippedMassShrinksTheInterval)
+{
+    // The two-level payoff: proving 90% of the space Masked leaves
+    // only 10% of the weight carrying sampling width.
+    std::vector<StratumStat> stratified;
+    stratified.push_back({0.9, 0, 0, true, 0.0});
+    stratified.push_back({0.1, 3, 100, false, 0.0});
+    const WilsonInterval strat = stratifiedInterval(stratified);
+    const WilsonInterval uniform = wilsonInterval(3, 100);
+    EXPECT_LT(strat.high - strat.low,
+              0.2 * (uniform.high - uniform.low));
+}
+
+TEST(EffectiveUniformTrials, ZeroWidthHitsTheCap)
+{
+    EXPECT_EQ(effectiveUniformTrials(0.0, 0.0, 1.96, 1 << 20),
+              std::uint64_t(1) << 20);
+}
+
+TEST(EffectiveUniformTrials, RoundTripsAUniformCampaign)
+{
+    // A uniform campaign's own width should be worth about its own
+    // trial count (k-rounding makes it approximate).
+    const WilsonInterval w = wilsonInterval(50, 1000);
+    const std::uint64_t n =
+        effectiveUniformTrials(w.high - w.low, w.point);
+    EXPECT_GE(n, 900u);
+    EXPECT_LE(n, 1100u);
+}
+
+TEST(EffectiveUniformTrials, NarrowerWidthNeedsMoreTrials)
+{
+    const std::uint64_t wide = effectiveUniformTrials(0.01, 0.05);
+    const std::uint64_t narrow = effectiveUniformTrials(0.001, 0.05);
+    EXPECT_GT(narrow, wide);
 }
 
 TEST(RunningStats, TracksMeanMinMax)

@@ -141,6 +141,44 @@ TEST(ReportTest, DisjointRateCIsDrift)
     EXPECT_FALSE(result.structuralMismatch);
 }
 
+TEST(ReportTest, ZeroWeightRateIsCompatibleWithAnyInterval)
+{
+    // A skipped stratum emits its rate object as exactly-0 with
+    // weight 0 — a placeholder, not a measurement. It must be
+    // compatible with any interval the other side measured, in both
+    // directions, or a stratification change would read as rate
+    // drift.
+    JsonValue a = baseManifest();
+    JsonValue b = baseManifest();
+    a.find("campaign")->set("sdc", parse(
+        R"({"rate": 0.0, "ci_low": 0.0, "ci_high": 0.0,
+            "weight": 0.0})"));
+    b.find("campaign")->set("sdc", parse(
+        R"({"rate": 0.4, "ci_low": 0.3, "ci_high": 0.51,
+            "weight": 0.0})"));
+    obs::DiffResult result = obs::diffManifests(a, b, {});
+    EXPECT_TRUE(result.clean()) << joinNotes(result);
+    result = obs::diffManifests(b, a, {});
+    EXPECT_TRUE(result.clean()) << joinNotes(result);
+}
+
+TEST(ReportTest, WeightedZeroRateStillDrifts)
+{
+    // Weight > 0 means the rate was measured; exact 0 against a
+    // disjoint interval is real drift, not a skipped-stratum
+    // placeholder.
+    JsonValue a = baseManifest();
+    JsonValue b = baseManifest();
+    a.find("campaign")->set("sdc", parse(
+        R"({"rate": 0.0, "ci_low": 0.0, "ci_high": 0.01,
+            "weight": 0.25})"));
+    b.find("campaign")->set("sdc", parse(
+        R"({"rate": 0.4, "ci_low": 0.3, "ci_high": 0.51,
+            "weight": 0.25})"));
+    obs::DiffResult result = obs::diffManifests(a, b, {});
+    EXPECT_TRUE(result.drifted);
+}
+
 TEST(ReportTest, PhasesAndEnvIgnoredByDefault)
 {
     JsonValue a = baseManifest();

@@ -8,17 +8,23 @@
 # to the uninterrupted run's, and that the relevant lints pass them
 # clean. Two modes share the harness:
 #
-#   campaign  the injection-campaign checkpoint journal
-#             (DESIGN.md section 10): compares the journal itself.
-#   serve     the analysis service (DESIGN.md section 15): compares
-#             the merged manifest and the queue journal, resuming at
-#             a different worker count than the kills ran with.
+#   campaign    the injection-campaign checkpoint journal
+#               (DESIGN.md section 10): compares the journal itself.
+#   serve       the analysis service (DESIGN.md section 15): compares
+#               the merged manifest and the queue journal, resuming at
+#               a different worker count than the kills ran with.
+#   stratified  the stratified campaign (DESIGN.md section 16): the
+#               CLI v2 checkpoint journal under kills, then a
+#               stratified serve job whose merged manifest (combined
+#               estimator included) must come out byte-identical
+#               across kills, resume, and a different worker count.
 #
-# Usage: ci_kill_matrix.sh <build-dir> campaign|serve [kills]
+# Usage: ci_kill_matrix.sh <build-dir> campaign|serve|stratified [kills]
 set -euo pipefail
 
-build="${1:?usage: ci_kill_matrix.sh <build-dir> campaign|serve [kills]}"
-mode="${2:?usage: ci_kill_matrix.sh <build-dir> campaign|serve [kills]}"
+usage="usage: ci_kill_matrix.sh <build-dir> campaign|serve|stratified [kills]"
+build="${1:?$usage}"
+mode="${2:?$usage}"
 kills="${3:-3}"
 
 mbavf="$build/tools/mbavf"
@@ -174,8 +180,106 @@ SPEC
     "$lint" --queue-journal="$work/resumed/queue.journal"
     ;;
 
+stratified)
+    budget="${MBAVF_SMOKE_BUDGET:-$trials}"
+
+    run_stratified() {
+        "$mbavf" --campaign --stratify --workload="$workload" \
+            --budget="$budget" --seed="$seed" \
+            --checkpoint="$1" --checkpoint-every=64 \
+            --threads="$2" "${@:3}"
+    }
+
+    echo "== stratified straight run (2 threads) =="
+    run_stratified "$work/straight.journal" 2
+
+    echo "== stratified kill matrix ($kills kills) =="
+    launch() {
+        exec "$mbavf" --campaign --stratify \
+            --workload="$workload" --budget="$budget" \
+            --seed="$seed" --checkpoint="$work/resumed.journal" \
+            --checkpoint-every=64 --threads=2
+    }
+    resume() {
+        exec "$mbavf" --campaign --stratify \
+            --workload="$workload" --budget="$budget" \
+            --seed="$seed" --checkpoint="$work/resumed.journal" \
+            --checkpoint-every=64 --threads=2 --resume
+    }
+    progress() {
+        local n
+        n=$(grep -cv '^mbavf-journal' "$work/resumed.journal" \
+                2>/dev/null) || true
+        echo "${n:-0}"
+    }
+    kill_matrix launch resume progress
+
+    echo "== final resume (8 threads) =="
+    run_stratified "$work/resumed.journal" 8 --resume
+
+    echo "== compare journals =="
+    cmp "$work/straight.journal" "$work/resumed.journal"
+
+    echo "== lint resumed journal =="
+    "$lint" --journal="$work/resumed.journal"
+
+    # The serve side: a stratified campaign job sharded over the
+    # pick sequence must merge to a byte-identical manifest across
+    # kills, resume, and a different worker count.
+    spec="$work/stratified_spec.json"
+    cat > "$spec" <<SPEC
+{
+  "jobs": [
+    {"type": "campaign", "workload": "$workload",
+     "trials": 100, "seed": $seed, "stratify": true,
+     "budget": $budget, "shard_trials": 500}
+  ]
+}
+SPEC
+
+    run_serve() {
+        "$serve" --spec="$spec" --state="$1" --manifest="$2" \
+            --workers="$3" --threads=2 "${@:4}"
+    }
+
+    echo "== stratified serve straight run (2 workers) =="
+    run_serve "$work/sstraight" "$work/sstraight.json" 2
+
+    echo "== stratified serve kill matrix ($kills kills) =="
+    launch() {
+        exec "$serve" --spec="$spec" --state="$work/sresumed" \
+            --manifest="$work/sresumed.json" --workers=2 --threads=2
+    }
+    resume() {
+        exec "$serve" --spec="$spec" --state="$work/sresumed" \
+            --manifest="$work/sresumed.json" --workers=2 --threads=2 \
+            --resume
+    }
+    progress() {
+        local n
+        n=$(grep -c ' done ' "$work/sresumed/queue.journal" \
+                2>/dev/null) || true
+        echo "${n:-0}"
+    }
+    kill_matrix launch resume progress
+    sleep 2
+
+    echo "== final resume (4 workers) =="
+    run_serve "$work/sresumed" "$work/sresumed.json" 4 --resume
+
+    echo "== compare merged manifests =="
+    cmp "$work/sstraight.json" "$work/sresumed.json"
+
+    echo "== compare queue journals =="
+    cmp "$work/sstraight/queue.journal" \
+        "$work/sresumed/queue.journal"
+
+    echo "== lint resumed queue journal =="
+    "$lint" --queue-journal="$work/sresumed/queue.journal"
+    ;;
+
 *)
-    echo "error: unknown mode '$mode' (campaign|serve)" >&2
+    echo "error: unknown mode '$mode' (campaign|serve|stratified)" >&2
     exit 2
     ;;
 esac

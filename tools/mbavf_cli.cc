@@ -38,6 +38,7 @@
 #include "core/sweep.hh"
 #include "inject/campaign.hh"
 #include "inject/journal.hh"
+#include "inject/stratified.hh"
 #include "obs/adapters.hh"
 #include "obs/build_info.hh"
 #include "obs/heartbeat.hh"
@@ -106,7 +107,19 @@ usage()
         "                           final tallies are bit-identical\n"
         "                           to an uninterrupted run\n"
         "  --heartbeat              progress lines on stderr every\n"
-        "                           --checkpoint-every trials\n";
+        "                           --checkpoint-every trials\n\n"
+        "stratified campaign options (--campaign --stratify):\n"
+        "  --stratify               two-level estimation: partition\n"
+        "                           the fault space by ACE analysis,\n"
+        "                           skip provably-Masked strata, and\n"
+        "                           importance-sample the rest\n"
+        "                           (register kind only)\n"
+        "  --stratify-windows=N     trigger windows (8)\n"
+        "  --stratify-classes=N     site-class cap (64)\n"
+        "  --budget=N               injected-trial budget (--trials)\n"
+        "  --target-ci=W            spend the smallest budget whose\n"
+        "                           predicted SDC CI width is <= W\n"
+        "                           (capped by --budget)\n";
 }
 
 /** All options both CLI modes accept, for typo rejection. */
@@ -121,7 +134,8 @@ checkOptions(const Args &args)
         "trials", "seed", "kind",
         "watchdog", "protect", "protect-domain", "checkpoint",
         "checkpoint-every", "resume", "heartbeat", "manifest",
-        "trace-out", "version",
+        "trace-out", "version", "stratify", "stratify-windows",
+        "stratify-classes", "budget", "target-ci",
     });
 }
 
@@ -165,10 +179,260 @@ writeObsOutputs(obs::Manifest *manifest,
     }
 }
 
+/**
+ * The --campaign --stratify mode: two-level estimation. Level one
+ * (inject/stratified.hh) partitions the fault space and prices the
+ * allocation; level two injects the picks and folds per-stratum
+ * tallies into the combined estimator. Checkpoints use version 2
+ * journals keyed by the partition hash.
+ */
+int
+runStratifiedCampaignCli(const Args &args)
+{
+    const std::string workload = args.getString("workload", "");
+    if (workload.empty()) {
+        usage();
+        return 1;
+    }
+    const unsigned scale =
+        static_cast<unsigned>(args.getInt("scale", 1));
+    const std::uint64_t base_seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+    TrialKind kind = TrialKind::Register;
+    if (!parseTrialKind(args.getString("kind", "register"), kind))
+        fatal("unknown --kind (register|memory)");
+    if (kind != TrialKind::Register)
+        fatal("--stratify supports --kind=register only");
+    const std::string checkpoint = args.getString("checkpoint", "");
+    const bool resume = args.getBool("resume");
+    if (resume && checkpoint.empty())
+        fatal("--resume requires --checkpoint=FILE");
+    if (!resume && !checkpoint.empty() &&
+        static_cast<bool>(std::ifstream(checkpoint))) {
+        fatal("checkpoint '", checkpoint,
+              "' already exists; use --resume to continue it or "
+              "remove it first");
+    }
+    const std::uint64_t every = static_cast<std::uint64_t>(
+        args.getInt("checkpoint-every", 64));
+    const std::string manifest_path = args.getString("manifest", "");
+    const std::string trace_path = args.getString("trace-out", "");
+    enableObsSinks(manifest_path, trace_path);
+
+    StratifyOptions opts;
+    opts.windows =
+        static_cast<unsigned>(args.getInt("stratify-windows", 8));
+    opts.maxClasses =
+        static_cast<unsigned>(args.getInt("stratify-classes", 64));
+
+    std::cout << "stratified campaign: " << workload << " x" << scale
+              << ", seed " << base_seed << ", " << opts.windows
+              << " windows, <= " << opts.maxClasses
+              << " site classes\n";
+
+    Campaign campaign(workload, scale, GpuConfig{});
+    campaign.setWatchdogMultiplier(args.getDouble("watchdog", 8.0));
+    const std::string protect = args.getString("protect", "none");
+    if (protect != "none") {
+        campaign.setProtection(
+            protect,
+            static_cast<unsigned>(args.getInt("protect-domain", 8)));
+    }
+    const Stratification strat =
+        Stratification::build(campaign, opts);
+
+    bool sampleable = false;
+    for (const Stratum &st : strat.strata())
+        sampleable = sampleable || (!st.skipped && st.weight > 0.0);
+
+    // The budget is a pure function of the partition and the flags,
+    // so shards and resumes re-derive it identically.
+    std::uint64_t budget = static_cast<std::uint64_t>(args.getInt(
+        "budget", args.getInt("trials", 1000)));
+    if (args.has("target-ci")) {
+        budget = strat.budgetForTargetCi(
+            args.getDouble("target-ci", 0.0), budget);
+    }
+    if (!sampleable)
+        budget = 0;
+
+    std::cout << "partition " << std::hex << strat.hash() << std::dec
+              << ": " << strat.strata().size() << " strata, "
+              << formatFixed(100.0 * strat.skippedWeight(), 2)
+              << "% of the fault space provably Masked; budget "
+              << budget << " injected trials\n";
+
+    JournalHeader header;
+    header.workload = workload;
+    header.scale = scale;
+    header.kind = kind;
+    header.baseSeed = base_seed;
+    header.trials = budget;
+    header.version = 2;
+    header.strataHash = strat.hash();
+
+    std::vector<JournalRecord> completed;
+    if (resume && static_cast<bool>(std::ifstream(checkpoint))) {
+        CampaignJournal journal;
+        std::string error;
+        if (!CampaignJournal::load(checkpoint, journal, error))
+            fatal("cannot resume: ", error);
+        if (!(journal.header == header)) {
+            fatal("checkpoint '", checkpoint,
+                  "' records a different stratified campaign (check "
+                  "workload/scale/seed/budget and the partition "
+                  "hash)");
+        }
+        completed = std::move(journal.records);
+    }
+    if (completed.size() > budget)
+        fatal("checkpoint has more trials than the budget ", budget);
+    if (!completed.empty()) {
+        std::cout << "resuming after " << completed.size()
+                  << " completed trials\n";
+    }
+
+    const std::size_t first = completed.size();
+    const std::size_t remaining =
+        static_cast<std::size_t>(budget) - first;
+    const std::vector<Stratification::Pick> picks =
+        strat.picks(first, remaining);
+
+    std::vector<std::string> outcome_labels;
+    for (std::size_t i = 0; i < numInjectOutcomes; ++i) {
+        outcome_labels.emplace_back(
+            injectOutcomeName(static_cast<InjectOutcome>(i)));
+    }
+    obs::Heartbeat heartbeat(
+        outcome_labels, budget, every,
+        args.getBool("heartbeat") ? &std::cerr : nullptr);
+    if (!completed.empty()) {
+        std::vector<std::uint64_t> primed(numInjectOutcomes, 0);
+        for (const JournalRecord &record : completed)
+            ++primed[static_cast<std::size_t>(record.result.outcome)];
+        heartbeat.prime(primed);
+    }
+
+    // Per-stratum tallies feed the combined estimator; the flat
+    // tally keeps the familiar outcome/code table.
+    std::vector<StratumTally> tallies(strat.strata().size());
+    CampaignTally tally;
+    const auto deposit = [&](std::uint32_t stratum,
+                             const TrialResult &result) {
+        if (stratum >= tallies.size())
+            fatal("journal stratum ", stratum,
+                  " outside the partition");
+        ++tallies[stratum].trials;
+        ++tallies[stratum]
+              .counts[static_cast<std::size_t>(result.outcome)];
+        tally.add(result);
+    };
+
+    for (const JournalRecord &record : completed)
+        deposit(record.stratum, record.result);
+
+    std::vector<TrialResult> results(remaining);
+    if (!checkpoint.empty()) {
+        JournalWriter writer(checkpoint, header, every,
+                             std::move(completed));
+        runTasks(remaining, [&](std::size_t i) {
+            const Stratification::Pick &pick = picks[i];
+            results[i] =
+                campaign.runOne(strat.trialSpec(pick, base_seed));
+            writer.record(first + i,
+                          strat.pickSeed(pick, base_seed),
+                          pick.stratum, results[i]);
+            heartbeat.record(
+                static_cast<std::size_t>(results[i].outcome));
+        });
+        writer.finish();
+    } else {
+        runTasks(remaining, [&](std::size_t i) {
+            results[i] = campaign.runOne(
+                strat.trialSpec(picks[i], base_seed));
+            heartbeat.record(
+                static_cast<std::size_t>(results[i].outcome));
+        });
+    }
+    heartbeat.finish();
+    for (std::size_t i = 0; i < remaining; ++i)
+        deposit(picks[i].stratum, results[i]);
+
+    std::cout << "\n";
+    Table table({"outcome", "injected", "combined rate", "95% CI"});
+    for (std::size_t i = 0; i < numInjectOutcomes; ++i) {
+        const InjectOutcome outcome = static_cast<InjectOutcome>(i);
+        const WilsonInterval rate =
+            strat.combinedInterval(tallies, outcome);
+        std::string ci;
+        ci += '[';
+        ci += formatFixed(rate.low, 5);
+        ci += ", ";
+        ci += formatFixed(rate.high, 5);
+        ci += ']';
+        table.beginRow()
+            .cell(injectOutcomeName(outcome))
+            .cell(std::to_string(tally.count(outcome)))
+            .cell(rate.point, 5)
+            .cell(ci);
+    }
+    table.printText(std::cout);
+
+    const WilsonInterval sdc =
+        strat.combinedInterval(tallies, InjectOutcome::Sdc);
+    const std::uint64_t injected = tally.total();
+    const std::uint64_t effective =
+        injected == 0
+            ? 0
+            : effectiveUniformTrials(sdc.high - sdc.low, sdc.point);
+    std::cout << "\ninjected " << injected << " trials; the SDC "
+              << "interval is worth " << effective
+              << " uniform trials ("
+              << formatFixed(injected == 0
+                                 ? 0.0
+                                 : static_cast<double>(effective) /
+                                       static_cast<double>(injected),
+                             2)
+              << "x)\n";
+
+    if (!tally.codeCounts.empty()) {
+        std::cout << "\ndiagnostic codes:\n";
+        for (const auto &[code, count] : tally.codeCounts)
+            std::cout << "  " << code << "  " << count << "\n";
+    }
+
+    obs::Manifest manifest("mbavf --campaign --stratify");
+    if (!manifest_path.empty()) {
+        obs::JsonValue run = obs::JsonValue::object();
+        run.set("workload", workload);
+        run.set("scale", obs::JsonValue(std::uint64_t(scale)));
+        run.set("trials", obs::JsonValue(budget));
+        run.set("seed", obs::JsonValue(base_seed));
+        run.set("kind", std::string(trialKindName(kind)));
+        run.set("protect", protect);
+        run.set("resumed_trials",
+                obs::JsonValue(std::uint64_t(first)));
+        run.set("stratify", obs::JsonValue(true));
+        run.set("stratify_windows",
+                obs::JsonValue(std::uint64_t(opts.windows)));
+        run.set("stratify_classes",
+                obs::JsonValue(std::uint64_t(opts.maxClasses)));
+        manifest.set("run", std::move(run));
+        manifest.set("campaign", obs::tallyJson(tally));
+        manifest.set("strata",
+                     obs::strataJson(strat, tallies, budget));
+    }
+    writeObsOutputs(&manifest, manifest_path, trace_path);
+    return 0;
+}
+
 /** The --campaign mode: injection trials with checkpoint/resume. */
 int
 runCampaignCli(const Args &args)
 {
+    if (args.has("budget") || args.has("target-ci") ||
+        args.has("stratify-windows") || args.has("stratify-classes"))
+        fatal("--budget/--target-ci/--stratify-* require --stratify");
     const std::string workload = args.getString("workload", "");
     if (workload.empty()) {
         usage();
@@ -380,8 +644,11 @@ main(int argc, char **argv)
         setParallelThreads(num_threads == 0 ? 0 : num_threads);
     }
 
-    if (args.getBool("campaign"))
-        return runCampaignCli(args);
+    if (args.getBool("campaign")) {
+        return args.getBool("stratify")
+                   ? runStratifiedCampaignCli(args)
+                   : runCampaignCli(args);
+    }
 
     const std::string manifest_path = args.getString("manifest", "");
     const std::string trace_path = args.getString("trace-out", "");

@@ -4,6 +4,7 @@
  *
  *   mbavf_report FILE                     pretty-print one manifest
  *   mbavf_report --rank FILE [--top=N]    ranked attribution table
+ *   mbavf_report --strata FILE [--top=N]  stratified-campaign view
  *   mbavf_report --diff REF CAND [opts]   compare two manifests
  *   mbavf_report --merge=DIR --out=FILE   bench manifests -> trajectory
  *   mbavf_report --check-trace=FILE       validate a Chrome trace
@@ -13,6 +14,12 @@
  * by attributed group-cycles, the per-kernel rollup, and whether the
  * conservation check held. The generic --diff / --merge modes already
  * cover the section; --rank is the human-readable view.
+ *
+ * --strata renders the "strata" section a stratified campaign
+ * (mbavf --campaign --stratify, or a stratified mbavf_serve job)
+ * emits: the partition identity, the per-stratum allocation ranked by
+ * injected trials, the skipped (provably-Masked) weight, and the
+ * combined estimator with its effective-trials multiplier.
  *
  * --diff compares a reference run against a candidate and exits 0
  * when they agree, 1 on drift (an AVF/result number moved beyond
@@ -36,6 +43,7 @@
  * result cannot double-count in a trajectory plot.
  */
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -60,12 +68,13 @@ usage()
     std::cout <<
         "usage: mbavf_report FILE\n"
         "       mbavf_report --rank FILE [--top=N]\n"
+        "       mbavf_report --strata FILE [--top=N]\n"
         "       mbavf_report --diff REF CAND [options]\n"
         "       mbavf_report --merge=DIR --out=FILE\n"
         "       mbavf_report --check-trace=FILE\n\n"
-        "rank options:\n"
-        "  --top=N              show only the top N instructions\n"
-        "                       (default: every attributed row)\n\n"
+        "rank/strata options:\n"
+        "  --top=N              show only the top N rows\n"
+        "                       (default: every row)\n\n"
         "diff options:\n"
         "  --avf-tol=T          relative tolerance for result\n"
         "                       numbers (0 = bit-exact)\n"
@@ -270,6 +279,127 @@ runRank(const std::string &path, const Args &args)
     return 0;
 }
 
+/**
+ * Pretty-print the strata section of a stratified-campaign manifest:
+ * partition summary, combined estimator, and the allocation table
+ * ranked by injected trials. Exits 2 when the file carries no strata
+ * section.
+ */
+int
+runStrata(const std::string &path, const Args &args)
+{
+    const obs::JsonValue doc = loadManifestOrDie(path);
+
+    // The mbavf CLI writes "strata" at top level; a serve manifest
+    // nests it per job under "results". Show the first one found.
+    const obs::JsonValue *strata = doc.find("strata");
+    if (!strata) {
+        if (const obs::JsonValue *results = doc.find("results");
+            results && results->isArray()) {
+            for (const obs::JsonValue &entry : results->items()) {
+                if ((strata = entry.find("strata")))
+                    break;
+            }
+        }
+    }
+    if (!strata || !strata->isObject()) {
+        std::cerr << "mbavf_report: " << path
+                  << ": no strata section (not a stratified "
+                     "campaign manifest?)\n";
+        return 2;
+    }
+
+    auto num = [&](const char *key) -> double {
+        const obs::JsonValue *v = strata->find(key);
+        return v && v->isNumber() ? v->asDouble() : 0.0;
+    };
+    auto uint = [&](const char *key) -> std::uint64_t {
+        const obs::JsonValue *v = strata->find(key);
+        return v && v->isNumber() ? v->asUint() : 0;
+    };
+
+    std::cout << "stratified campaign: " << uint("classes")
+              << " classes x " << uint("windows") << " windows\n"
+              << "  partition hash    " << std::hex << uint("hash")
+              << std::dec << "\n"
+              << "  provably Masked   " << 100.0 * num("skipped_weight")
+              << "% of fault space (skipped exactly)\n"
+              << "  injected          " << uint("injected") << " / "
+              << uint("budget") << " budget\n"
+              << "  effective trials  " << uint("effective_trials")
+              << " uniform-equivalent (" << num("multiplier")
+              << "x per injection)\n";
+
+    if (const obs::JsonValue *combined = strata->find("combined");
+        combined && combined->isObject()) {
+        std::cout << "combined estimator:\n";
+        for (const auto &[name, value] : combined->members()) {
+            const obs::JsonValue *rate = value.find("rate");
+            const obs::JsonValue *low = value.find("ci_low");
+            const obs::JsonValue *high = value.find("ci_high");
+            if (!rate || !low || !high)
+                continue;
+            std::cout << "  " << name << " = " << rate->asDouble()
+                      << "  [" << low->asDouble() << ", "
+                      << high->asDouble() << "]\n";
+        }
+    }
+
+    const obs::JsonValue *table_in = strata->find("table");
+    if (!table_in || !table_in->isArray())
+        return 0;
+
+    std::vector<const obs::JsonValue *> rows;
+    for (const obs::JsonValue &row : table_in->items())
+        rows.push_back(&row);
+    auto trialsOf = [](const obs::JsonValue *row) -> std::uint64_t {
+        const obs::JsonValue *t = row->find("trials");
+        return t && t->isNumber() ? t->asUint() : 0;
+    };
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](const obs::JsonValue *a,
+                         const obs::JsonValue *b) {
+                         return trialsOf(a) > trialsOf(b);
+                     });
+    const std::uint64_t limit = static_cast<std::uint64_t>(
+        args.getInt("top", std::int64_t(rows.size())));
+
+    Table table({"class", "window", "weight", "predicted", "trials",
+                 "sdc", "note"});
+    std::uint64_t shown = 0;
+    std::uint64_t skipped_strata = 0;
+    for (const obs::JsonValue *row : rows) {
+        const obs::JsonValue *skipped = row->find("skipped");
+        if (skipped && skipped->asBool()) {
+            ++skipped_strata;
+            continue;
+        }
+        if (shown >= limit)
+            continue;
+        ++shown;
+        auto field = [&](const char *key) -> double {
+            const obs::JsonValue *v = row->find(key);
+            return v && v->isNumber() ? v->asDouble() : 0.0;
+        };
+        const obs::JsonValue *sdc = row->find("sdc");
+        const obs::JsonValue *sdc_rate =
+            sdc ? sdc->find("rate") : nullptr;
+        table.beginRow()
+            .cell(static_cast<std::uint64_t>(field("class")))
+            .cell(static_cast<std::uint64_t>(field("window")))
+            .cell(field("weight"), 6)
+            .cell(field("predicted"), 4)
+            .cell(trialsOf(row))
+            .cell(sdc_rate ? sdc_rate->asDouble() : 0.0, 4)
+            .cell(trialsOf(row) == 0 ? std::string("unsampled")
+                                     : std::string(""));
+    }
+    table.printText(std::cout);
+    std::cout << skipped_strata
+              << " strata skipped (provably Masked)\n";
+    return 0;
+}
+
 /** Minimal Chrome-trace shape check: the format Perfetto ingests. */
 int
 runCheckTrace(const std::string &path)
@@ -326,7 +456,8 @@ main(int argc, char **argv)
     Args args(argc, argv, Args::Positional::Allow);
     args.requireKnown({
         "help", "version", "diff", "merge", "out", "check-trace",
-        "avf-tol", "perf-tol", "structure-only", "rank", "top",
+        "avf-tol", "perf-tol", "structure-only", "rank", "strata",
+        "top",
     });
     if (args.getBool("help")) {
         usage();
@@ -352,6 +483,13 @@ main(int argc, char **argv)
             return 2;
         }
         return runRank(files[0], args);
+    }
+    if (args.getBool("strata")) {
+        if (files.size() != 1) {
+            usage();
+            return 2;
+        }
+        return runStrata(files[0], args);
     }
     if (args.getBool("diff")) {
         if (files.size() != 2) {
